@@ -1,0 +1,69 @@
+// Command vpbench runs the experiment suite that reproduces the paper's
+// examples and claims (see DESIGN.md §3 for the index and EXPERIMENTS.md
+// for recorded results).
+//
+// Usage:
+//
+//	vpbench                 # run every experiment, print text tables
+//	vpbench -exp e3,e5      # run selected experiments
+//	vpbench -markdown       # emit GitHub-flavored markdown
+//	vpbench -seed 7         # change the deterministic seed
+//	vpbench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/virtualpartitions/vp/internal/bench"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		markdown = flag.Bool("markdown", false, "emit markdown tables")
+		list     = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All {
+			fmt.Printf("%-4s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	var selected []bench.Experiment
+	if *expFlag == "" {
+		selected = bench.All
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(strings.ToLower(id))
+			e := bench.Find(id)
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "vpbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, *e)
+		}
+	}
+
+	for i, e := range selected {
+		start := time.Now()
+		table := e.Run(*seed)
+		elapsed := time.Since(start)
+		if *markdown {
+			fmt.Println(table.Markdown())
+		} else {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(table.String())
+			fmt.Printf("(%s wall-clock, simulated deterministically, seed %d)\n", elapsed.Round(time.Millisecond), *seed)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Command vpctl is the client for vpnode clusters: it submits one
+// transaction to a node over TCP and prints the outcome.
+//
+// Usage:
+//
+//	vpctl -addr localhost:7001 read x [y ...]
+//	vpctl -addr localhost:7001 write x 42
+//	vpctl -addr localhost:7001 incr x 1
+//	vpctl -addr localhost:7001 transfer a b 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"time"
+
+	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/net"
+	"github.com/virtualpartitions/vp/internal/wire"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:7001", "node address")
+		timeout = flag.Duration("timeout", 10*time.Second, "request timeout")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	var ops []wire.Op
+	switch args[0] {
+	case "read":
+		if len(args) < 2 {
+			usage()
+		}
+		for _, o := range args[1:] {
+			ops = append(ops, wire.ReadOp(model.ObjectID(o)))
+		}
+	case "write":
+		if len(args) != 3 {
+			usage()
+		}
+		ops = []wire.Op{wire.WriteOp(model.ObjectID(args[1]), mustInt(args[2]))}
+	case "incr":
+		if len(args) != 3 {
+			usage()
+		}
+		ops = wire.IncrementOps(model.ObjectID(args[1]), mustInt(args[2]))
+	case "transfer":
+		if len(args) != 4 {
+			usage()
+		}
+		ops = wire.TransferOps(model.ObjectID(args[1]), model.ObjectID(args[2]), mustInt(args[3]))
+	default:
+		usage()
+	}
+
+	req := wire.ClientTxn{Tag: rand.New(rand.NewSource(time.Now().UnixNano())).Uint64(), Ops: ops}
+	res, err := net.SubmitTCP(*addr, req, *timeout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpctl:", err)
+		os.Exit(1)
+	}
+	switch {
+	case res.Committed:
+		fmt.Println("committed")
+		for _, rv := range res.Reads {
+			fmt.Printf("  %s = %d\n", rv.Obj, rv.Val)
+		}
+	case res.Denied:
+		fmt.Printf("denied: %s\n", res.Reason)
+		os.Exit(3)
+	default:
+		fmt.Printf("aborted: %s\n", res.Reason)
+		os.Exit(4)
+	}
+}
+
+func mustInt(s string) int64 {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vpctl: bad integer %q\n", s)
+		os.Exit(2)
+	}
+	return v
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: vpctl [-addr host:port] <command>
+  read <obj> [obj ...]
+  write <obj> <value>
+  incr <obj> <delta>
+  transfer <from> <to> <amount>`)
+	os.Exit(2)
+}

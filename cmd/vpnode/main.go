@@ -1,0 +1,139 @@
+// Command vpnode runs one processor of a virtual-partition replicated
+// database over TCP. Start one process per processor with the same
+// -cluster and -objects flags; clients talk to any node with vpctl.
+//
+// Example (three shells):
+//
+//	vpnode -id 1 -cluster 1=localhost:7001,2=localhost:7002,3=localhost:7003 -objects x,y
+//	vpnode -id 2 -cluster 1=localhost:7001,2=localhost:7002,3=localhost:7003 -objects x,y
+//	vpnode -id 3 -cluster 1=localhost:7001,2=localhost:7002,3=localhost:7003 -objects x,y
+//
+// then:
+//
+//	vpctl -addr localhost:7001 incr x 5
+//	vpctl -addr localhost:7002 read x
+//
+// Killing a node (or a minority of nodes) leaves the survivors
+// operating; a restarted node rejoins and rule R5 refreshes its copies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/virtualpartitions/vp/internal/core"
+	"github.com/virtualpartitions/vp/internal/durable"
+	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/net"
+	"github.com/virtualpartitions/vp/internal/node"
+)
+
+func main() {
+	var (
+		id      = flag.Int("id", 0, "this processor's id (1-based, required)")
+		cluster = flag.String("cluster", "", "comma-separated id=host:port pairs (required)")
+		objects = flag.String("objects", "x", "comma-separated logical object names")
+		delta   = flag.Duration("delta", 50*time.Millisecond, "assumed message delay bound δ")
+		pi      = flag.Duration("pi", 0, "probe period π (default 20δ)")
+		dataDir = flag.String("data", "", "durable state directory (empty: in-memory only; with it, the node survives restarts)")
+		fsync   = flag.Bool("fsync", false, "fsync the journal on every record")
+		verbose = flag.Bool("v", false, "log view changes")
+	)
+	flag.Parse()
+
+	addrs, err := parseCluster(*cluster)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpnode:", err)
+		os.Exit(2)
+	}
+	if *id < 1 {
+		fmt.Fprintln(os.Stderr, "vpnode: -id is required")
+		os.Exit(2)
+	}
+	me := model.ProcID(*id)
+	if _, ok := addrs[me]; !ok {
+		fmt.Fprintf(os.Stderr, "vpnode: id %d not in -cluster\n", *id)
+		os.Exit(2)
+	}
+
+	var objNames []model.ObjectID
+	for _, o := range strings.Split(*objects, ",") {
+		if o = strings.TrimSpace(o); o != "" {
+			objNames = append(objNames, model.ObjectID(o))
+		}
+	}
+	cat := model.FullyReplicated(len(addrs), objNames...)
+
+	cfg := core.Config{
+		Config: node.Config{Delta: *delta, LogCap: 1024},
+		Pi:     *pi,
+	}
+	var nd *core.Node
+	if *dataDir != "" {
+		state, journal, err := durable.Open(*dataDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpnode:", err)
+			os.Exit(1)
+		}
+		journal.SyncEveryWrite = *fsync
+		defer journal.Close()
+		fresh := state.MaxID.IsZero() && len(state.Copies) == 0
+		if fresh {
+			nd = core.NewDurable(me, cfg, cat, nil, journal)
+			fmt.Printf("vpnode %v: fresh durable state in %s\n", me, *dataDir)
+		} else {
+			nd = core.NewRestored(me, cfg, cat, nil, state, journal)
+			fmt.Printf("vpnode %v: restored from %s (max-id %v, %d copies)\n",
+				me, *dataDir, state.MaxID, len(state.Copies))
+		}
+	} else {
+		nd = core.New(me, cfg, cat, nil)
+	}
+	if *verbose {
+		nd.Observer = func(ev any) {
+			switch e := ev.(type) {
+			case core.JoinEvent:
+				fmt.Printf("vpnode %v: joined %v view=%v\n", me, e.VP, e.View)
+			case core.DepartEvent:
+				fmt.Printf("vpnode %v: departed %v\n", me, e.VP)
+			}
+		}
+	}
+	tcp := net.NewTCPNode(me, addrs, nd)
+	if err := tcp.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vpnode:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("vpnode %v serving on %s (δ=%v, objects %v)\n", me, addrs[me], *delta, objNames)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("vpnode %v shutting down\n", me)
+	tcp.Stop()
+}
+
+func parseCluster(s string) (map[model.ProcID]string, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-cluster is required")
+	}
+	out := make(map[model.ProcID]string)
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad -cluster entry %q (want id=host:port)", part)
+		}
+		id, err := strconv.Atoi(kv[0])
+		if err != nil || id < 1 {
+			return nil, fmt.Errorf("bad processor id %q", kv[0])
+		}
+		out[model.ProcID(id)] = kv[1]
+	}
+	return out, nil
+}

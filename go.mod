@@ -1,0 +1,3 @@
+module github.com/virtualpartitions/vp
+
+go 1.22

@@ -1,0 +1,312 @@
+// Package core implements the paper's contribution: the virtual
+// partition replica control protocol of El Abbadi, Skeen & Cristian
+// (PODS 1985), §5, with the §6 optimizations behind configuration flags.
+//
+// A Node runs, per processor, the concurrent tasks of Figure 3:
+//
+//	Monitor-VP-Creations  (vpm.go)    — react to invitations and commits
+//	Create-VP             (vpm.go)    — initiate new virtual partitions
+//	Send-Probes           (vpm.go)    — periodic liveness probing
+//	Monitor-Probes        (vpm.go)    — answer/compare probe traffic
+//	Update-Copies-in-View (refresh.go)— rule R5 copy refresh
+//	Logical-Read/Write    (strategy.go, via the shared node.Base)
+//	Physical-Access       (node/server.go, guarded by this strategy)
+//
+// The blocking pseudocode of the paper maps onto timer-driven state
+// machines: the 2δ invitation window (Figure 5 line 5), the 3δ commit
+// wait (Figure 6 line 9), and the 2δ probe-acknowledgement window
+// (Figure 7 line 11) are virtual-time timers.
+package core
+
+import (
+	"time"
+
+	"github.com/virtualpartitions/vp/internal/durable"
+	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/net"
+	"github.com/virtualpartitions/vp/internal/node"
+	"github.com/virtualpartitions/vp/internal/onecopy"
+	"github.com/virtualpartitions/vp/internal/wire"
+)
+
+// Config extends the shared node configuration with the virtual
+// partition parameters.
+type Config struct {
+	node.Config
+	// Pi is the probe period π. The liveness bound of §5 is Δ = π + 8δ.
+	// Default: 20δ.
+	Pi time.Duration
+	// UsePrevOpt enables the §6 "previous partition" optimization: when
+	// every member of a new partition split off from one common previous
+	// partition, all copies are already up to date and rule R5 refresh
+	// is skipped entirely.
+	UsePrevOpt bool
+	// UseLogCatchup enables the §6 log-based refresh: an out-of-date
+	// copy asks peers for the writes it missed instead of the full
+	// value, falling back to a full read when logs were truncated.
+	UseLogCatchup bool
+	// WeakR4 enables the §6 weakening of rule R4 for two-phase locking:
+	// a transaction survives a partition change when every object it
+	// references stays accessible and every processor it touched stays
+	// in the view.
+	WeakR4 bool
+	// ObjectBytes and RecordBytes are accounting sizes for the refresh
+	// traffic experiment (E9): a full-value refresh ships ObjectBytes,
+	// a log-based refresh ships RecordBytes per missed write.
+	ObjectBytes int64
+	RecordBytes int64
+	// Mergeable switches the node into the §7 [BGRCK]-style commutative
+	// update mode (see mergeable.go): any copy in the view makes an
+	// object accessible — minority partitions keep working — and merges
+	// combine branch deltas instead of picking the newest date. Intended
+	// for counter-like objects whose updates commute; executions are NOT
+	// one-copy serializable across partitions, but no update is lost or
+	// duplicated. Incompatible with UseLogCatchup and UsePrevOpt (both
+	// are forced off).
+	Mergeable bool
+}
+
+// WithDefaults fills unset fields.
+func (c Config) WithDefaults() Config {
+	c.Config = c.Config.WithDefaults()
+	if c.Pi <= 0 {
+		c.Pi = 20 * c.Delta
+	}
+	if c.ObjectBytes <= 0 {
+		c.ObjectBytes = 4096
+	}
+	if c.RecordBytes <= 0 {
+		c.RecordBytes = 64
+	}
+	if c.Mergeable {
+		c.UseLogCatchup = false
+		c.UsePrevOpt = false
+	}
+	return c
+}
+
+// Node is one processor running the replica control protocol. It
+// implements net.Handler.
+type Node struct {
+	*node.Base
+	cfg Config
+
+	// --- Figure 3 shared variables ---
+	curID    model.VPID // cur-id
+	maxID    model.VPID // max-id
+	assigned bool       // assigned
+	lview    model.ProcSet
+	// prevs[q] = the partition q departed to join curID (§6), collected
+	// in phase 1 and distributed in phase 2 at no extra message cost.
+	prevs map[model.ProcID]model.VPID
+	// myPrev is the last partition this processor was assigned to.
+	myPrev model.VPID
+
+	// --- Create-VP task state (Figure 5) ---
+	creating bool
+	createID model.VPID
+	accepts  map[model.ProcID]model.VPID // accepting processor → its prev
+
+	// --- Monitor-VP-Creations state (Figure 6) ---
+	acceptTimer    net.TimerID
+	acceptTimerSet bool
+
+	// --- Send-Probes state (Figure 7) ---
+	probeSeq    uint64
+	probeAcks   model.ProcSet
+	probeOpen   bool
+	probeArmed  bool
+	probeJitter time.Duration
+
+	// --- Update-Copies-in-View state (Figure 9) ---
+	refreshing   map[model.ObjectID]*refreshState
+	refreshEpoch model.VPID
+	refreshSeq   uint64
+
+	// journal receives max-id updates for crash-restart durability.
+	journal durable.Journal
+	// recovered is set by NewRestored: the node starts unassigned and
+	// immediately attempts to form a partition.
+	recovered bool
+
+	// ViewChanges counts partition assignments, for experiments.
+	ViewChanges int
+
+	// Observer, when set (tests, experiments), receives a JoinEvent or
+	// DepartEvent after each assignment change.
+	Observer func(ev any)
+}
+
+// JoinEvent reports that the node committed to a virtual partition.
+type JoinEvent struct {
+	Proc model.ProcID
+	VP   model.VPID
+	View model.ProcSet
+	At   time.Duration
+}
+
+// DepartEvent reports that the node left its virtual partition.
+type DepartEvent struct {
+	Proc model.ProcID
+	VP   model.VPID
+	At   time.Duration
+}
+
+// timer keys
+type probeTick struct{}
+type probeWindow struct{ seq uint64 }
+type createWindow struct{ id model.VPID }
+type acceptTimeout struct{}
+type refreshWindow struct {
+	obj model.ObjectID
+	seq uint64
+}
+type refreshRetry struct {
+	obj  model.ObjectID
+	seq  uint64
+	peer model.ProcID
+}
+
+// New constructs a protocol node for processor id.
+func New(id model.ProcID, cfg Config, cat *model.Catalog, hist *onecopy.History) *Node {
+	cfg = cfg.WithDefaults()
+	n := &Node{
+		cfg:        cfg,
+		curID:      model.VPID{N: 0, P: id}, // Figure 3 line 3: init (0, myid)
+		maxID:      model.VPID{N: 0, P: id},
+		assigned:   true, // Figure 3 line 4
+		lview:      model.NewProcSet(id),
+		prevs:      map[model.ProcID]model.VPID{},
+		refreshing: make(map[model.ObjectID]*refreshState),
+	}
+	n.Base = node.NewBase(id, cfg.Config, cat, (*vpStrategy)(n), hist)
+	return n
+}
+
+// NewDurable constructs a node whose protocol-critical state is written
+// through to the journal, so the processor can later be rebuilt with
+// NewRestored after a crash.
+func NewDurable(id model.ProcID, cfg Config, cat *model.Catalog, hist *onecopy.History, j durable.Journal) *Node {
+	n := New(id, cfg, cat, hist)
+	n.journal = j
+	n.Base.Journal = j
+	n.Store.SetJournal(j)
+	return n
+}
+
+// NewRestored rebuilds a processor from journaled state after a crash:
+// copies keep their values and dates (so rule R5 refresh, not blind
+// trust, makes them readable), max-id continues past every identifier
+// ever used (so S3's order is never forged), prepared writes stay
+// prepared, and unacknowledged decisions resume. The node starts
+// UNASSIGNED — its old partition may have moved on without it — and
+// immediately attempts to form a fresh one.
+func NewRestored(id model.ProcID, cfg Config, cat *model.Catalog, hist *onecopy.History,
+	st *durable.State, j durable.Journal) *Node {
+	n := NewDurable(id, cfg, cat, hist, j)
+	n.assigned = false
+	n.recovered = true
+	n.curID = model.VPID{N: 0, P: id}
+	if n.maxID.Less(st.MaxID) {
+		n.maxID = st.MaxID
+	}
+	n.Store.Restore(st.Copies, st.Staged)
+	n.RestoreDurable(st)
+	return n
+}
+
+// Assigned reports defview(p): whether the processor is currently
+// assigned to a virtual partition.
+func (n *Node) Assigned() bool { return n.assigned }
+
+// CurID returns vp(p), the identifier of the current virtual partition
+// (meaningful only when Assigned).
+func (n *Node) CurID() model.VPID { return n.curID }
+
+// View returns view(p), a copy of the processor's local view.
+func (n *Node) View() model.ProcSet { return n.lview.Clone() }
+
+// Refreshing reports whether any object is still locked for R5 recovery.
+func (n *Node) Refreshing() bool { return len(n.refreshing) > 0 }
+
+// Init implements net.Handler: it arms the shared machinery and the
+// probe task.
+func (n *Node) Init(rt net.Runtime) {
+	n.InitBase(rt)
+	// Stagger first probes a little per processor so the initial
+	// discovery does not fire every creation attempt simultaneously;
+	// determinism is preserved (the stagger is a function of the id).
+	n.probeJitter = time.Duration(int64(rt.ID())) * n.cfg.Delta / 8
+	n.armProbe(rt, n.probeJitter)
+	if n.recovered {
+		// A restarted processor is unassigned and nobody will invite it
+		// into a stable partition spontaneously: initiate one (its
+		// probes and the others' will take it from there).
+		n.bumpMaxID(model.VPID{N: n.maxID.N + 1, P: rt.ID()})
+		n.startCreateVP(rt, n.maxID)
+	}
+}
+
+// bumpMaxID raises max-id monotonically and journals it.
+func (n *Node) bumpMaxID(v model.VPID) {
+	if n.maxID.Less(v) {
+		n.maxID = v
+		if n.journal != nil {
+			n.journal.MaxID(v)
+		}
+	}
+}
+
+func (n *Node) armProbe(rt net.Runtime, d time.Duration) {
+	if n.probeArmed {
+		return
+	}
+	n.probeArmed = true
+	rt.SetTimer(d, probeTick{})
+}
+
+// OnMessage implements net.Handler.
+func (n *Node) OnMessage(rt net.Runtime, from model.ProcID, m wire.Message) {
+	switch msg := m.(type) {
+	case wire.NewVP:
+		n.onNewVP(rt, from, msg)
+	case wire.AcceptVP:
+		n.onAcceptVP(rt, from, msg)
+	case wire.CommitVP:
+		n.onCommitVP(rt, from, msg)
+	case wire.Probe:
+		n.onProbe(rt, from, msg)
+	case wire.ProbeAck:
+		n.onProbeAck(rt, from, msg)
+	case wire.RecoverRead:
+		n.onRecoverRead(rt, from, msg)
+	case wire.RecoverReadResp:
+		n.onRecoverReadResp(rt, from, msg)
+	case wire.RecoverLog:
+		n.onRecoverLog(rt, from, msg)
+	case wire.RecoverLogResp:
+		n.onRecoverLogResp(rt, from, msg)
+	default:
+		n.HandleMessage(rt, from, m)
+	}
+}
+
+// OnTimer implements net.Handler.
+func (n *Node) OnTimer(rt net.Runtime, key any) {
+	switch k := key.(type) {
+	case probeTick:
+		n.onProbeTick(rt)
+	case probeWindow:
+		n.onProbeWindow(rt, k.seq)
+	case createWindow:
+		n.onCreateWindow(rt, k.id)
+	case acceptTimeout:
+		n.onAcceptTimeout(rt)
+	case refreshWindow:
+		n.onRefreshWindow(rt, k)
+	case refreshRetry:
+		n.onRefreshRetry(rt, k)
+	default:
+		n.HandleTimer(rt, key)
+	}
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/wire"
+)
+
+// Tests for the §7 mergeable-counter mode: minority partitions keep
+// accepting commutative updates and merges combine branch deltas so no
+// increment is lost or double-applied.
+
+func newMergeableFixture(t *testing.T, n int, seed int64, objs ...model.ObjectID) *fixture {
+	t.Helper()
+	cfg := fixtureConfig()
+	cfg.Mergeable = true
+	return newFixtureCfg(t, model.FullyReplicated(n, objs...), n, cfg, seed)
+}
+
+func (f *fixture) countCommits() int {
+	n := 0
+	for _, res := range f.results {
+		if res.Committed {
+			n++
+		}
+	}
+	return n
+}
+
+func TestMergeableMinorityKeepsWorking(t *testing.T) {
+	f := newMergeableFixture(t, 3, 91, "x")
+	f.run(tDeltaBound)
+	f.cluster.At(200*time.Millisecond, "split", func() {
+		f.topo.Partition([]model.ProcID{1, 2}, []model.ProcID{3})
+	})
+	f.run(200*time.Millisecond + 2*tDeltaBound)
+	// Increments on BOTH sides — including the single isolated node.
+	maj := f.submit(400*time.Millisecond, 1, wire.IncrementOps("x", 1))
+	min := f.submit(400*time.Millisecond, 3, wire.IncrementOps("x", 1))
+	f.run(400*time.Millisecond + time.Second)
+	if !f.results[maj].Committed {
+		t.Fatalf("majority increment aborted: %s", f.results[maj].Reason)
+	}
+	if !f.results[min].Committed {
+		t.Fatalf("isolated increment aborted (any-copy rule broken): %s", f.results[min].Reason)
+	}
+	// Merge: the two branch deltas combine to 2 — neither the strict
+	// max-date rule's answer (1) nor a double-count.
+	f.cluster.At(2*time.Second, "heal", func() { f.topo.FullMesh() })
+	f.run(2*time.Second + 2*tDeltaBound)
+	f.requireCommonView(1, 2, 3)
+	for _, p := range f.topo.Procs() {
+		if got := f.nodes[p].Store.Get("x").Val; got != 2 {
+			t.Fatalf("copy at %v = %d after merge, want 2", p, got)
+		}
+	}
+	if f.cluster.Reg.Get("mergeable.merges") == 0 {
+		t.Fatal("no delta merge was performed")
+	}
+}
+
+func TestMergeableThreeWaySplit(t *testing.T) {
+	f := newMergeableFixture(t, 3, 92, "x")
+	f.run(tDeltaBound)
+	f.cluster.At(200*time.Millisecond, "split", func() {
+		f.topo.Partition([]model.ProcID{1}, []model.ProcID{2}, []model.ProcID{3})
+	})
+	f.run(200*time.Millisecond + 2*tDeltaBound)
+	// k increments on each isolated node.
+	for i := 0; i < 3; i++ {
+		for _, p := range []model.ProcID{1, 2, 3} {
+			f.submit(400*time.Millisecond+time.Duration(i)*100*time.Millisecond, p,
+				wire.IncrementOps("x", 1))
+		}
+	}
+	f.run(time.Second)
+	commits := f.countCommits()
+	if commits != 9 {
+		t.Fatalf("commits = %d, want 9 (every side isolated yet working)", commits)
+	}
+	f.cluster.At(2*time.Second, "heal", func() { f.topo.FullMesh() })
+	f.run(2*time.Second + 2*tDeltaBound)
+	f.requireCommonView(1, 2, 3)
+	for _, p := range f.topo.Procs() {
+		if got := f.nodes[p].Store.Get("x").Val; got != 9 {
+			t.Fatalf("copy at %v = %d after 3-way merge, want 9", p, got)
+		}
+	}
+}
+
+func TestMergeableRepeatedCycles(t *testing.T) {
+	f := newMergeableFixture(t, 4, 93, "x")
+	f.run(tDeltaBound)
+	total := 0
+	at := tDeltaBound
+	rng := rand.New(rand.NewSource(93))
+	for cycle := 0; cycle < 5; cycle++ {
+		// Random 2-way split.
+		var a, b []model.ProcID
+		for p := 1; p <= 4; p++ {
+			if rng.Intn(2) == 0 {
+				a = append(a, model.ProcID(p))
+			} else {
+				b = append(b, model.ProcID(p))
+			}
+		}
+		if len(a) == 0 || len(b) == 0 {
+			a, b = []model.ProcID{1, 2}, []model.ProcID{3, 4}
+		}
+		splitAt := at + 100*time.Millisecond
+		ga, gb := a, b
+		f.cluster.At(splitAt, "split", func() { f.topo.Partition(ga, gb) })
+		// A couple of increments on each side.
+		for i := 0; i < 2; i++ {
+			f.submit(splitAt+2*tDeltaBound+time.Duration(i)*50*time.Millisecond, a[0], wire.IncrementOps("x", 1))
+			f.submit(splitAt+2*tDeltaBound+time.Duration(i)*50*time.Millisecond, b[0], wire.IncrementOps("x", 1))
+		}
+		healAt := splitAt + 2*tDeltaBound + 300*time.Millisecond
+		f.cluster.At(healAt, "heal", func() { f.topo.FullMesh() })
+		at = healAt + 2*tDeltaBound
+		f.run(at)
+		total += 4
+	}
+	f.run(at + time.Second)
+	commits := f.countCommits()
+	f.requireCommonView(1, 2, 3, 4)
+	want := model.Value(commits)
+	for _, p := range f.topo.Procs() {
+		if got := f.nodes[p].Store.Get("x").Val; got != want {
+			t.Fatalf("cycle merge lost updates: copy at %v = %d, committed = %d", p, got, commits)
+		}
+	}
+	if commits < total-2 {
+		t.Fatalf("too many aborts: %d of %d", commits, total)
+	}
+}
+
+func TestMergeableNoDoubleCountOnStableCluster(t *testing.T) {
+	// Repeated view changes WITHOUT divergence must not double-apply:
+	// crash/heal churn while only the majority writes.
+	f := newMergeableFixture(t, 3, 94, "x")
+	f.run(tDeltaBound)
+	at := tDeltaBound
+	writes := 0
+	for i := 0; i < 4; i++ {
+		crashAt := at + 100*time.Millisecond
+		healAt := crashAt + 200*time.Millisecond
+		f.cluster.At(crashAt, "crash", func() { f.topo.Crash(3) })
+		f.cluster.At(healAt, "heal", func() { f.topo.FullMesh() })
+		f.submit(crashAt+2*tDeltaBound, 1, wire.IncrementOps("x", 1))
+		writes++
+		at = healAt + 2*tDeltaBound
+		f.run(at)
+	}
+	f.run(at + time.Second)
+	commits := f.countCommits()
+	f.requireCommonView(1, 2, 3)
+	for _, p := range f.topo.Procs() {
+		if got := f.nodes[p].Store.Get("x").Val; got != model.Value(commits) {
+			t.Fatalf("copy at %v = %d, want %d (double count or loss)", p, got, commits)
+		}
+	}
+	if commits == 0 {
+		t.Fatal("nothing committed")
+	}
+}
+
+// TestMergeableRandomized: random splits/heals with random increments;
+// after the final heal, every copy equals the number of committed
+// increments. This is the mode's replacement for the 1SR property.
+func TestMergeableRandomized(t *testing.T) {
+	for seed := int64(300); seed < 306; seed++ {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			n := 3 + int(seed%3)
+			f := newMergeableFixture(t, n, seed, "x")
+			const horizon = 5 * time.Second
+			at := tDeltaBound
+			for {
+				at += time.Duration(200+rng.Intn(300)) * time.Millisecond
+				if at >= horizon-time.Second {
+					break
+				}
+				at := at
+				if rng.Intn(3) == 0 {
+					f.cluster.At(at, "heal", func() { f.topo.FullMesh() })
+				} else {
+					var groups [][]model.ProcID
+					g1, g2 := []model.ProcID{}, []model.ProcID{}
+					for p := 1; p <= n; p++ {
+						if rng.Intn(2) == 0 {
+							g1 = append(g1, model.ProcID(p))
+						} else {
+							g2 = append(g2, model.ProcID(p))
+						}
+					}
+					groups = [][]model.ProcID{g1, g2}
+					f.cluster.At(at, "split", func() { f.topo.Partition(groups...) })
+				}
+			}
+			f.cluster.At(horizon-time.Second, "final-heal", func() { f.topo.FullMesh() })
+			for i := 0; i < 40; i++ {
+				sub := tDeltaBound + time.Duration(rng.Int63n(int64(horizon-1500*time.Millisecond)))
+				f.submit(sub, model.ProcID(rng.Intn(n)+1), wire.IncrementOps("x", 1))
+			}
+			f.run(horizon + 4*tDeltaBound)
+			f.requireCommonView(f.topo.Procs()...)
+			commits := f.countCommits()
+			if commits == 0 {
+				t.Fatal("degenerate: nothing committed")
+			}
+			for _, p := range f.topo.Procs() {
+				if got := f.nodes[p].Store.Get("x").Val; got != model.Value(commits) {
+					t.Fatalf("copy at %v = %d, committed = %d", p, got, commits)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"github.com/virtualpartitions/vp/internal/metrics"
+	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/net"
+	"github.com/virtualpartitions/vp/internal/node"
+	"github.com/virtualpartitions/vp/internal/wire"
+)
+
+// This file implements the virtual partition management protocol:
+// Create-new-VP (Figure 4), Create-VP (Figure 5), Monitor-VP-Creations
+// (Figure 6), Send-Probes (Figure 7) and Monitor-Probes (Figure 8).
+
+// depart leaves the current virtual partition: assigned ← false, and
+// everything predicated on membership is torn down (rule R4). Departure
+// is autonomous — no messages are needed, exactly as §4 requires.
+func (n *Node) depart(rt net.Runtime, reason string) {
+	if !n.assigned {
+		return
+	}
+	n.assigned = false
+	n.myPrev = n.curID
+	n.abandonRefresh(rt)
+	if n.Observer != nil {
+		n.Observer(DepartEvent{Proc: rt.ID(), VP: n.curID, At: rt.Now()})
+	}
+	if n.cfg.WeakR4 {
+		// Migration decisions happen at the next join, when the new view
+		// is known; for now only refuse *new* work (AcceptAccess and
+		// Begin fail while unassigned). Nothing is aborted yet.
+		return
+	}
+	n.EpochChanged(rt, reason)
+}
+
+// CreateNewVP is the procedure of Figure 4: depart and start an attempt
+// to form a new, higher-numbered virtual partition.
+func (n *Node) CreateNewVP(rt net.Runtime) {
+	if !n.assigned {
+		// A creation or join is already in progress somewhere (we have
+		// departed); let it run its course (Figure 4 line 2).
+		return
+	}
+	n.depart(rt, "departed partition (inconsistency detected)")
+	n.bumpMaxID(model.VPID{N: n.maxID.N + 1, P: rt.ID()})
+	n.startCreateVP(rt, n.maxID)
+}
+
+// startCreateVP runs phase one of Create-VP (Figure 5): invite everyone
+// and collect acceptances for 2δ.
+func (n *Node) startCreateVP(rt net.Runtime, id model.VPID) {
+	n.creating = true
+	n.createID = id
+	n.accepts = map[model.ProcID]model.VPID{rt.ID(): n.myPrev}
+	rt.Metrics().Inc(metrics.CVPInvites, 1)
+	for _, p := range rt.Procs() {
+		if p != rt.ID() {
+			rt.Send(p, wire.NewVP{ID: id})
+		}
+	}
+	rt.SetTimer(2*n.cfg.Delta, createWindow{id: id})
+	rt.Logf("create-vp %v: inviting", id)
+}
+
+// onAcceptVP collects acceptances ("OK" messages, Figure 5 lines 8–9).
+func (n *Node) onAcceptVP(rt net.Runtime, from model.ProcID, m wire.AcceptVP) {
+	if n.creating && m.ID == n.createID {
+		n.accepts[m.From] = m.Prev
+	}
+}
+
+// onCreateWindow ends phase one and, if this creation is still the
+// highest-numbered attempt this processor knows of, commits phase two
+// (Figure 5 lines 14–19).
+func (n *Node) onCreateWindow(rt net.Runtime, id model.VPID) {
+	if !n.creating || n.createID != id {
+		return
+	}
+	n.creating = false
+	if id != n.maxID {
+		// A higher-numbered invitation was accepted meanwhile; that
+		// protocol run owns this processor's fate now (its 3δ timer is
+		// armed). Nothing to do.
+		return
+	}
+	view := make([]model.ProcID, 0, len(n.accepts))
+	prevs := make(map[model.ProcID]model.VPID, len(n.accepts))
+	for p, prev := range n.accepts {
+		view = append(view, p)
+		prevs[p] = prev
+	}
+	rt.Metrics().Inc(metrics.CVPCreated, 1)
+	// Send the commits before joining locally: join starts rule R5
+	// recovery, whose reads must not overtake the commit messages.
+	viewSet := model.NewProcSet(view...)
+	for _, p := range viewSet.Sorted() {
+		if p != rt.ID() {
+			rt.Send(p, wire.CommitVP{ID: id, View: viewSet.Sorted(), Prevs: prevs})
+		}
+	}
+	n.join(rt, id, viewSet, prevs)
+}
+
+// onNewVP handles an invitation (Figure 6 lines 5–10): accept iff it is
+// higher-numbered than everything seen so far.
+func (n *Node) onNewVP(rt net.Runtime, from model.ProcID, m wire.NewVP) {
+	if !n.maxID.Less(m.ID) {
+		return
+	}
+	n.bumpMaxID(m.ID)
+	n.depart(rt, "departed to join "+m.ID.String())
+	// Accepting cancels any lower-numbered creation of our own: its 2δ
+	// window will find createID ≠ maxID and stand down.
+	rt.Send(m.ID.P, wire.AcceptVP{ID: m.ID, From: rt.ID(), Prev: n.myPrev})
+	n.resetAcceptTimer(rt)
+}
+
+// onCommitVP handles phase two (Figure 6 lines 12–20): commit to the
+// partition if no higher-numbered invitation intervened.
+func (n *Node) onCommitVP(rt net.Runtime, from model.ProcID, m wire.CommitVP) {
+	if m.ID != n.maxID || n.assigned {
+		return
+	}
+	n.cancelAcceptTimer(rt)
+	n.join(rt, m.ID, model.ProcSetOf(m.View), m.Prevs)
+}
+
+// onAcceptTimeout fires when a commit never arrived within 3δ of an
+// acceptance (initiator failed, or messages were lost): start a creation
+// of our own (Figure 6 lines 22–24).
+func (n *Node) onAcceptTimeout(rt net.Runtime) {
+	n.acceptTimerSet = false
+	if n.assigned {
+		return
+	}
+	n.bumpMaxID(model.VPID{N: n.maxID.N + 1, P: rt.ID()})
+	n.startCreateVP(rt, n.maxID)
+}
+
+func (n *Node) resetAcceptTimer(rt net.Runtime) {
+	if n.acceptTimerSet {
+		rt.CancelTimer(n.acceptTimer)
+	}
+	n.acceptTimer = rt.SetTimer(3*n.cfg.Delta, acceptTimeout{})
+	n.acceptTimerSet = true
+}
+
+func (n *Node) cancelAcceptTimer(rt net.Runtime) {
+	if n.acceptTimerSet {
+		rt.CancelTimer(n.acceptTimer)
+		n.acceptTimerSet = false
+	}
+}
+
+// join assigns this processor to partition id with the given common view
+// (the second half of phase two, shared by initiator and acceptors), and
+// kicks off rule R5 recovery for the accessible local copies.
+func (n *Node) join(rt net.Runtime, id model.VPID, view model.ProcSet, prevs map[model.ProcID]model.VPID) {
+	oldView := n.lview
+	n.curID = id
+	n.bumpMaxID(id)
+	n.lview = view
+	n.prevs = prevs
+	n.assigned = true
+	n.ViewChanges++
+	rt.Logf("joined %v view=%v", id, view)
+	if n.Observer != nil {
+		n.Observer(JoinEvent{Proc: rt.ID(), VP: id, View: view.Clone(), At: rt.Now()})
+	}
+
+	if n.cfg.WeakR4 {
+		n.migrateOrAbort(rt, oldView)
+	}
+
+	// locked ← {l | l ∈ L & accessible(l, lview) & l ∈ local}
+	// (Figure 5 line 18 / Figure 6 lines 15–17).
+	var locked []model.ObjectID
+	for _, obj := range n.Cat.Local(rt.ID()).Sorted() {
+		if n.objAccessible(obj, n.lview) {
+			locked = append(locked, obj)
+		}
+	}
+	if len(locked) == 0 {
+		n.FlushDeferred(rt)
+		return
+	}
+	// §6 split-off optimization: if every member of the new partition
+	// was previously assigned to one common partition, every accessible
+	// copy is already up to date (see DESIGN.md for the argument) and
+	// recovery is skipped.
+	if n.cfg.UsePrevOpt && n.allPrevsEqual() {
+		rt.Metrics().Inc(metrics.CRefreshSkips, int64(len(locked)))
+		rt.Logf("refresh skipped for %d objects (split-off from %v)", len(locked), n.myPrev)
+		n.FlushDeferred(rt)
+		return
+	}
+	n.Store.LockForRecovery(locked)
+	n.FlushDeferred(rt)
+	n.startRefresh(rt, locked)
+}
+
+func (n *Node) allPrevsEqual() bool {
+	var common model.VPID
+	first := true
+	for p := range n.lview {
+		prev, ok := n.prevs[p]
+		if !ok {
+			return false
+		}
+		if first {
+			common, first = prev, false
+		} else if prev != common {
+			return false
+		}
+	}
+	return !first && !common.IsZero()
+}
+
+// migrateOrAbort implements the §6 weakened rule R4: transactions whose
+// entire footprint remains inside the new partition adopt its epoch; all
+// others abort. The conditions, per §6 with one strengthening:
+//
+//	(1) every referenced object is accessible in the new view;
+//	(2) every processor physically touched so far is in the new view;
+//	(+) for every referenced object, the copies inside the new view are
+//	    exactly the copies inside the old view — otherwise a write-all
+//	    performed under the old view would miss copies that the new view
+//	    exposes to read-one, breaking one-copy equivalence on merges.
+func (n *Node) migrateOrAbort(rt net.Runtime, oldView model.ProcSet) {
+	n.MigrateActive(rt, node.Epoch{VP: n.curID, Has: true},
+		func(objs []model.ObjectID, procs model.ProcSet) bool {
+			for _, o := range objs {
+				if !n.Cat.Accessible(o, n.lview) {
+					return false
+				}
+				copies := n.Cat.Copies(o)
+				if !copies.Intersect(n.lview).Equal(copies.Intersect(oldView)) {
+					return false
+				}
+			}
+			return procs.Subset(n.lview)
+		},
+		"partition changed (weak R4: footprint left the view)")
+}
+
+// ---------------------------------------------------------------------------
+// Probing (Figures 7 and 8)
+// ---------------------------------------------------------------------------
+
+func (n *Node) onProbeTick(rt net.Runtime) {
+	n.probeArmed = false
+	if !n.assigned {
+		n.armProbe(rt, n.cfg.Pi)
+		return
+	}
+	n.probeSeq++
+	n.probeAcks = model.NewProcSet(rt.ID())
+	n.probeOpen = true
+	for _, p := range rt.Procs() {
+		if p != rt.ID() {
+			rt.Send(p, wire.Probe{From: rt.ID(), VP: n.curID, Seq: n.probeSeq})
+		}
+	}
+	rt.SetTimer(2*n.cfg.Delta, probeWindow{seq: n.probeSeq})
+}
+
+func (n *Node) onProbeWindow(rt net.Runtime, seq uint64) {
+	if !n.probeOpen || seq != n.probeSeq {
+		return
+	}
+	n.probeOpen = false
+	// Figure 7 line 21: any discrepancy between the acknowledging set
+	// and the view triggers a new partition.
+	if n.assigned && !n.probeAcks.Equal(n.lview) {
+		rt.Logf("probe %d: acks %v ≠ view %v", seq, n.probeAcks, n.lview)
+		n.CreateNewVP(rt)
+	}
+	// Figure 7 line 24: wait π−2δ before the next round (the window
+	// already consumed 2δ).
+	n.armProbe(rt, n.cfg.Pi-2*n.cfg.Delta)
+}
+
+func (n *Node) onProbe(rt net.Runtime, from model.ProcID, m wire.Probe) {
+	if !n.assigned {
+		return
+	}
+	switch {
+	case m.VP == n.curID:
+		rt.Send(from, wire.ProbeAck{From: rt.ID(), Seq: m.Seq})
+	case m.VP.Less(n.curID):
+		// Old, delayed probe: ignore (Figure 8 line 6).
+	default:
+		// A processor in a higher-numbered partition can reach us: the
+		// views have diverged (Figure 8 line 7). The probe's identifier
+		// counts as "seen" (Figure 4 requires the new identifier to
+		// exceed every sequence number seen so far), so fold it into
+		// max-id first — otherwise a processor that churned through many
+		// solo partitions would keep out-numbering our creations and
+		// merging would take one probe period per missed number.
+		n.bumpMaxID(m.VP)
+		n.CreateNewVP(rt)
+	}
+}
+
+func (n *Node) onProbeAck(rt net.Runtime, from model.ProcID, m wire.ProbeAck) {
+	if n.probeOpen && m.Seq == n.probeSeq {
+		n.probeAcks.Add(from)
+	}
+}

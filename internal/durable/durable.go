@@ -1,0 +1,307 @@
+// Package durable provides write-ahead persistence for a processor's
+// protocol-critical state, enabling true crash-restart recovery — the
+// paper's model explicitly includes processors that "recover
+// spontaneously or because of system maintenance" (§3).
+//
+// Three pieces of state must survive a restart for the protocol to stay
+// correct:
+//
+//   - max-id: virtual partition identifiers must never be reused
+//     (property S3's total order assumes uniqueness); a restarted
+//     initiator reusing old sequence numbers could forge a "later"
+//     partition that predates committed work.
+//   - the copies with their dates: a processor that restarts with blank
+//     copies but still counts toward majorities could, together with
+//     another stale copy, form a partition that serves old data. With
+//     dates preserved, rule R5 refresh brings the copies current before
+//     they are readable.
+//   - prepared two-phase-commit state, on both sides: a participant's
+//     staged writes (it promised to commit them) and a coordinator's
+//     decisions that are not yet acknowledged everywhere (participants
+//     block until they learn the outcome).
+//
+// A Journal receives every state change; FileJournal appends gob records
+// to a single log file and compacts it into a snapshot on open. Open
+// returns the replayed State used to seed a restarted node.
+package durable
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/virtualpartitions/vp/internal/model"
+)
+
+// StagedWrite is a prepared-but-undecided write at a participant.
+type StagedWrite struct {
+	Val      model.Value
+	Ver      model.Version
+	Delta    bool // component increment (mergeable mode)
+	MissedBy []model.ProcID
+}
+
+// DecideRec is a coordinator decision not yet acknowledged everywhere.
+type DecideRec struct {
+	Commit  bool
+	Pending []model.ProcID
+}
+
+// State is the replayed durable state of one processor.
+type State struct {
+	MaxID   model.VPID
+	Copies  map[model.ObjectID]model.Copy
+	Staged  map[model.TxnID]map[model.ObjectID]StagedWrite
+	Decides map[model.TxnID]DecideRec
+}
+
+// NewState returns an empty state.
+func NewState() *State {
+	return &State{
+		Copies:  make(map[model.ObjectID]model.Copy),
+		Staged:  make(map[model.TxnID]map[model.ObjectID]StagedWrite),
+		Decides: make(map[model.TxnID]DecideRec),
+	}
+}
+
+// Journal receives every durable state change. Implementations must be
+// usable from a single goroutine (the node's event loop). A nil Journal
+// is valid everywhere and means "not durable".
+type Journal interface {
+	// MaxID records a new high-water virtual partition identifier.
+	MaxID(v model.VPID)
+	// Apply records a committed physical write of a copy.
+	Apply(obj model.ObjectID, val model.Value, ver model.Version)
+	// Stage records a prepared write.
+	Stage(txn model.TxnID, obj model.ObjectID, w StagedWrite)
+	// DropStage forgets a staged write (committed or aborted). An empty
+	// obj drops every staged write of the transaction.
+	DropStage(txn model.TxnID, obj model.ObjectID)
+	// Decide records a coordinator decision awaiting acknowledgements.
+	Decide(txn model.TxnID, commit bool, pending []model.ProcID)
+	// DecideDone forgets a fully acknowledged decision.
+	DecideDone(txn model.TxnID)
+}
+
+// record is the on-disk envelope. Exactly one field is set.
+type record struct {
+	Snapshot *State
+
+	SetMaxID *model.VPID
+
+	ApplyObj model.ObjectID
+	ApplyVal model.Value
+	ApplyVer *model.Version
+
+	StageTxn *model.TxnID
+	StageObj model.ObjectID
+	StageW   *StagedWrite
+
+	DropTxn *model.TxnID
+	DropObj model.ObjectID
+
+	DecideTxn     *model.TxnID
+	DecideCommit  bool
+	DecidePending []model.ProcID
+
+	DoneTxn *model.TxnID
+}
+
+func (s *State) apply(r *record) {
+	switch {
+	case r.Snapshot != nil:
+		*s = *r.Snapshot
+		if s.Copies == nil {
+			s.Copies = map[model.ObjectID]model.Copy{}
+		}
+		if s.Staged == nil {
+			s.Staged = map[model.TxnID]map[model.ObjectID]StagedWrite{}
+		}
+		if s.Decides == nil {
+			s.Decides = map[model.TxnID]DecideRec{}
+		}
+	case r.SetMaxID != nil:
+		if s.MaxID.Less(*r.SetMaxID) {
+			s.MaxID = *r.SetMaxID
+		}
+	case r.ApplyVer != nil:
+		s.Copies[r.ApplyObj] = model.Copy{Val: r.ApplyVal, Ver: *r.ApplyVer}
+	case r.StageTxn != nil:
+		if s.Staged[*r.StageTxn] == nil {
+			s.Staged[*r.StageTxn] = map[model.ObjectID]StagedWrite{}
+		}
+		s.Staged[*r.StageTxn][r.StageObj] = *r.StageW
+	case r.DropTxn != nil:
+		if r.DropObj == "" {
+			delete(s.Staged, *r.DropTxn)
+		} else if m := s.Staged[*r.DropTxn]; m != nil {
+			delete(m, r.DropObj)
+			if len(m) == 0 {
+				delete(s.Staged, *r.DropTxn)
+			}
+		}
+	case r.DecideTxn != nil:
+		s.Decides[*r.DecideTxn] = DecideRec{Commit: r.DecideCommit, Pending: r.DecidePending}
+	case r.DoneTxn != nil:
+		delete(s.Decides, *r.DoneTxn)
+	}
+}
+
+// FileJournal is a gob append log with snapshot compaction.
+type FileJournal struct {
+	path string
+	f    *os.File
+	enc  *gob.Encoder
+	// SyncEveryWrite forces an fsync per record (safest, slowest).
+	SyncEveryWrite bool
+	err            error
+}
+
+// Open replays the journal in dir (creating it if absent), compacts it
+// into a fresh snapshot, and returns the state plus the journal ready
+// for appending.
+func Open(dir string) (*State, *FileJournal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	path := filepath.Join(dir, "wal.gob")
+	st := NewState()
+	if raw, err := os.Open(path); err == nil {
+		dec := gob.NewDecoder(raw)
+		for {
+			var r record
+			if err := dec.Decode(&r); err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+					// A torn tail write is expected after a crash; any
+					// decoded prefix is consistent. Other corruption is
+					// reported.
+					raw.Close()
+					return nil, nil, fmt.Errorf("durable: corrupt journal %s: %w", path, err)
+				}
+				break
+			}
+			st.apply(&r)
+		}
+		raw.Close()
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	// Compact: write a snapshot to a temp file and atomically replace.
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	enc := gob.NewEncoder(f)
+	if err := enc.Encode(&record{Snapshot: st}); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("durable: snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	j := &FileJournal{path: path, f: f, enc: enc}
+	return st, j, nil
+}
+
+func (j *FileJournal) write(r *record) {
+	if j.err != nil {
+		return
+	}
+	if err := j.enc.Encode(r); err != nil {
+		j.err = err
+		return
+	}
+	if j.SyncEveryWrite {
+		j.err = j.f.Sync()
+	}
+}
+
+// Err reports the first write error (the journal stops recording after
+// one; the caller should treat the processor as crashed).
+func (j *FileJournal) Err() error { return j.err }
+
+// Close syncs and closes the file.
+func (j *FileJournal) Close() error {
+	if j.f == nil {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// MaxID implements Journal.
+func (j *FileJournal) MaxID(v model.VPID) { j.write(&record{SetMaxID: &v}) }
+
+// Apply implements Journal.
+func (j *FileJournal) Apply(obj model.ObjectID, val model.Value, ver model.Version) {
+	j.write(&record{ApplyObj: obj, ApplyVal: val, ApplyVer: &ver})
+}
+
+// Stage implements Journal.
+func (j *FileJournal) Stage(txn model.TxnID, obj model.ObjectID, w StagedWrite) {
+	j.write(&record{StageTxn: &txn, StageObj: obj, StageW: &w})
+}
+
+// DropStage implements Journal.
+func (j *FileJournal) DropStage(txn model.TxnID, obj model.ObjectID) {
+	j.write(&record{DropTxn: &txn, DropObj: obj})
+}
+
+// Decide implements Journal.
+func (j *FileJournal) Decide(txn model.TxnID, commit bool, pending []model.ProcID) {
+	j.write(&record{DecideTxn: &txn, DecideCommit: commit, DecidePending: pending})
+}
+
+// DecideDone implements Journal.
+func (j *FileJournal) DecideDone(txn model.TxnID) { j.write(&record{DoneTxn: &txn}) }
+
+var _ Journal = (*FileJournal)(nil)
+
+// MemJournal is an in-memory Journal for tests: it maintains a State
+// directly, so "restart" is simply reading State.
+type MemJournal struct {
+	St *State
+}
+
+// NewMemJournal returns an empty in-memory journal.
+func NewMemJournal() *MemJournal { return &MemJournal{St: NewState()} }
+
+// MaxID implements Journal.
+func (m *MemJournal) MaxID(v model.VPID) { m.St.apply(&record{SetMaxID: &v}) }
+
+// Apply implements Journal.
+func (m *MemJournal) Apply(obj model.ObjectID, val model.Value, ver model.Version) {
+	m.St.apply(&record{ApplyObj: obj, ApplyVal: val, ApplyVer: &ver})
+}
+
+// Stage implements Journal.
+func (m *MemJournal) Stage(txn model.TxnID, obj model.ObjectID, w StagedWrite) {
+	m.St.apply(&record{StageTxn: &txn, StageObj: obj, StageW: &w})
+}
+
+// DropStage implements Journal.
+func (m *MemJournal) DropStage(txn model.TxnID, obj model.ObjectID) {
+	m.St.apply(&record{DropTxn: &txn, DropObj: obj})
+}
+
+// Decide implements Journal.
+func (m *MemJournal) Decide(txn model.TxnID, commit bool, pending []model.ProcID) {
+	m.St.apply(&record{DecideTxn: &txn, DecideCommit: commit, DecidePending: pending})
+}
+
+// DecideDone implements Journal.
+func (m *MemJournal) DecideDone(txn model.TxnID) { m.St.apply(&record{DoneTxn: &txn}) }
+
+var _ Journal = (*MemJournal)(nil)

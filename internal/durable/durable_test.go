@@ -1,0 +1,203 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/virtualpartitions/vp/internal/model"
+)
+
+func v(n uint64, p model.ProcID) model.VPID { return model.VPID{N: n, P: p} }
+
+func ver(n, c uint64) model.Version {
+	return model.Version{Date: model.VPID{N: n, P: 1}, Ctr: c}
+}
+
+func txn(i int64) model.TxnID { return model.TxnID{Start: i, P: 1, Seq: uint64(i)} }
+
+func TestFileJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.MaxID.IsZero() || len(st.Copies) != 0 {
+		t.Fatal("fresh state not empty")
+	}
+	j.MaxID(v(3, 2))
+	j.MaxID(v(1, 1)) // lower: must not regress on replay
+	j.Apply("x", 42, ver(3, 1))
+	j.Apply("x", 43, ver(3, 2)) // later write wins
+	j.Apply("y", 7, ver(3, 3))
+	j.Stage(txn(9), "x", StagedWrite{Val: 44, Ver: ver(3, 4), MissedBy: []model.ProcID{3}})
+	j.Decide(txn(8), true, []model.ProcID{2, 3})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if st2.MaxID != v(3, 2) {
+		t.Fatalf("MaxID = %v", st2.MaxID)
+	}
+	if c := st2.Copies["x"]; c.Val != 43 || c.Ver.Ctr != 2 {
+		t.Fatalf("x = %+v", c)
+	}
+	if c := st2.Copies["y"]; c.Val != 7 {
+		t.Fatalf("y = %+v", c)
+	}
+	w, ok := st2.Staged[txn(9)]["x"]
+	if !ok || w.Val != 44 || len(w.MissedBy) != 1 {
+		t.Fatalf("staged = %+v", st2.Staged)
+	}
+	d, ok := st2.Decides[txn(8)]
+	if !ok || !d.Commit || len(d.Pending) != 2 {
+		t.Fatalf("decides = %+v", st2.Decides)
+	}
+}
+
+func TestDropAndDoneRecords(t *testing.T) {
+	dir := t.TempDir()
+	_, j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Stage(txn(1), "x", StagedWrite{Val: 1, Ver: ver(1, 1)})
+	j.Stage(txn(1), "y", StagedWrite{Val: 2, Ver: ver(1, 2)})
+	j.Stage(txn(2), "x", StagedWrite{Val: 3, Ver: ver(1, 3)})
+	j.DropStage(txn(1), "y") // scoped
+	j.DropStage(txn(2), "")  // whole txn
+	j.Decide(txn(5), false, []model.ProcID{2})
+	j.DecideDone(txn(5))
+	j.Close()
+
+	st, j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(st.Staged) != 1 || len(st.Staged[txn(1)]) != 1 {
+		t.Fatalf("staged = %+v", st.Staged)
+	}
+	if _, ok := st.Staged[txn(1)]["x"]; !ok {
+		t.Fatal("surviving staged write missing")
+	}
+	if len(st.Decides) != 0 {
+		t.Fatalf("decides = %+v", st.Decides)
+	}
+}
+
+func TestCompactionShrinksLog(t *testing.T) {
+	dir := t.TempDir()
+	_, j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		j.Apply("x", model.Value(i), ver(1, uint64(i+1)))
+	}
+	j.Close()
+	big, _ := os.Stat(filepath.Join(dir, "wal.gob"))
+
+	// Re-open compacts 2000 records into one snapshot.
+	st, j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	small, _ := os.Stat(filepath.Join(dir, "wal.gob"))
+	if small.Size() >= big.Size()/4 {
+		t.Fatalf("compaction ineffective: %d -> %d bytes", big.Size(), small.Size())
+	}
+	if st.Copies["x"].Val != 1999 {
+		t.Fatalf("compacted value = %v", st.Copies["x"])
+	}
+	// And the compacted log replays identically.
+	st2, j3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3.Close()
+	if st2.Copies["x"] != st.Copies["x"] {
+		t.Fatal("snapshot replay diverged")
+	}
+}
+
+func TestTornTailIsTolerated(t *testing.T) {
+	dir := t.TempDir()
+	_, j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Apply("x", 1, ver(1, 1))
+	j.Apply("x", 2, ver(1, 2))
+	j.Close()
+	// Chop bytes off the tail, as a crash mid-write would.
+	path := filepath.Join(dir, "wal.gob")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, j2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("torn tail should replay the prefix: %v", err)
+	}
+	j2.Close()
+	if st.Copies["x"].Val != 1 {
+		t.Fatalf("prefix state = %+v (want the first, intact record)", st.Copies["x"])
+	}
+}
+
+func TestMemJournal(t *testing.T) {
+	m := NewMemJournal()
+	m.MaxID(v(5, 1))
+	m.Apply("x", 9, ver(5, 1))
+	m.Stage(txn(1), "x", StagedWrite{Val: 10, Ver: ver(5, 2)})
+	m.Decide(txn(1), true, []model.ProcID{2})
+	if m.St.MaxID != v(5, 1) || m.St.Copies["x"].Val != 9 {
+		t.Fatalf("state = %+v", m.St)
+	}
+	m.DropStage(txn(1), "")
+	m.DecideDone(txn(1))
+	if len(m.St.Staged) != 0 || len(m.St.Decides) != 0 {
+		t.Fatal("drops not applied")
+	}
+}
+
+func TestOpenCreatesDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "a", "b")
+	_, j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := os.Stat(filepath.Join(dir, "wal.gob")); err != nil {
+		t.Fatal("journal file not created")
+	}
+}
+
+func TestSyncEveryWrite(t *testing.T) {
+	dir := t.TempDir()
+	_, j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SyncEveryWrite = true
+	j.Apply("x", 1, ver(1, 1))
+	if j.Err() != nil {
+		t.Fatal(j.Err())
+	}
+	j.Close()
+	st, j2, _ := Open(dir)
+	j2.Close()
+	if st.Copies["x"].Val != 1 {
+		t.Fatal("synced write lost")
+	}
+}

@@ -1,0 +1,161 @@
+// Package metrics provides the counters and distributions collected by
+// the experiment harness: message counts by kind, physical accesses per
+// logical operation, commit/abort tallies, and latency/staleness
+// histograms. Counters are safe for concurrent use so the same registry
+// serves both the single-threaded simulation engine and the real-time
+// goroutine-per-node engine.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry is a named collection of counters and samples.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	samples  map[string][]float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]int64),
+		samples:  make(map[string][]float64),
+	}
+}
+
+// Inc adds delta to the named counter.
+func (r *Registry) Inc(name string, delta int64) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Get returns the current value of a counter (0 if never incremented).
+func (r *Registry) Get(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Observe records one sample of a distribution.
+func (r *Registry) Observe(name string, v float64) {
+	r.mu.Lock()
+	r.samples[name] = append(r.samples[name], v)
+	r.mu.Unlock()
+}
+
+// ObserveDuration records a duration sample in milliseconds.
+func (r *Registry) ObserveDuration(name string, d time.Duration) {
+	r.Observe(name, float64(d)/float64(time.Millisecond))
+}
+
+// Counters returns a snapshot of every counter.
+func (r *Registry) Counters() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Summary describes a recorded distribution.
+type Summary struct {
+	Count          int
+	Mean, Min, Max float64
+	P50, P95, P99  float64
+}
+
+// Samples returns a summary of the named distribution. The zero Summary
+// is returned when nothing was observed.
+func (r *Registry) Samples(name string) Summary {
+	r.mu.Lock()
+	vals := append([]float64(nil), r.samples[name]...)
+	r.mu.Unlock()
+	if len(vals) == 0 {
+		return Summary{}
+	}
+	sort.Float64s(vals)
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(vals)-1))
+		return vals[i]
+	}
+	return Summary{
+		Count: len(vals),
+		Mean:  sum / float64(len(vals)),
+		Min:   vals[0],
+		Max:   vals[len(vals)-1],
+		P50:   pct(0.50),
+		P95:   pct(0.95),
+		P99:   pct(0.99),
+	}
+}
+
+// SampleNames returns the names of all recorded distributions, sorted.
+func (r *Registry) SampleNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.samples))
+	for k := range r.samples {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset clears all counters and samples.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	r.counters = make(map[string]int64)
+	r.samples = make(map[string][]float64)
+	r.mu.Unlock()
+}
+
+// String renders every counter on one line each, sorted by name.
+func (r *Registry) String() string {
+	c := r.Counters()
+	names := make([]string, 0, len(c))
+	for k := range c {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, k := range names {
+		fmt.Fprintf(&b, "%-32s %d\n", k, c[k])
+	}
+	return b.String()
+}
+
+// Well-known counter names used across the harness. Protocol code uses
+// these so experiments can compare like with like.
+const (
+	CMsgSent       = "net.msg.sent"
+	CMsgDelivered  = "net.msg.delivered"
+	CMsgDropped    = "net.msg.dropped"
+	CPhysRead      = "replica.phys.read"
+	CPhysWrite     = "replica.phys.write"
+	CLogicalRead   = "replica.logical.read"
+	CLogicalWrite  = "replica.logical.write"
+	CTxnCommit     = "txn.commit"
+	CTxnAbort      = "txn.abort"
+	CTxnDenied     = "txn.denied" // aborted at submit time: object inaccessible
+	CVPCreated     = "vp.created"
+	CVPInvites     = "vp.invitations"
+	CRefreshReads  = "vp.refresh.reads"
+	CRefreshSkips  = "vp.refresh.skipped"
+	CRefreshBytes  = "vp.refresh.bytes"
+	CCatchupWrites = "vp.catchup.writes"
+	CStaleReads    = "replica.stale.reads"
+	CMergeCombined = "mergeable.merges"
+)

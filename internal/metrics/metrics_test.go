@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounters(t *testing.T) {
+	r := NewRegistry()
+	if r.Get("x") != 0 {
+		t.Fatal("fresh counter should be 0")
+	}
+	r.Inc("x", 3)
+	r.Inc("x", 2)
+	r.Inc("y", 1)
+	if r.Get("x") != 5 || r.Get("y") != 1 {
+		t.Fatalf("x=%d y=%d", r.Get("x"), r.Get("y"))
+	}
+	snap := r.Counters()
+	r.Inc("x", 1)
+	if snap["x"] != 5 {
+		t.Fatal("Counters should be a snapshot")
+	}
+}
+
+func TestSamples(t *testing.T) {
+	r := NewRegistry()
+	if s := r.Samples("none"); s.Count != 0 {
+		t.Fatal("empty distribution should summarize to zero")
+	}
+	for i := 1; i <= 100; i++ {
+		r.Observe("lat", float64(i))
+	}
+	s := r.Samples("lat")
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Mean != 50.5 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.P50 < 49 || s.P50 > 52 || s.P95 < 94 || s.P99 < 98 {
+		t.Fatalf("percentiles = %+v", s)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	r.ObserveDuration("d", 1500*time.Microsecond)
+	if s := r.Samples("d"); s.Mean != 1.5 {
+		t.Fatalf("duration sample = %+v", s)
+	}
+}
+
+func TestSampleNamesAndReset(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("b", 1)
+	r.Observe("a", 1)
+	names := r.SampleNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	r.Inc("c", 1)
+	r.Reset()
+	if r.Get("c") != 0 || len(r.SampleNames()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestString(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("bbb", 2)
+	r.Inc("aaa", 1)
+	s := r.String()
+	if !strings.Contains(s, "aaa") || !strings.Contains(s, "bbb") {
+		t.Fatalf("String = %q", s)
+	}
+	if strings.Index(s, "aaa") > strings.Index(s, "bbb") {
+		t.Fatal("String output should be sorted")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Inc("n", 1)
+				r.Observe("s", float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Get("n") != 8000 {
+		t.Fatalf("n = %d", r.Get("n"))
+	}
+	if r.Samples("s").Count != 8000 {
+		t.Fatalf("samples = %d", r.Samples("s").Count)
+	}
+}

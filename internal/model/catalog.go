@@ -1,0 +1,152 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Placement describes where the copies of one logical object live and how
+// they are weighted. It implements the functions copies: L → P(P) of §3
+// and the weighted-majority accessibility test of rule R1. A nil weight
+// map means every copy has weight 1 (unweighted majority voting).
+type Placement struct {
+	Object  ObjectID
+	Holders ProcSet        // processors possessing a physical copy
+	Weights map[ProcID]int // optional per-copy weights; missing ⇒ 1
+}
+
+// Weight returns the voting weight of the copy at p (0 if p holds none).
+func (pl *Placement) Weight(p ProcID) int {
+	if !pl.Holders.Has(p) {
+		return 0
+	}
+	if pl.Weights == nil {
+		return 1
+	}
+	if w, ok := pl.Weights[p]; ok {
+		return w
+	}
+	return 1
+}
+
+// TotalWeight returns the sum of all copy weights.
+func (pl *Placement) TotalWeight() int {
+	t := 0
+	for p := range pl.Holders {
+		t += pl.Weight(p)
+	}
+	return t
+}
+
+// WeightIn returns the combined weight of the copies held by processors
+// in the given set.
+func (pl *Placement) WeightIn(set ProcSet) int {
+	t := 0
+	for p := range pl.Holders {
+		if set.Has(p) {
+			t += pl.Weight(p)
+		}
+	}
+	return t
+}
+
+// AccessibleIn implements the Boolean function accessible(l, A) of §5:
+// true iff a strict (weighted) majority of the copies of the object
+// resides on processors in A.
+func (pl *Placement) AccessibleIn(set ProcSet) bool {
+	return 2*pl.WeightIn(set) > pl.TotalWeight()
+}
+
+// Catalog is the replicated database schema: the set L of logical objects
+// together with the placement of their copies. The catalog is static for
+// the lifetime of a cluster (the paper does not consider copy creation or
+// migration) and is replicated in full at every processor.
+type Catalog struct {
+	placements map[ObjectID]*Placement
+	objects    []ObjectID // sorted, for deterministic iteration
+	local      map[ProcID]ObjSet
+}
+
+// NewCatalog builds a catalog from the given placements. It panics on a
+// duplicate object or an object with no copies: both are configuration
+// errors that can never be valid.
+func NewCatalog(placements ...Placement) *Catalog {
+	c := &Catalog{
+		placements: make(map[ObjectID]*Placement, len(placements)),
+		local:      make(map[ProcID]ObjSet),
+	}
+	for i := range placements {
+		pl := placements[i]
+		if _, dup := c.placements[pl.Object]; dup {
+			panic(fmt.Sprintf("catalog: duplicate object %q", pl.Object))
+		}
+		if pl.Holders.Len() == 0 {
+			panic(fmt.Sprintf("catalog: object %q has no copies", pl.Object))
+		}
+		for p, w := range pl.Weights {
+			if w <= 0 {
+				panic(fmt.Sprintf("catalog: object %q has non-positive weight %d at %s", pl.Object, w, p))
+			}
+			if !pl.Holders.Has(p) {
+				panic(fmt.Sprintf("catalog: object %q weights non-holder %s", pl.Object, p))
+			}
+		}
+		held := pl.Holders.Clone()
+		pl.Holders = held
+		c.placements[pl.Object] = &pl
+		c.objects = append(c.objects, pl.Object)
+		for p := range held {
+			if c.local[p] == nil {
+				c.local[p] = NewObjSet()
+			}
+			c.local[p].Add(pl.Object)
+		}
+	}
+	sort.Slice(c.objects, func(i, j int) bool { return c.objects[i] < c.objects[j] })
+	return c
+}
+
+// FullyReplicated builds a catalog in which each of the given objects has
+// an unweighted copy at every one of the n processors 1..n.
+func FullyReplicated(n int, objects ...ObjectID) *Catalog {
+	ps := make([]ProcID, n)
+	for i := range ps {
+		ps[i] = ProcID(i + 1)
+	}
+	pls := make([]Placement, len(objects))
+	for i, o := range objects {
+		pls[i] = Placement{Object: o, Holders: NewProcSet(ps...)}
+	}
+	return NewCatalog(pls...)
+}
+
+// Placement returns the placement of obj, or nil if the object is not in
+// the database.
+func (c *Catalog) Placement(obj ObjectID) *Placement { return c.placements[obj] }
+
+// Copies returns copies(obj): the holders of physical copies.
+func (c *Catalog) Copies(obj ObjectID) ProcSet {
+	if pl := c.placements[obj]; pl != nil {
+		return pl.Holders
+	}
+	return nil
+}
+
+// Objects returns every logical object, sorted.
+func (c *Catalog) Objects() []ObjectID { return c.objects }
+
+// Local returns the set "local_p" of Figure 3: the objects with a copy at
+// p. The returned set must not be mutated.
+func (c *Catalog) Local(p ProcID) ObjSet {
+	if s, ok := c.local[p]; ok {
+		return s
+	}
+	return NewObjSet()
+}
+
+// Accessible reports whether obj is accessible from a processor whose
+// view is the given set (rule R1).
+func (c *Catalog) Accessible(obj ObjectID, view ProcSet) bool {
+	pl := c.placements[obj]
+	return pl != nil && pl.AccessibleIn(view)
+}

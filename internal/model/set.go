@@ -1,0 +1,147 @@
+package model
+
+import (
+	"sort"
+	"strings"
+)
+
+// ProcSet is a set of processors, e.g. a view, the membership of a
+// virtual partition, or the placement copies(l) of a logical object.
+type ProcSet map[ProcID]struct{}
+
+// NewProcSet builds a set from the given processors.
+func NewProcSet(ps ...ProcID) ProcSet {
+	s := make(ProcSet, len(ps))
+	for _, p := range ps {
+		s[p] = struct{}{}
+	}
+	return s
+}
+
+// Has reports membership.
+func (s ProcSet) Has(p ProcID) bool {
+	_, ok := s[p]
+	return ok
+}
+
+// Add inserts p.
+func (s ProcSet) Add(p ProcID) { s[p] = struct{}{} }
+
+// Remove deletes p.
+func (s ProcSet) Remove(p ProcID) { delete(s, p) }
+
+// Len returns the cardinality.
+func (s ProcSet) Len() int { return len(s) }
+
+// Clone returns an independent copy of s.
+func (s ProcSet) Clone() ProcSet {
+	c := make(ProcSet, len(s))
+	for p := range s {
+		c[p] = struct{}{}
+	}
+	return c
+}
+
+// Equal reports whether s and t contain the same processors.
+func (s ProcSet) Equal(t ProcSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for p := range s {
+		if !t.Has(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns s ∩ t.
+func (s ProcSet) Intersect(t ProcSet) ProcSet {
+	out := make(ProcSet)
+	for p := range s {
+		if t.Has(p) {
+			out.Add(p)
+		}
+	}
+	return out
+}
+
+// Union returns s ∪ t.
+func (s ProcSet) Union(t ProcSet) ProcSet {
+	out := s.Clone()
+	for p := range t {
+		out.Add(p)
+	}
+	return out
+}
+
+// Subset reports whether s ⊆ t.
+func (s ProcSet) Subset(t ProcSet) bool {
+	for p := range s {
+		if !t.Has(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted returns the members in ascending order. The deterministic order
+// matters: protocol code must never iterate a map when the iteration
+// order can influence messages or timers.
+func (s ProcSet) Sorted() []ProcID {
+	out := make([]ProcID, 0, len(s))
+	for p := range s {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (s ProcSet) String() string {
+	parts := make([]string, 0, len(s))
+	for _, p := range s.Sorted() {
+		parts = append(parts, p.String())
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// ProcSetOf converts a slice (e.g. a view carried in a message) into a set.
+func ProcSetOf(ps []ProcID) ProcSet { return NewProcSet(ps...) }
+
+// ObjSet is a set of logical objects, e.g. the "locked" variable of the
+// replica control protocol (Figure 3, line 6).
+type ObjSet map[ObjectID]struct{}
+
+// NewObjSet builds a set from the given objects.
+func NewObjSet(objs ...ObjectID) ObjSet {
+	s := make(ObjSet, len(objs))
+	for _, o := range objs {
+		s[o] = struct{}{}
+	}
+	return s
+}
+
+// Has reports membership.
+func (s ObjSet) Has(o ObjectID) bool {
+	_, ok := s[o]
+	return ok
+}
+
+// Add inserts o.
+func (s ObjSet) Add(o ObjectID) { s[o] = struct{}{} }
+
+// Remove deletes o.
+func (s ObjSet) Remove(o ObjectID) { delete(s, o) }
+
+// Len returns the cardinality.
+func (s ObjSet) Len() int { return len(s) }
+
+// Sorted returns the objects in lexicographic order.
+func (s ObjSet) Sorted() []ObjectID {
+	out := make([]ObjectID, 0, len(s))
+	for o := range s {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,219 @@
+package net
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/virtualpartitions/vp/internal/metrics"
+	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/wire"
+)
+
+// RealCluster runs the same Handlers in real time: one goroutine per node
+// draining a mailbox, wall-clock timers, and in-memory message delivery
+// that still honors the Topology (so partitions can be injected live).
+// It exists to demonstrate that the protocol code is engine-agnostic and
+// to back the example programs; benchmarks use SimCluster.
+type RealCluster struct {
+	Topo *Topology
+	Reg  *metrics.Registry
+
+	// OnClientResult receives transaction results (called from node
+	// goroutines; must be safe for concurrent use).
+	OnClientResult func(from model.ProcID, res wire.ClientResult)
+
+	start   time.Time
+	nodes   map[model.ProcID]*realNode
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+}
+
+type rtEvent struct {
+	from  model.ProcID
+	msg   wire.Message
+	timer any // non-nil: timer event with this key
+	tid   TimerID
+}
+
+type realNode struct {
+	c    *RealCluster
+	id   model.ProcID
+	h    Handler
+	mbox chan rtEvent
+	rng  *rand.Rand
+	rmu  sync.Mutex // guards rng: Send may race with timer goroutines
+
+	tmu    sync.Mutex
+	nextT  TimerID
+	timers map[TimerID]*time.Timer
+}
+
+// NewRealCluster creates a real-time cluster over the topology.
+func NewRealCluster(topo *Topology) *RealCluster {
+	return &RealCluster{
+		Topo:  topo,
+		Reg:   metrics.NewRegistry(),
+		nodes: make(map[model.ProcID]*realNode),
+		start: time.Now(),
+	}
+}
+
+// AddNode registers a handler as processor p.
+func (c *RealCluster) AddNode(p model.ProcID, h Handler) {
+	if _, dup := c.nodes[p]; dup {
+		panic(fmt.Sprintf("net: duplicate node %v", p))
+	}
+	c.nodes[p] = &realNode{
+		c:      c,
+		id:     p,
+		h:      h,
+		mbox:   make(chan rtEvent, 1024),
+		rng:    rand.New(rand.NewSource(int64(p)*104729 + time.Now().UnixNano())),
+		timers: make(map[TimerID]*time.Timer),
+	}
+}
+
+// Start initializes every node and launches its event loop.
+func (c *RealCluster) Start() {
+	for _, n := range c.nodes {
+		n.h.Init(n)
+	}
+	for _, n := range c.nodes {
+		c.wg.Add(1)
+		go n.loop()
+	}
+}
+
+// Stop terminates all node loops and waits for them to exit.
+func (c *RealCluster) Stop() {
+	if c.stopped.Swap(true) {
+		return
+	}
+	for _, n := range c.nodes {
+		close(n.mbox)
+	}
+	c.wg.Wait()
+}
+
+// Submit delivers a client transaction to processor p.
+func (c *RealCluster) Submit(p model.ProcID, t wire.ClientTxn) {
+	n, ok := c.nodes[p]
+	if !ok {
+		panic(fmt.Sprintf("net: submit to unknown node %v", p))
+	}
+	n.enqueue(rtEvent{from: model.NoProc, msg: t})
+}
+
+func (n *realNode) enqueue(ev rtEvent) {
+	defer func() {
+		// A send on a closed mailbox after Stop is harmless.
+		recover() //nolint:errcheck
+	}()
+	if n.c.stopped.Load() {
+		return
+	}
+	n.mbox <- ev
+}
+
+func (n *realNode) loop() {
+	defer n.c.wg.Done()
+	for ev := range n.mbox {
+		if ev.timer != nil {
+			n.tmu.Lock()
+			_, live := n.timers[ev.tid]
+			delete(n.timers, ev.tid)
+			n.tmu.Unlock()
+			if live {
+				n.h.OnTimer(n, ev.timer)
+			}
+			continue
+		}
+		n.h.OnMessage(n, ev.from, ev.msg)
+	}
+}
+
+var _ Runtime = (*realNode)(nil)
+
+func (n *realNode) ID() model.ProcID      { return n.id }
+func (n *realNode) Procs() []model.ProcID { return n.c.Topo.Procs() }
+func (n *realNode) Now() time.Duration    { return time.Since(n.c.start) }
+
+func (n *realNode) Rand() *rand.Rand { return n.rng }
+
+func (n *realNode) Metrics() *metrics.Registry { return n.c.Reg }
+
+func (n *realNode) Send(to model.ProcID, m wire.Message) {
+	c := n.c
+	if to == n.id {
+		// Local procedure call: reliable, free of network cost.
+		n.enqueue(rtEvent{from: n.id, msg: m})
+		return
+	}
+	c.Reg.Inc(metrics.CMsgSent, 1)
+	c.Reg.Inc("net.msg.sent."+wire.Kind(m), 1)
+	if to == model.NoProc {
+		if c.OnClientResult != nil {
+			if res, ok := m.(wire.ClientResult); ok {
+				c.OnClientResult(n.id, res)
+			}
+		}
+		return
+	}
+	dst, ok := c.nodes[to]
+	if !ok || !c.Topo.Connected(n.id, to) {
+		c.Reg.Inc(metrics.CMsgDropped, 1)
+		return
+	}
+	if p := c.Topo.DropProb(); p > 0 {
+		n.rmu.Lock()
+		drop := n.rng.Float64() < p
+		n.rmu.Unlock()
+		if drop {
+			c.Reg.Inc(metrics.CMsgDropped, 1)
+			return
+		}
+	}
+	lat := c.Topo.Latency(n.id, to)
+	deliver := func() {
+		if !c.Topo.Connected(n.id, to) {
+			c.Reg.Inc(metrics.CMsgDropped, 1)
+			return
+		}
+		c.Reg.Inc(metrics.CMsgDelivered, 1)
+		dst.enqueue(rtEvent{from: n.id, msg: m})
+	}
+	if lat <= 0 {
+		deliver()
+	} else {
+		time.AfterFunc(lat, deliver)
+	}
+}
+
+func (n *realNode) SetTimer(d time.Duration, key any) TimerID {
+	n.tmu.Lock()
+	n.nextT++
+	id := n.nextT
+	n.timers[id] = time.AfterFunc(d, func() {
+		n.enqueue(rtEvent{timer: key, tid: id})
+	})
+	n.tmu.Unlock()
+	return id
+}
+
+func (n *realNode) CancelTimer(id TimerID) {
+	n.tmu.Lock()
+	if t, ok := n.timers[id]; ok {
+		t.Stop()
+		delete(n.timers, id)
+	}
+	n.tmu.Unlock()
+}
+
+func (n *realNode) Distance(to model.ProcID) time.Duration {
+	return n.c.Topo.Latency(n.id, to)
+}
+
+func (n *realNode) Logf(format string, args ...any) {}

@@ -1,0 +1,141 @@
+package net
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/wire"
+)
+
+// pingNode sends one probe on Init and signals when the ack arrives.
+type pingNode struct {
+	mu     sync.Mutex
+	acked  chan struct{}
+	target model.ProcID
+}
+
+func (p *pingNode) Init(rt Runtime) {
+	rt.Send(p.target, wire.Probe{From: rt.ID(), Seq: 1})
+}
+
+func (p *pingNode) OnMessage(rt Runtime, from model.ProcID, m wire.Message) {
+	switch msg := m.(type) {
+	case wire.Probe:
+		rt.Send(from, wire.ProbeAck{From: rt.ID(), Seq: msg.Seq})
+	case wire.ProbeAck:
+		p.mu.Lock()
+		select {
+		case <-p.acked:
+		default:
+			close(p.acked)
+		}
+		p.mu.Unlock()
+	}
+}
+
+func (p *pingNode) OnTimer(rt Runtime, key any) {}
+
+func TestRealClusterRoundTrip(t *testing.T) {
+	topo := NewTopology(2, 100*time.Microsecond)
+	c := NewRealCluster(topo)
+	a := &pingNode{acked: make(chan struct{}), target: 2}
+	b := &pingNode{acked: make(chan struct{}), target: 1}
+	c.AddNode(1, a)
+	c.AddNode(2, b)
+	c.Start()
+	defer c.Stop()
+	for _, ch := range []chan struct{}{a.acked, b.acked} {
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			t.Fatal("timeout waiting for ack")
+		}
+	}
+}
+
+func TestRealClusterPartition(t *testing.T) {
+	topo := NewTopology(2, 100*time.Microsecond)
+	topo.Partition([]model.ProcID{1}, []model.ProcID{2})
+	c := NewRealCluster(topo)
+	a := &pingNode{acked: make(chan struct{}), target: 2}
+	b := &pingNode{acked: make(chan struct{}), target: 1}
+	c.AddNode(1, a)
+	c.AddNode(2, b)
+	c.Start()
+	defer c.Stop()
+	select {
+	case <-a.acked:
+		t.Fatal("ack crossed a partition")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+type rtTimerNode struct {
+	fired chan any
+	tid   TimerID
+}
+
+func (n *rtTimerNode) Init(rt Runtime) {
+	n.tid = rt.SetTimer(time.Hour, "never")
+	rt.SetTimer(time.Millisecond, "soon")
+	rt.CancelTimer(n.tid)
+}
+func (n *rtTimerNode) OnMessage(rt Runtime, from model.ProcID, m wire.Message) {}
+func (n *rtTimerNode) OnTimer(rt Runtime, key any)                             { n.fired <- key }
+
+func TestRealClusterTimers(t *testing.T) {
+	topo := NewTopology(1, time.Millisecond)
+	c := NewRealCluster(topo)
+	n := &rtTimerNode{fired: make(chan any, 4)}
+	c.AddNode(1, n)
+	c.Start()
+	defer c.Stop()
+	select {
+	case k := <-n.fired:
+		if k != "soon" {
+			t.Fatalf("fired %v", k)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer never fired")
+	}
+}
+
+type rtClientNode struct{}
+
+func (rtClientNode) Init(rt Runtime) {}
+func (rtClientNode) OnMessage(rt Runtime, from model.ProcID, m wire.Message) {
+	if ct, ok := m.(wire.ClientTxn); ok {
+		rt.Send(model.NoProc, wire.ClientResult{Tag: ct.Tag, Committed: true})
+	}
+}
+func (rtClientNode) OnTimer(rt Runtime, key any) {}
+
+func TestRealClusterClientPath(t *testing.T) {
+	topo := NewTopology(1, time.Millisecond)
+	c := NewRealCluster(topo)
+	c.AddNode(1, rtClientNode{})
+	got := make(chan wire.ClientResult, 1)
+	c.OnClientResult = func(from model.ProcID, res wire.ClientResult) { got <- res }
+	c.Start()
+	defer c.Stop()
+	c.Submit(1, wire.ClientTxn{Tag: 7})
+	select {
+	case res := <-got:
+		if res.Tag != 7 || !res.Committed {
+			t.Fatalf("res = %+v", res)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no client result")
+	}
+}
+
+func TestRealClusterStopIdempotent(t *testing.T) {
+	topo := NewTopology(1, time.Millisecond)
+	c := NewRealCluster(topo)
+	c.AddNode(1, rtClientNode{})
+	c.Start()
+	c.Stop()
+	c.Stop() // must not panic or deadlock
+}

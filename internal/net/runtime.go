@@ -1,0 +1,58 @@
+package net
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/virtualpartitions/vp/internal/metrics"
+	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/wire"
+)
+
+// TimerID identifies a pending timer for cancellation.
+type TimerID uint64
+
+// Runtime is the execution environment handed to a node on every event.
+// The simulated and real-time engines implement it identically from the
+// node's point of view; protocol code must interact with the outside
+// world only through it.
+type Runtime interface {
+	// ID returns the processor this node runs as ("myid" in the paper).
+	ID() model.ProcID
+	// Procs returns all processor ids in the system (the set P).
+	Procs() []model.ProcID
+	// Now returns the current time (virtual under simulation).
+	Now() time.Duration
+	// Send transmits a message. Sending to model.NoProc routes to the
+	// client sink (transaction results). Delivery is best-effort: links
+	// may be down and messages may be lost — exactly the omission and
+	// performance failures of §2.
+	Send(to model.ProcID, m wire.Message)
+	// SetTimer schedules OnTimer(key) after d. Timers always fire unless
+	// cancelled; they are local and unaffected by the network.
+	SetTimer(d time.Duration, key any) TimerID
+	// CancelTimer cancels a pending timer; no-op if already fired.
+	CancelTimer(id TimerID)
+	// Distance returns the current latency estimate to another processor,
+	// used to pick the *nearest* copy for rule R2.
+	Distance(to model.ProcID) time.Duration
+	// Rand returns this node's deterministic random source.
+	Rand() *rand.Rand
+	// Metrics returns the cluster-wide metrics registry.
+	Metrics() *metrics.Registry
+	// Logf records a trace line when tracing is enabled.
+	Logf(format string, args ...any)
+}
+
+// Handler is a node: a deterministic state machine driven by messages and
+// timers. The engine guarantees the three methods are never invoked
+// concurrently for the same node, so handlers need no internal locking.
+type Handler interface {
+	// Init is called once before any message or timer.
+	Init(rt Runtime)
+	// OnMessage delivers a message from another processor (or from
+	// model.NoProc for client requests).
+	OnMessage(rt Runtime, from model.ProcID, m wire.Message)
+	// OnTimer fires a timer set via Runtime.SetTimer.
+	OnTimer(rt Runtime, key any)
+}

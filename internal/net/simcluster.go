@@ -1,0 +1,228 @@
+package net
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/virtualpartitions/vp/internal/metrics"
+	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/sim"
+	"github.com/virtualpartitions/vp/internal/wire"
+)
+
+// SimCluster runs a set of Handlers over a Topology on one discrete-event
+// engine. Everything — message delivery, timers, failure injection, the
+// workload — executes deterministically in virtual time.
+type SimCluster struct {
+	Engine *sim.Engine
+	Topo   *Topology
+	Reg    *metrics.Registry
+
+	nodes    map[model.ProcID]Handler
+	runtimes map[model.ProcID]*simRuntime
+
+	// OnClientResult receives transaction results that nodes send to
+	// model.NoProc. From identifies the coordinator.
+	OnClientResult func(from model.ProcID, res wire.ClientResult)
+
+	// DropInFlight, when true (the default), re-checks connectivity at
+	// delivery time so messages in flight across a link that goes down
+	// are lost — the adversarial interpretation of a partition.
+	DropInFlight bool
+
+	// TraceEnabled turns Runtime.Logf into engine trace output.
+	TraceEnabled bool
+	TraceSink    func(string)
+
+	started bool
+}
+
+// NewSimCluster creates a cluster over the topology with the given seed.
+func NewSimCluster(topo *Topology, seed int64) *SimCluster {
+	return &SimCluster{
+		Engine:       sim.New(seed),
+		Topo:         topo,
+		Reg:          metrics.NewRegistry(),
+		nodes:        make(map[model.ProcID]Handler),
+		runtimes:     make(map[model.ProcID]*simRuntime),
+		DropInFlight: true,
+	}
+}
+
+// AddNode registers a handler as processor p. All nodes must be added
+// before Start.
+func (c *SimCluster) AddNode(p model.ProcID, h Handler) {
+	if c.started {
+		panic("net: AddNode after Start")
+	}
+	if _, dup := c.nodes[p]; dup {
+		panic(fmt.Sprintf("net: duplicate node %v", p))
+	}
+	c.nodes[p] = h
+	c.runtimes[p] = &simRuntime{
+		c:   c,
+		id:  p,
+		rng: rand.New(rand.NewSource(int64(p)*7919 + 1)),
+	}
+}
+
+// Node returns the handler registered as p (nil if none).
+func (c *SimCluster) Node(p model.ProcID) Handler { return c.nodes[p] }
+
+// RuntimeFor returns the runtime of node p, for harness hooks and
+// white-box tests that invoke handler methods directly from scheduled
+// events (always on the engine's goroutine).
+func (c *SimCluster) RuntimeFor(p model.ProcID) Runtime { return c.runtimes[p] }
+
+// Start initializes every node (in processor order, deterministically).
+func (c *SimCluster) Start() {
+	if c.started {
+		panic("net: double Start")
+	}
+	c.started = true
+	ids := make([]model.ProcID, 0, len(c.nodes))
+	for p := range c.nodes {
+		ids = append(ids, p)
+	}
+	// Sort without importing sort for a 3-line slice: insertion sort.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	for _, p := range ids {
+		h, rt := c.nodes[p], c.runtimes[p]
+		c.Engine.After(0, "init", func() { h.Init(rt) })
+	}
+}
+
+// Submit delivers a client transaction to processor p (its coordinator)
+// at the given absolute virtual time (clamped to now if already past).
+func (c *SimCluster) Submit(at time.Duration, p model.ProcID, t wire.ClientTxn) {
+	h, ok := c.nodes[p]
+	if !ok {
+		panic(fmt.Sprintf("net: submit to unknown node %v", p))
+	}
+	c.Engine.At(at, "client-txn", func() {
+		h.OnMessage(c.runtimes[p], model.NoProc, t)
+	})
+}
+
+// At schedules an arbitrary harness action (e.g. a topology change) at an
+// absolute virtual time.
+func (c *SimCluster) At(t time.Duration, label string, fn func()) {
+	c.Engine.At(t, label, fn)
+}
+
+// Run advances virtual time to the given instant.
+func (c *SimCluster) Run(until time.Duration) { c.Engine.Run(until) }
+
+// deliver routes one message. Self-sends are local procedure calls: they
+// are delivered on the next event tick, never fail, and do not count as
+// network messages (reading one's own copy is free in the paper's cost
+// model).
+func (c *SimCluster) deliver(from, to model.ProcID, m wire.Message) {
+	if from == to {
+		if h, ok := c.nodes[to]; ok {
+			c.Engine.After(0, "self-"+wire.Kind(m), func() {
+				h.OnMessage(c.runtimes[to], from, m)
+			})
+		}
+		return
+	}
+	c.Reg.Inc(metrics.CMsgSent, 1)
+	c.Reg.Inc("net.msg.sent."+wire.Kind(m), 1)
+	if to == model.NoProc {
+		// Client sink: local, reliable.
+		if c.OnClientResult != nil {
+			if res, ok := m.(wire.ClientResult); ok {
+				res := res
+				c.Engine.After(0, "client-result", func() { c.OnClientResult(from, res) })
+			}
+		}
+		return
+	}
+	h, ok := c.nodes[to]
+	if !ok {
+		c.Reg.Inc(metrics.CMsgDropped, 1)
+		return
+	}
+	if !c.Topo.Connected(from, to) {
+		c.Reg.Inc(metrics.CMsgDropped, 1)
+		return
+	}
+	if p := c.Topo.DropProb(); p > 0 && c.Engine.Rand().Float64() < p {
+		c.Reg.Inc(metrics.CMsgDropped, 1)
+		return
+	}
+	lat := c.Topo.Latency(from, to)
+	c.Engine.After(lat, "deliver-"+wire.Kind(m), func() {
+		if c.DropInFlight && !c.Topo.Connected(from, to) {
+			c.Reg.Inc(metrics.CMsgDropped, 1)
+			return
+		}
+		c.Reg.Inc(metrics.CMsgDelivered, 1)
+		h.OnMessage(c.runtimes[to], from, m)
+	})
+}
+
+// simRuntime implements Runtime on top of the cluster's engine.
+type simRuntime struct {
+	c       *SimCluster
+	id      model.ProcID
+	rng     *rand.Rand
+	nextTID TimerID
+	timers  map[TimerID]sim.Handle
+}
+
+var _ Runtime = (*simRuntime)(nil)
+
+func (r *simRuntime) ID() model.ProcID      { return r.id }
+func (r *simRuntime) Procs() []model.ProcID { return r.c.Topo.Procs() }
+func (r *simRuntime) Now() time.Duration    { return r.c.Engine.Now() }
+func (r *simRuntime) Rand() *rand.Rand      { return r.rng }
+
+func (r *simRuntime) Metrics() *metrics.Registry { return r.c.Reg }
+
+func (r *simRuntime) Send(to model.ProcID, m wire.Message) {
+	r.c.deliver(r.id, to, m)
+}
+
+func (r *simRuntime) SetTimer(d time.Duration, key any) TimerID {
+	if r.timers == nil {
+		r.timers = make(map[TimerID]sim.Handle)
+	}
+	r.nextTID++
+	id := r.nextTID
+	h := r.c.nodes[r.id]
+	handle := r.c.Engine.After(d, fmt.Sprintf("timer-%v-%v", r.id, key), func() {
+		delete(r.timers, id)
+		h.OnTimer(r, key)
+	})
+	r.timers[id] = handle
+	return id
+}
+
+func (r *simRuntime) CancelTimer(id TimerID) {
+	if h, ok := r.timers[id]; ok {
+		h.Cancel()
+		delete(r.timers, id)
+	}
+}
+
+func (r *simRuntime) Distance(to model.ProcID) time.Duration {
+	return r.c.Topo.Latency(r.id, to)
+}
+
+func (r *simRuntime) Logf(format string, args ...any) {
+	if !r.c.TraceEnabled {
+		return
+	}
+	line := fmt.Sprintf("[%8.3fms %v] %s", float64(r.c.Engine.Now())/float64(time.Millisecond), r.id, fmt.Sprintf(format, args...))
+	if r.c.TraceSink != nil {
+		r.c.TraceSink(line)
+	} else {
+		fmt.Println(line)
+	}
+}

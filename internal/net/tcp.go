@@ -1,0 +1,393 @@
+package net
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	stdnet "net"
+	"sync"
+	"time"
+
+	"github.com/virtualpartitions/vp/internal/metrics"
+	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/wire"
+)
+
+// TCPNode hosts one Handler in its own process and exchanges
+// length-prefixed gob envelopes with its peers over TCP. Message loss on
+// broken connections is simply an omission failure, which the protocol
+// tolerates by design — the transport never retries on behalf of the
+// protocol.
+//
+// Clients connect to the same port, send a wire.ClientTxn envelope (From
+// = model.NoProc) and receive wire.ClientResult envelopes back on the
+// same connection, matched by tag.
+type TCPNode struct {
+	id      model.ProcID
+	handler Handler
+	addrs   map[model.ProcID]string
+	reg     *metrics.Registry
+	start   time.Time
+
+	listener stdnet.Listener
+	mbox     chan rtEvent
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+	stopped  chan struct{}
+
+	connMu   sync.Mutex
+	conns    map[model.ProcID]*peerConn
+	accepted map[stdnet.Conn]struct{}
+
+	clientMu sync.Mutex
+	clients  map[uint64]stdnet.Conn // txn tag -> submitting client conn
+
+	tmu    sync.Mutex
+	nextT  TimerID
+	timers map[TimerID]*time.Timer
+	rng    *rand.Rand
+}
+
+type peerConn struct {
+	conn stdnet.Conn
+	out  chan []byte
+}
+
+// NewTCPNode creates a node that will serve as processor id, reachable at
+// addrs[id], with peers at the remaining addresses.
+func NewTCPNode(id model.ProcID, addrs map[model.ProcID]string, h Handler) *TCPNode {
+	if _, ok := addrs[id]; !ok {
+		panic(fmt.Sprintf("net: no address for own id %v", id))
+	}
+	return &TCPNode{
+		id:       id,
+		handler:  h,
+		addrs:    addrs,
+		reg:      metrics.NewRegistry(),
+		start:    time.Now(),
+		mbox:     make(chan rtEvent, 4096),
+		stopped:  make(chan struct{}),
+		conns:    make(map[model.ProcID]*peerConn),
+		accepted: make(map[stdnet.Conn]struct{}),
+		clients:  make(map[uint64]stdnet.Conn),
+		timers:   make(map[TimerID]*time.Timer),
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// Metrics returns the node's registry.
+func (n *TCPNode) Metrics() *metrics.Registry { return n.reg }
+
+// Addr returns the listen address after Run has started.
+func (n *TCPNode) Addr() string {
+	if n.listener == nil {
+		return ""
+	}
+	return n.listener.Addr().String()
+}
+
+// Run starts the listener and the node's event loop. It returns once the
+// node is serving; call Stop to shut down.
+func (n *TCPNode) Run() error {
+	l, err := stdnet.Listen("tcp", n.addrs[n.id])
+	if err != nil {
+		return fmt.Errorf("net: listen %s: %w", n.addrs[n.id], err)
+	}
+	n.listener = l
+	n.handler.Init(n)
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.eventLoop()
+	return nil
+}
+
+// Stop shuts the node down and waits for its goroutines.
+func (n *TCPNode) Stop() {
+	n.stopOnce.Do(func() {
+		close(n.stopped)
+		if n.listener != nil {
+			n.listener.Close()
+		}
+		n.connMu.Lock()
+		for _, pc := range n.conns {
+			pc.conn.Close()
+		}
+		for conn := range n.accepted {
+			conn.Close()
+		}
+		n.connMu.Unlock()
+		close(n.mbox)
+	})
+	n.wg.Wait()
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			return
+		}
+		n.connMu.Lock()
+		n.accepted[conn] = struct{}{}
+		n.connMu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *TCPNode) readLoop(conn stdnet.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.connMu.Lock()
+		delete(n.accepted, conn)
+		n.connMu.Unlock()
+	}()
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		env, err := wire.Decode(frame)
+		if err != nil {
+			return // corrupted peer; drop the connection
+		}
+		if ct, ok := env.Msg.(wire.ClientTxn); ok && env.From == model.NoProc {
+			n.clientMu.Lock()
+			n.clients[ct.Tag] = conn
+			n.clientMu.Unlock()
+		}
+		n.enqueue(rtEvent{from: env.From, msg: env.Msg})
+	}
+}
+
+func (n *TCPNode) eventLoop() {
+	defer n.wg.Done()
+	for ev := range n.mbox {
+		if ev.timer != nil {
+			n.tmu.Lock()
+			_, live := n.timers[ev.tid]
+			delete(n.timers, ev.tid)
+			n.tmu.Unlock()
+			if live {
+				n.handler.OnTimer(n, ev.timer)
+			}
+			continue
+		}
+		n.handler.OnMessage(n, ev.from, ev.msg)
+	}
+}
+
+func (n *TCPNode) enqueue(ev rtEvent) {
+	defer func() { recover() }() //nolint:errcheck // mailbox may close during shutdown
+	select {
+	case <-n.stopped:
+	case n.mbox <- ev:
+	}
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(lenBuf[:])
+	if size > 16<<20 {
+		return nil, errors.New("net: oversized frame")
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func writeFrame(w io.Writer, b []byte) error {
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(b)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func (n *TCPNode) peer(to model.ProcID) *peerConn {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	if pc, ok := n.conns[to]; ok {
+		return pc
+	}
+	addr, ok := n.addrs[to]
+	if !ok {
+		return nil
+	}
+	conn, err := stdnet.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil // omission failure; the protocol copes
+	}
+	pc := &peerConn{conn: conn, out: make(chan []byte, 1024)}
+	n.conns[to] = pc
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		defer func() {
+			conn.Close()
+			n.connMu.Lock()
+			if n.conns[to] == pc {
+				delete(n.conns, to)
+			}
+			n.connMu.Unlock()
+		}()
+		// Senders never block (Send drops on a full buffer), so exiting
+		// without draining is safe.
+		for {
+			select {
+			case frame := <-pc.out:
+				if err := writeFrame(conn, frame); err != nil {
+					return
+				}
+			case <-n.stopped:
+				return
+			}
+		}
+	}()
+	return pc
+}
+
+var _ Runtime = (*TCPNode)(nil)
+
+// ID implements Runtime.
+func (n *TCPNode) ID() model.ProcID { return n.id }
+
+// Procs implements Runtime: all configured processors, ascending.
+func (n *TCPNode) Procs() []model.ProcID {
+	out := make([]model.ProcID, 0, len(n.addrs))
+	for p := range n.addrs {
+		out = append(out, p)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Now implements Runtime.
+func (n *TCPNode) Now() time.Duration { return time.Since(n.start) }
+
+// Rand implements Runtime.
+func (n *TCPNode) Rand() *rand.Rand { return n.rng }
+
+// Send implements Runtime.
+func (n *TCPNode) Send(to model.ProcID, m wire.Message) {
+	if to == n.id {
+		n.enqueue(rtEvent{from: n.id, msg: m}) // local, free
+		return
+	}
+	n.reg.Inc(metrics.CMsgSent, 1)
+	n.reg.Inc("net.msg.sent."+wire.Kind(m), 1)
+	if to == model.NoProc {
+		res, ok := m.(wire.ClientResult)
+		if !ok {
+			return
+		}
+		n.clientMu.Lock()
+		conn := n.clients[res.Tag]
+		delete(n.clients, res.Tag)
+		n.clientMu.Unlock()
+		if conn == nil {
+			return
+		}
+		if frame, err := wire.Encode(wire.Envelope{From: n.id, To: model.NoProc, Msg: m}); err == nil {
+			writeFrame(conn, frame) //nolint:errcheck // client gone = omission
+		}
+		return
+	}
+	pc := n.peer(to)
+	if pc == nil {
+		n.reg.Inc(metrics.CMsgDropped, 1)
+		return
+	}
+	frame, err := wire.Encode(wire.Envelope{From: n.id, To: to, Msg: m})
+	if err != nil {
+		n.reg.Inc(metrics.CMsgDropped, 1)
+		return
+	}
+	select {
+	case <-n.stopped:
+	case pc.out <- frame:
+	default:
+		n.reg.Inc(metrics.CMsgDropped, 1) // backpressure = performance failure
+	}
+}
+
+// SetTimer implements Runtime.
+func (n *TCPNode) SetTimer(d time.Duration, key any) TimerID {
+	n.tmu.Lock()
+	n.nextT++
+	id := n.nextT
+	n.timers[id] = time.AfterFunc(d, func() {
+		n.enqueue(rtEvent{timer: key, tid: id})
+	})
+	n.tmu.Unlock()
+	return id
+}
+
+// CancelTimer implements Runtime.
+func (n *TCPNode) CancelTimer(id TimerID) {
+	n.tmu.Lock()
+	if t, ok := n.timers[id]; ok {
+		t.Stop()
+		delete(n.timers, id)
+	}
+	n.tmu.Unlock()
+}
+
+// Distance implements Runtime. Real deployments could measure RTTs; the
+// TCP transport reports a uniform distance, which makes "nearest copy"
+// degrade to "any local-first copy" (self distance is still 0).
+func (n *TCPNode) Distance(to model.ProcID) time.Duration {
+	if to == n.id {
+		return 0
+	}
+	return time.Millisecond
+}
+
+// Metrics implements Runtime.
+func (n *TCPNode) Logf(format string, args ...any) {}
+
+// SubmitTCP sends a transaction to a node at addr and waits for its
+// result. It is the client side of the TCP transport, used by vpctl.
+func SubmitTCP(addr string, t wire.ClientTxn, timeout time.Duration) (wire.ClientResult, error) {
+	conn, err := stdnet.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return wire.ClientResult{}, err
+	}
+	defer conn.Close()
+	frame, err := wire.Encode(wire.Envelope{From: model.NoProc, To: model.NoProc, Msg: t})
+	if err != nil {
+		return wire.ClientResult{}, err
+	}
+	conn.SetDeadline(time.Now().Add(timeout)) //nolint:errcheck
+	if err := writeFrame(conn, frame); err != nil {
+		return wire.ClientResult{}, err
+	}
+	for {
+		raw, err := readFrame(conn)
+		if err != nil {
+			return wire.ClientResult{}, err
+		}
+		env, err := wire.Decode(raw)
+		if err != nil {
+			return wire.ClientResult{}, err
+		}
+		if res, ok := env.Msg.(wire.ClientResult); ok && res.Tag == t.Tag {
+			return res, nil
+		}
+	}
+}

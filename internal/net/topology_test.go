@@ -1,0 +1,155 @@
+package net
+
+import (
+	"testing"
+	"time"
+
+	"github.com/virtualpartitions/vp/internal/model"
+)
+
+func TestTopologyFullMesh(t *testing.T) {
+	topo := NewTopology(4, time.Millisecond)
+	for _, a := range topo.Procs() {
+		for _, b := range topo.Procs() {
+			if !topo.Connected(a, b) {
+				t.Fatalf("%v-%v should be connected in a full mesh", a, b)
+			}
+		}
+	}
+	if topo.N() != 4 || len(topo.Procs()) != 4 {
+		t.Fatal("wrong size")
+	}
+}
+
+func TestTopologySelfAlwaysConnected(t *testing.T) {
+	topo := NewTopology(3, time.Millisecond)
+	topo.Crash(2)
+	if !topo.Connected(2, 2) {
+		t.Fatal("self-communication must survive a crash (property S2)")
+	}
+	topo.SetLink(2, 2, false) // must be ignored
+	if !topo.Connected(2, 2) {
+		t.Fatal("SetLink must not disconnect a node from itself")
+	}
+	if topo.Latency(2, 2) != 0 {
+		t.Fatal("self latency should be zero")
+	}
+}
+
+// TestNonTransitiveGraph builds the paper's Figure 1: A–C and B–C up,
+// A–B down.
+func TestNonTransitiveGraph(t *testing.T) {
+	topo := NewTopology(3, time.Millisecond)
+	const a, b, c = 1, 2, 3
+	topo.SetLink(a, b, false)
+	if topo.Connected(a, b) {
+		t.Fatal("A-B should be down")
+	}
+	if !topo.Connected(a, c) || !topo.Connected(b, c) {
+		t.Fatal("A-C and B-C should be up")
+	}
+	nb := topo.Neighbors(c)
+	if !nb.Equal(model.NewProcSet(a, b, c)) {
+		t.Fatalf("Neighbors(C) = %v", nb)
+	}
+	if topo.Cliques() != nil {
+		t.Fatal("non-transitive graph has no clique decomposition")
+	}
+}
+
+func TestPartitionAndCliques(t *testing.T) {
+	topo := NewTopology(5, time.Millisecond)
+	topo.Partition([]model.ProcID{1, 2}, []model.ProcID{3, 4})
+	if topo.Connected(1, 3) || topo.Connected(2, 4) {
+		t.Fatal("cross-partition links should be down")
+	}
+	if !topo.Connected(1, 2) || !topo.Connected(3, 4) {
+		t.Fatal("intra-partition links should be up")
+	}
+	if topo.Connected(5, 1) || topo.Connected(5, 3) {
+		t.Fatal("unlisted processor should be isolated")
+	}
+	cl := topo.Cliques()
+	if len(cl) != 3 {
+		t.Fatalf("Cliques = %v", cl)
+	}
+	sizes := map[int]int{}
+	for _, c := range cl {
+		sizes[c.Len()]++
+	}
+	if sizes[2] != 2 || sizes[1] != 1 {
+		t.Fatalf("clique sizes wrong: %v", cl)
+	}
+}
+
+func TestPartitionDuplicatePanics(t *testing.T) {
+	topo := NewTopology(3, time.Millisecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for duplicate group member")
+		}
+	}()
+	topo.Partition([]model.ProcID{1, 2}, []model.ProcID{2, 3})
+}
+
+func TestCrashAndRecover(t *testing.T) {
+	topo := NewTopology(3, time.Millisecond)
+	topo.Crash(1)
+	if topo.Connected(1, 2) || topo.Connected(1, 3) {
+		t.Fatal("crashed node should be isolated")
+	}
+	if !topo.Connected(2, 3) {
+		t.Fatal("crash of 1 should not affect 2-3")
+	}
+	topo.Recover(1)
+	if !topo.Connected(1, 2) || !topo.Connected(1, 3) {
+		t.Fatal("recover should reconnect")
+	}
+}
+
+func TestLatencyOverride(t *testing.T) {
+	topo := NewTopology(3, time.Millisecond)
+	if topo.Latency(1, 2) != time.Millisecond {
+		t.Fatal("base latency wrong")
+	}
+	topo.SetLatency(1, 2, 5*time.Millisecond)
+	if topo.Latency(1, 2) != 5*time.Millisecond || topo.Latency(2, 1) != 5*time.Millisecond {
+		t.Fatal("latency override should be symmetric")
+	}
+	if topo.Latency(1, 3) != time.Millisecond {
+		t.Fatal("other links unaffected")
+	}
+}
+
+func TestDropProb(t *testing.T) {
+	topo := NewTopology(2, time.Millisecond)
+	if topo.DropProb() != 0 {
+		t.Fatal("default drop prob should be 0")
+	}
+	topo.SetDropProb(0.5)
+	if topo.DropProb() != 0.5 {
+		t.Fatal("SetDropProb did not stick")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range prob")
+		}
+	}()
+	topo.SetDropProb(1.5)
+}
+
+func TestTopologyValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero nodes", func() { NewTopology(0, time.Millisecond) })
+	mustPanic("zero latency", func() { NewTopology(2, 0) })
+	topo := NewTopology(2, time.Millisecond)
+	mustPanic("out of range", func() { topo.Connected(1, 9) })
+	mustPanic("bad latency", func() { topo.SetLatency(1, 2, 0) })
+}

@@ -1,0 +1,255 @@
+package node
+
+import (
+	"github.com/virtualpartitions/vp/internal/durable"
+	"github.com/virtualpartitions/vp/internal/locks"
+	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/net"
+	"github.com/virtualpartitions/vp/internal/onecopy"
+	"github.com/virtualpartitions/vp/internal/store"
+	"github.com/virtualpartitions/vp/internal/wire"
+)
+
+// Base is the protocol-independent part of a replicated-data node. A
+// concrete node (the VP protocol node, a baseline node) embeds or wraps a
+// Base and routes the transaction-processing messages to it.
+type Base struct {
+	ID    model.ProcID
+	Cfg   Config
+	Cat   *model.Catalog
+	Strat Strategy
+	Store *store.Store
+	Locks *locks.Manager
+	// Hist, when non-nil, receives a record per finished transaction for
+	// the one-copy serializability checker.
+	Hist *onecopy.History
+	// Journal, when non-nil, receives prepared writes and commit
+	// decisions for crash-restart durability (see internal/durable).
+	Journal durable.Journal
+
+	// --- server side ---
+	waiting  map[lockKey]pendingLock
+	deferred []deferredAccess
+	prepared map[model.TxnID]*preparedTxn
+	activity map[model.TxnID]int64 // last grant/stage, ns; for lease sweep
+
+	// --- coordinator side ---
+	active map[model.TxnID]*txn
+	seq    uint64
+	// resumed decisions restored from the journal, re-driven by InitBase.
+	resumed map[model.TxnID]durable.DecideRec
+}
+
+type lockKey struct {
+	txn model.TxnID
+	obj model.ObjectID
+}
+
+type pendingLock struct {
+	from model.ProcID
+	req  wire.LockReq
+}
+
+type deferredAccess struct {
+	from model.ProcID
+	req  wire.LockReq
+}
+
+type preparedTxn struct {
+	coord  model.ProcID
+	writes []wire.ObjWrite
+}
+
+// timer keys
+type opTimeout struct {
+	txn model.TxnID
+	op  int
+}
+type voteTimeout struct{ txn model.TxnID }
+type decideRetry struct{ txn model.TxnID }
+type leaseSweep struct{}
+
+// NewBase constructs the shared node machinery for processor id.
+func NewBase(id model.ProcID, cfg Config, cat *model.Catalog, strat Strategy, hist *onecopy.History) *Base {
+	cfg = cfg.WithDefaults()
+	return &Base{
+		ID:       id,
+		Cfg:      cfg,
+		Cat:      cat,
+		Strat:    strat,
+		Store:    store.New(id, cat, cfg.InitValue, cfg.LogCap),
+		Locks:    locks.NewManager(),
+		Hist:     hist,
+		waiting:  make(map[lockKey]pendingLock),
+		prepared: make(map[model.TxnID]*preparedTxn),
+		activity: make(map[model.TxnID]int64),
+		active:   make(map[model.TxnID]*txn),
+	}
+}
+
+// InitBase arms the lock-lease sweeper and resumes any journaled commit
+// decisions that were not fully acknowledged before a crash. Concrete
+// nodes call it from their Init.
+func (b *Base) InitBase(rt net.Runtime) {
+	rt.SetTimer(b.Cfg.LockTimeout, leaseSweep{})
+	for id, rec := range b.resumed {
+		t := &txn{
+			id:          id,
+			phase:       phaseDeciding,
+			commit:      rec.Commit,
+			pendingAcks: model.NewProcSet(rec.Pending...),
+		}
+		b.active[id] = t
+		for _, p := range t.pendingAcks.Sorted() {
+			rt.Send(p, wire.Decide{Txn: id, Commit: rec.Commit})
+		}
+		t.retryTimer = rt.SetTimer(b.Cfg.DecideRetry, decideRetry{txn: id})
+	}
+	b.resumed = nil
+}
+
+// RestoreDurable seeds the node from journaled state before it starts:
+// staged participant writes become prepared transactions again, and
+// unacknowledged coordinator decisions resume retransmission. The store
+// must be restored separately (Store.Restore).
+func (b *Base) RestoreDurable(st *durable.State) {
+	for txnID, objs := range st.Staged {
+		writes := make([]wire.ObjWrite, 0, len(objs))
+		objSet := model.NewObjSet()
+		for o := range objs {
+			objSet.Add(o)
+		}
+		for _, o := range objSet.Sorted() {
+			w := objs[o]
+			writes = append(writes, wire.ObjWrite{Obj: o, Val: w.Val, Ver: w.Ver, MissedBy: w.MissedBy})
+		}
+		b.prepared[txnID] = &preparedTxn{writes: writes}
+		// The participant re-holds the exclusive locks its promise
+		// implies, so nothing else can touch the copies before Decide.
+		for _, o := range objSet.Sorted() {
+			b.Locks.Acquire(o, txnID, model.LockExclusive)
+		}
+	}
+	if b.resumed == nil {
+		b.resumed = make(map[model.TxnID]durable.DecideRec)
+	}
+	for id, rec := range st.Decides {
+		b.resumed[id] = rec
+	}
+}
+
+// HandleMessage processes a transaction-related message. It returns
+// false when the message is not transaction traffic, so the caller can
+// route it elsewhere (the VP management protocol).
+func (b *Base) HandleMessage(rt net.Runtime, from model.ProcID, m wire.Message) bool {
+	switch msg := m.(type) {
+	case wire.ClientTxn:
+		b.startTxn(rt, msg)
+	case wire.LockReq:
+		b.handleLockReq(rt, from, msg)
+	case wire.LockResp:
+		b.handleLockResp(rt, from, msg)
+	case wire.Prepare:
+		b.handlePrepare(rt, from, msg)
+	case wire.Vote:
+		b.handleVote(rt, from, msg)
+	case wire.Decide:
+		b.handleDecide(rt, from, msg)
+	case wire.DecideAck:
+		b.handleDecideAck(rt, from, msg)
+	case wire.Release:
+		b.handleRelease(rt, from, msg)
+	default:
+		return false
+	}
+	return true
+}
+
+// HandleTimer processes a transaction-related timer. It returns false
+// for keys it does not own.
+func (b *Base) HandleTimer(rt net.Runtime, key any) bool {
+	switch k := key.(type) {
+	case opTimeout:
+		b.handleOpTimeout(rt, k)
+	case voteTimeout:
+		b.handleVoteTimeout(rt, k)
+	case decideRetry:
+		b.handleDecideRetry(rt, k)
+	case leaseSweep:
+		b.sweepLeases(rt)
+		rt.SetTimer(b.Cfg.LockTimeout, leaseSweep{})
+	default:
+		return false
+	}
+	return true
+}
+
+// EpochChanged aborts everything invalidated by a partition change at
+// this node (rule R4): local transactions this node coordinates that
+// have not yet reached a commit decision, and locks held here on behalf
+// of remote transactions that are not prepared. Prepared transactions
+// keep their locks and staged writes — they resolved their fate with a
+// majority of votes in the old partition and will receive a
+// (retransmitted) Decide; rule R5 recovery waits for them (see
+// wire.RecoverRead).
+func (b *Base) EpochChanged(rt net.Runtime, reason string) {
+	// Coordinator side: abort undecided transactions.
+	ids := make([]model.TxnID, 0, len(b.active))
+	for id := range b.active {
+		ids = append(ids, id)
+	}
+	sortTxnIDs(ids)
+	for _, id := range ids {
+		t := b.active[id]
+		if t.phase == phaseDeciding || t.phase == phaseDone {
+			continue // decision already made; keep retransmitting it
+		}
+		b.abortTxn(rt, t, reason)
+	}
+	// Server side: release locks of non-prepared transactions.
+	for _, id := range b.Locks.Txns() {
+		if _, isPrepared := b.prepared[id]; isPrepared {
+			continue
+		}
+		b.Store.DropAllStagedBy(id)
+		b.processGrants(rt, b.Locks.ReleaseAll(id))
+		delete(b.activity, id)
+	}
+	// Deferred accesses belong to the old partition: refuse them.
+	for _, d := range b.deferred {
+		rt.Send(d.from, wire.LockResp{Txn: d.req.Txn, Obj: d.req.Obj, Status: wire.LockWrongEpoch})
+	}
+	b.deferred = nil
+	// Queued waiters were dropped by ReleaseAll above; the waiting map
+	// may still hold entries for prepared... no: prepared txns hold, not
+	// wait. Clear any stragglers for released txns.
+	for k := range b.waiting {
+		if _, isPrepared := b.prepared[k.txn]; !isPrepared {
+			delete(b.waiting, k)
+		}
+	}
+}
+
+// HasPrepared reports whether any transaction is prepared-but-undecided
+// at this node with a staged write on obj. R5 recovery must not read
+// such a copy (§6 condition (3)).
+func (b *Base) HasPrepared(obj model.ObjectID) bool {
+	_, ok := b.Store.StagedBy(obj)
+	return ok
+}
+
+// ActiveTxns returns the number of transactions this node currently
+// coordinates (for tests and introspection).
+func (b *Base) ActiveTxns() int { return len(b.active) }
+
+// PreparedTxns returns the number of prepared-but-undecided transactions
+// at this node's server side.
+func (b *Base) PreparedTxns() int { return len(b.prepared) }
+
+func sortTxnIDs(ids []model.TxnID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j].Less(ids[j-1]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

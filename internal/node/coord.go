@@ -1,0 +1,586 @@
+package node
+
+import (
+	"fmt"
+
+	"github.com/virtualpartitions/vp/internal/metrics"
+	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/net"
+	"github.com/virtualpartitions/vp/internal/onecopy"
+	"github.com/virtualpartitions/vp/internal/wire"
+)
+
+// This file is the coordinator side of a node: it executes a submitted
+// transaction's operations sequentially (Logical-Read / Logical-Write of
+// Figures 10–11, generalized to access plans), buffers writes, and runs
+// two-phase commit over the participants.
+
+type txnPhase uint8
+
+const (
+	phaseRunning txnPhase = iota
+	phaseVoting
+	phaseDeciding
+	phaseDone
+)
+
+type txn struct {
+	id    model.TxnID
+	tag   uint64
+	epoch Epoch
+	ops   []wire.Op
+	opIdx int
+	phase txnPhase
+
+	regs      map[model.ObjectID]model.Value   // register file: last read value
+	readVers  map[model.ObjectID]model.Version // version observed per read
+	writes    map[model.ObjectID]model.Value   // buffered logical writes
+	writeVers map[model.ObjectID]model.Version // version assigned per write
+	maxSeen   map[model.ObjectID]model.Version // max version among locked copies
+
+	// current operation state
+	plan      Plan
+	planObj   model.ObjectID
+	planMode  model.LockMode
+	got       map[model.ProcID]wire.LockResp
+	opTimer   net.TimerID
+	escalated bool
+
+	// participants
+	sParts     model.ProcSet                     // procs granted any shared lock
+	writeParts map[model.ObjectID][]model.ProcID // granted write targets per object
+	missedBy   map[model.ObjectID][]model.ProcID // write targets that never granted
+
+	// two-phase commit
+	voteFrom    model.ProcSet
+	votesNeeded model.ProcSet
+	voteTimer   net.TimerID
+	commit      bool
+	pendingAcks model.ProcSet
+	retryTimer  net.TimerID
+	// prepare payload per participant, retained so a weak-R4 migration
+	// can re-issue it under the new epoch
+	prepares map[model.ProcID][]wire.ObjWrite
+}
+
+func (b *Base) startTxn(rt net.Runtime, ct wire.ClientTxn) {
+	deny := func(reason string) {
+		rt.Metrics().Inc(metrics.CTxnDenied, 1)
+		rt.Send(model.NoProc, wire.ClientResult{
+			Tag: ct.Tag, Denied: true, Reason: reason,
+		})
+	}
+	if err := validateOps(ct.Ops); err != nil {
+		deny(err.Error())
+		return
+	}
+	epoch, err := b.Strat.Begin(rt)
+	if err != nil {
+		deny(err.Error())
+		return
+	}
+	b.seq++
+	t := &txn{
+		id:         model.TxnID{Start: int64(rt.Now()), P: b.ID, Seq: b.seq},
+		tag:        ct.Tag,
+		epoch:      epoch,
+		ops:        ct.Ops,
+		regs:       make(map[model.ObjectID]model.Value),
+		readVers:   make(map[model.ObjectID]model.Version),
+		writes:     make(map[model.ObjectID]model.Value),
+		writeVers:  make(map[model.ObjectID]model.Version),
+		maxSeen:    make(map[model.ObjectID]model.Version),
+		sParts:     model.NewProcSet(),
+		writeParts: make(map[model.ObjectID][]model.ProcID),
+		missedBy:   make(map[model.ObjectID][]model.ProcID),
+	}
+	b.active[t.id] = t
+	b.step(rt, t)
+}
+
+// validateOps rejects specifications whose writes reference registers
+// never read (the wire format has no way to evaluate them).
+func validateOps(ops []wire.Op) error {
+	if len(ops) == 0 {
+		return fmt.Errorf("empty transaction")
+	}
+	read := model.NewObjSet()
+	for i, op := range ops {
+		switch op.Kind {
+		case wire.OpRead:
+			read.Add(op.Obj)
+		case wire.OpWrite:
+			if op.UseSrc && !read.Has(op.Src) {
+				return fmt.Errorf("op %d writes %s from unread register %s", i, op.Obj, op.Src)
+			}
+		default:
+			return fmt.Errorf("op %d has unknown kind %d", i, op.Kind)
+		}
+		if op.Obj == "" {
+			return fmt.Errorf("op %d names no object", i)
+		}
+	}
+	return nil
+}
+
+// step launches the next operation or, when all are done, the commit.
+func (b *Base) step(rt net.Runtime, t *txn) {
+	if t.opIdx >= len(t.ops) {
+		b.beginCommit(rt, t)
+		return
+	}
+	op := t.ops[t.opIdx]
+	var (
+		plan Plan
+		err  error
+		mode model.LockMode
+	)
+	switch op.Kind {
+	case wire.OpRead:
+		rt.Metrics().Inc(metrics.CLogicalRead, 1)
+		plan, err = b.Strat.ReadPlan(rt, op.Obj)
+		mode = model.LockShared
+	case wire.OpWrite:
+		rt.Metrics().Inc(metrics.CLogicalWrite, 1)
+		plan, err = b.Strat.WritePlan(rt, op.Obj)
+		mode = model.LockExclusive
+	}
+	if err != nil {
+		// Rule R1 denial ("signal abort" in Figures 10–11).
+		b.abortTxn(rt, t, "inaccessible: "+err.Error())
+		return
+	}
+	if len(plan.Targets) == 0 {
+		b.abortTxn(rt, t, "empty access plan for "+string(op.Obj))
+		return
+	}
+	t.plan = plan
+	t.planObj = op.Obj
+	t.planMode = mode
+	t.got = make(map[model.ProcID]wire.LockResp)
+	t.escalated = false
+	for _, p := range plan.Targets {
+		rt.Send(p, wire.LockReq{
+			Txn: t.id, Obj: op.Obj, Mode: mode,
+			Epoch: t.epoch.VP, HasEpoch: t.epoch.Has,
+		})
+	}
+	t.opTimer = rt.SetTimer(b.Cfg.LockTimeout, opTimeout{txn: t.id, op: t.opIdx})
+}
+
+func (b *Base) handleLockResp(rt net.Runtime, from model.ProcID, resp wire.LockResp) {
+	t, ok := b.active[resp.Txn]
+	if !ok || t.phase != phaseRunning || resp.Obj != t.planObj {
+		// Straggler grant for a finished, aborted or already-completed
+		// operation: free it fast rather than waiting for the lease
+		// sweep. Scope the release to the object when the transaction is
+		// still alive (it may legitimately hold other locks there).
+		if resp.Status == wire.LockGranted {
+			if ok {
+				rt.Send(from, wire.Release{Txn: resp.Txn, Obj: resp.Obj})
+			} else {
+				rt.Send(from, wire.Release{Txn: resp.Txn})
+			}
+		}
+		return
+	}
+	if _, dup := t.got[from]; dup {
+		return
+	}
+	// A response addressed to an epoch the transaction no longer runs in
+	// is stale (weak-R4 migration re-issued the request): ignore it.
+	stale := resp.HasEpoch != t.epoch.Has || (resp.HasEpoch && resp.Epoch != t.epoch.VP)
+	switch resp.Status {
+	case wire.LockDenied:
+		b.abortTxn(rt, t, "lock denied (wait-die)")
+		return
+	case wire.LockWrongEpoch:
+		if stale {
+			return
+		}
+		if b.inTransition(rt) {
+			// This node is between partitions; the refusal may predate a
+			// migration that is about to happen. The operation timeout
+			// is the backstop if it does not.
+			return
+		}
+		b.abortTxn(rt, t, "physical access refused: different partition")
+		return
+	}
+	inPlan := false
+	for _, p := range t.plan.Targets {
+		if p == from {
+			inPlan = true
+			break
+		}
+	}
+	if !inPlan {
+		return
+	}
+	t.got[from] = resp
+	if len(t.got) == len(t.plan.Targets) {
+		b.completeOp(rt, t)
+		return
+	}
+	if t.plan.EarlyQuorum && b.grantedWeight(t) >= t.plan.MinWeight {
+		b.completeOp(rt, t)
+	}
+}
+
+// grantedWeight sums the placement weights of the targets that granted
+// the current operation.
+func (b *Base) grantedWeight(t *txn) int {
+	pl := b.Cat.Placement(t.planObj)
+	w := 0
+	for _, p := range t.plan.Targets {
+		if _, ok := t.got[p]; ok {
+			w += pl.Weight(p)
+		}
+	}
+	return w
+}
+
+func (b *Base) handleOpTimeout(rt net.Runtime, k opTimeout) {
+	t, ok := b.active[k.txn]
+	if !ok || t.phase != phaseRunning || t.opIdx != k.op {
+		return
+	}
+	// Tally granted weight against the plan's minimum.
+	pl := b.Cat.Placement(t.planObj)
+	granted := 0
+	var suspects []model.ProcID
+	for _, p := range t.plan.Targets {
+		if _, ok := t.got[p]; ok {
+			granted += pl.Weight(p)
+		} else {
+			suspects = append(suspects, p)
+		}
+	}
+	if len(suspects) > 0 {
+		// Report unresponsive processors even when the plan can proceed
+		// with the granted majority: the missing-writes strategy uses
+		// this to route later writes around them. (For all-of plans any
+		// suspect implies granted < MinWeight, so the VP strategy only
+		// ever sees this on its abort path, as in Figures 10–11.)
+		b.Strat.OnNoResponse(rt, suspects)
+	}
+	if granted >= t.plan.MinWeight && granted > 0 {
+		b.completeOp(rt, t)
+		return
+	}
+	b.abortTxn(rt, t, fmt.Sprintf("no response from %v", suspects))
+}
+
+// completeOp finishes the current operation with the responses in t.got
+// (all targets, or a MinWeight-satisfying subset on timeout).
+func (b *Base) completeOp(rt net.Runtime, t *txn) {
+	rt.CancelTimer(t.opTimer)
+	op := t.ops[t.opIdx]
+	// Track the max version seen and the granted target list.
+	var maxResp wire.LockResp
+	var grantedProcs []model.ProcID
+	first := true
+	for _, p := range t.plan.Targets {
+		resp, ok := t.got[p]
+		if !ok {
+			continue
+		}
+		grantedProcs = append(grantedProcs, p)
+		if first || maxResp.Ver.Less(resp.Ver) {
+			maxResp = resp
+			first = false
+		}
+	}
+	if cur, ok := t.maxSeen[op.Obj]; !ok || cur.Less(maxResp.Ver) {
+		t.maxSeen[op.Obj] = maxResp.Ver
+	}
+	switch op.Kind {
+	case wire.OpRead:
+		if !t.escalated {
+			if extra := b.Strat.EscalateRead(rt, op.Obj, t.got); len(extra) > 0 {
+				t.escalated = true
+				added := 0
+				for _, p := range extra {
+					already := false
+					for _, q := range t.plan.Targets {
+						if q == p {
+							already = true
+							break
+						}
+					}
+					if already {
+						continue
+					}
+					t.plan.Targets = append(t.plan.Targets, p)
+					pl := b.Cat.Placement(op.Obj)
+					t.plan.MinWeight += pl.Weight(p)
+					rt.Send(p, wire.LockReq{
+						Txn: t.id, Obj: op.Obj, Mode: model.LockShared,
+						Epoch: t.epoch.VP, HasEpoch: t.epoch.Has,
+					})
+					added++
+				}
+				if added > 0 {
+					t.opTimer = rt.SetTimer(b.Cfg.LockTimeout, opTimeout{txn: t.id, op: t.opIdx})
+					return
+				}
+			}
+		}
+		for _, p := range grantedProcs {
+			t.sParts.Add(p)
+		}
+		for _, p := range t.plan.Targets {
+			if _, ok := t.got[p]; !ok {
+				rt.Send(p, wire.Release{Txn: t.id, Obj: op.Obj})
+			}
+		}
+		t.regs[op.Obj] = maxResp.Val
+		t.readVers[op.Obj] = maxResp.Ver
+	case wire.OpWrite:
+		val := model.Value(op.Const)
+		if op.UseSrc {
+			val += t.regs[op.Src]
+		}
+		t.writes[op.Obj] = val
+		t.writeParts[op.Obj] = grantedProcs
+		var missed []model.ProcID
+		for _, p := range t.plan.Targets {
+			if _, ok := t.got[p]; !ok {
+				missed = append(missed, p)
+				// Free whatever that target may grant later.
+				rt.Send(p, wire.Release{Txn: t.id, Obj: op.Obj})
+			}
+		}
+		t.missedBy[op.Obj] = missed
+	}
+	t.opIdx++
+	b.step(rt, t)
+}
+
+func (b *Base) beginCommit(rt net.Runtime, t *txn) {
+	if len(t.writes) == 0 {
+		// Read-only: release shared locks and report. No 2PC needed —
+		// strict 2PL already placed the reads correctly.
+		t.phase = phaseDone
+		for _, p := range t.sParts.Sorted() {
+			rt.Send(p, wire.Release{Txn: t.id})
+		}
+		b.finish(rt, t, true, "")
+		return
+	}
+	if !b.Strat.StillValid(rt, t.epoch) {
+		b.abortTxn(rt, t, "partition changed before commit")
+		return
+	}
+	// Assign versions and group writes per participant.
+	deltaMode := false
+	if dw, ok := b.Strat.(DeltaWriter); ok && dw.UseDeltaWrites() {
+		deltaMode = true
+	}
+	perProc := make(map[model.ProcID][]wire.ObjWrite)
+	objs := model.NewObjSet()
+	for o := range t.writes {
+		objs.Add(o)
+	}
+	for _, o := range objs.Sorted() {
+		ver := model.Version{
+			Date:   t.epoch.VP, // zero for partition-free protocols
+			Ctr:    t.maxSeen[o].Ctr + 1,
+			Writer: t.id,
+		}
+		t.writeVers[o] = ver
+		val := t.writes[o]
+		if deltaMode {
+			// Component increment: the written value relative to what
+			// the transaction read (read-modify-write required).
+			base, read := t.regs[o]
+			if !read {
+				b.abortTxn(rt, t, "mergeable write of "+string(o)+" without a prior read")
+				return
+			}
+			val -= base
+		}
+		for _, p := range t.writeParts[o] {
+			perProc[p] = append(perProc[p], wire.ObjWrite{
+				Obj: o, Val: val, Ver: ver, Delta: deltaMode, MissedBy: t.missedBy[o],
+			})
+		}
+	}
+	t.phase = phaseVoting
+	t.voteFrom = model.NewProcSet()
+	t.votesNeeded = model.NewProcSet()
+	t.prepares = perProc
+	for p := range perProc {
+		t.votesNeeded.Add(p)
+	}
+	for _, p := range t.votesNeeded.Sorted() {
+		rt.Send(p, wire.Prepare{
+			Txn: t.id, Epoch: t.epoch.VP, HasEpoch: t.epoch.Has,
+			Writes: perProc[p],
+		})
+	}
+	t.voteTimer = rt.SetTimer(b.Cfg.VoteTimeout, voteTimeout{txn: t.id})
+}
+
+func (b *Base) handleVote(rt net.Runtime, from model.ProcID, v wire.Vote) {
+	t, ok := b.active[v.Txn]
+	if !ok || t.phase != phaseVoting || !t.votesNeeded.Has(from) {
+		return
+	}
+	if v.HasEpoch != t.epoch.Has || (v.HasEpoch && v.Epoch != t.epoch.VP) {
+		return // stale vote for a pre-migration prepare
+	}
+	if !v.OK {
+		if b.inTransition(rt) {
+			return // may predate an imminent migration; timeout is the backstop
+		}
+		b.decide(rt, t, false, "participant voted no")
+		return
+	}
+	t.voteFrom.Add(from)
+	if t.voteFrom.Equal(t.votesNeeded) {
+		if !b.Strat.StillValid(rt, t.epoch) {
+			b.decide(rt, t, false, "partition changed during commit")
+			return
+		}
+		b.decide(rt, t, true, "")
+	}
+}
+
+func (b *Base) handleVoteTimeout(rt net.Runtime, k voteTimeout) {
+	t, ok := b.active[k.txn]
+	if !ok || t.phase != phaseVoting {
+		return
+	}
+	b.decide(rt, t, false, "prepare timed out")
+}
+
+// decide fixes the transaction's fate and drives phase two. The decision
+// is retransmitted until every participant acknowledges: a participant
+// that voted yes blocks until it learns the outcome, so the coordinator
+// must keep telling it (across partition heals if necessary).
+func (b *Base) decide(rt net.Runtime, t *txn, commit bool, reason string) {
+	rt.CancelTimer(t.voteTimer)
+	t.phase = phaseDeciding
+	t.commit = commit
+	t.pendingAcks = t.votesNeeded.Clone()
+	if b.Journal != nil {
+		b.Journal.Decide(t.id, commit, t.pendingAcks.Sorted())
+	}
+	// Read-only participants are released outright.
+	for _, p := range t.sParts.Sorted() {
+		if !t.votesNeeded.Has(p) {
+			rt.Send(p, wire.Release{Txn: t.id})
+		}
+	}
+	for _, p := range t.pendingAcks.Sorted() {
+		rt.Send(p, wire.Decide{Txn: t.id, Commit: commit})
+	}
+	if t.pendingAcks.Len() > 0 {
+		t.retryTimer = rt.SetTimer(b.Cfg.DecideRetry, decideRetry{txn: t.id})
+	}
+	b.finish(rt, t, commit, reason)
+}
+
+func (b *Base) handleDecideAck(rt net.Runtime, from model.ProcID, a wire.DecideAck) {
+	t, ok := b.active[a.Txn]
+	if !ok || t.phase != phaseDeciding {
+		return
+	}
+	t.pendingAcks.Remove(from)
+	if t.pendingAcks.Len() == 0 {
+		rt.CancelTimer(t.retryTimer)
+		t.phase = phaseDone
+		delete(b.active, t.id)
+		if b.Journal != nil {
+			b.Journal.DecideDone(t.id)
+		}
+	}
+}
+
+func (b *Base) handleDecideRetry(rt net.Runtime, k decideRetry) {
+	t, ok := b.active[k.txn]
+	if !ok || t.phase != phaseDeciding {
+		return
+	}
+	for _, p := range t.pendingAcks.Sorted() {
+		rt.Send(p, wire.Decide{Txn: t.id, Commit: t.commit})
+	}
+	t.retryTimer = rt.SetTimer(b.Cfg.DecideRetry, decideRetry{txn: t.id})
+}
+
+// abortTxn aborts a transaction that has not yet decided.
+func (b *Base) abortTxn(rt net.Runtime, t *txn, reason string) {
+	rt.CancelTimer(t.opTimer)
+	rt.CancelTimer(t.voteTimer)
+	switch t.phase {
+	case phaseVoting:
+		// Prepares are out: participants may have staged writes. Decide
+		// abort reliably.
+		b.decide(rt, t, false, reason)
+		return
+	case phaseDeciding, phaseDone:
+		return // decision already made
+	}
+	// Running: release everything we touched (best-effort; the lease
+	// sweep covers lost Release messages).
+	t.phase = phaseDone
+	touched := t.sParts.Clone()
+	for _, procs := range t.writeParts {
+		for _, p := range procs {
+			touched.Add(p)
+		}
+	}
+	for _, p := range t.plan.Targets {
+		touched.Add(p)
+	}
+	for _, p := range touched.Sorted() {
+		rt.Send(p, wire.Release{Txn: t.id})
+	}
+	b.finish(rt, t, false, reason)
+}
+
+// finish reports the outcome to the client and the history. For commits
+// with pending acks the txn stays active (retransmitting Decide) but is
+// already reported: the decision is durable.
+func (b *Base) finish(rt net.Runtime, t *txn, committed bool, reason string) {
+	if committed {
+		rt.Metrics().Inc(metrics.CTxnCommit, 1)
+	} else {
+		rt.Metrics().Inc(metrics.CTxnAbort, 1)
+	}
+	if b.Hist != nil {
+		rec := onecopy.TxnRecord{
+			ID:        t.id,
+			Epoch:     t.epoch.VP,
+			Committed: committed,
+			Reads:     make(map[model.ObjectID]model.Version, len(t.readVers)),
+			Writes:    make(map[model.ObjectID]model.Version, len(t.writeVers)),
+		}
+		for o, v := range t.readVers {
+			rec.Reads[o] = v
+		}
+		if committed {
+			for o, v := range t.writeVers {
+				rec.Writes[o] = v
+			}
+		}
+		b.Hist.Record(rec)
+	}
+	var reads []wire.ObjVal
+	if committed {
+		objs := model.NewObjSet()
+		for o := range t.regs {
+			objs.Add(o)
+		}
+		for _, o := range objs.Sorted() {
+			reads = append(reads, wire.ObjVal{Obj: o, Val: t.regs[o]})
+		}
+	}
+	rt.Send(model.NoProc, wire.ClientResult{
+		Tag: t.tag, Txn: t.id, Committed: committed, Reason: reason, Reads: reads,
+	})
+	if t.phase == phaseDone {
+		delete(b.active, t.id)
+	}
+}

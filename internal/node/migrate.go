@@ -1,0 +1,100 @@
+package node
+
+import (
+	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/net"
+	"github.com/virtualpartitions/vp/internal/wire"
+)
+
+// MigrateActive implements the coordinator half of the §6 weakened rule
+// R4: when the processor joins a new virtual partition, a transaction it
+// coordinates may continue executing in the new partition — instead of
+// aborting as plain R4 demands — provided its entire footprint carried
+// over. The canMigrate callback receives the transaction's footprint:
+// every object its operations reference and every processor it has
+// physically touched so far; the caller (the VP strategy) supplies the
+// partition-specific test (§6 conditions (1) and (2); condition (3) is
+// enforced on the recovery side, see core.copyBusy).
+//
+// A migrated transaction adopts newEpoch; outstanding lock requests and
+// prepares are re-issued under the new epoch, and their old-epoch
+// responses are discarded by the epoch echo filter in handleLockResp /
+// handleVote. Non-migratable transactions abort.
+func (b *Base) MigrateActive(rt net.Runtime, newEpoch Epoch,
+	canMigrate func(objs []model.ObjectID, procs model.ProcSet) bool, reason string) {
+
+	ids := make([]model.TxnID, 0, len(b.active))
+	for id := range b.active {
+		ids = append(ids, id)
+	}
+	sortTxnIDs(ids)
+	for _, id := range ids {
+		t := b.active[id]
+		if t.phase == phaseDeciding || t.phase == phaseDone {
+			continue // decision made; retransmission continues regardless
+		}
+		objs, procs := t.footprint()
+		if !canMigrate(objs, procs) {
+			b.abortTxn(rt, t, reason)
+			continue
+		}
+		t.epoch = newEpoch
+		switch t.phase {
+		case phaseRunning:
+			// Re-issue the unanswered requests of the current operation
+			// under the new epoch. Answered ones keep their locks (the
+			// server retained them across the change in weak mode).
+			if t.got != nil && len(t.got) < len(t.plan.Targets) {
+				for _, p := range t.plan.Targets {
+					if _, ok := t.got[p]; !ok {
+						rt.Send(p, wire.LockReq{
+							Txn: t.id, Obj: t.planObj, Mode: t.planMode,
+							Epoch: newEpoch.VP, HasEpoch: newEpoch.Has,
+						})
+					}
+				}
+			}
+		case phaseVoting:
+			// Re-issue prepares to participants that have not voted yet;
+			// already-collected votes stay valid only if they carry the
+			// new epoch, so reset the tally and re-prepare everyone
+			// (duplicate prepares are votes "yes" at prepared servers).
+			t.voteFrom = model.NewProcSet()
+			for _, p := range t.votesNeeded.Sorted() {
+				rt.Send(p, wire.Prepare{
+					Txn: t.id, Epoch: newEpoch.VP, HasEpoch: newEpoch.Has,
+					Writes: t.prepares[p],
+				})
+			}
+			rt.CancelTimer(t.voteTimer)
+			t.voteTimer = rt.SetTimer(b.Cfg.VoteTimeout, voteTimeout{txn: t.id})
+		}
+	}
+}
+
+// footprint returns every object the transaction's operations reference
+// and every processor it has physically contacted so far.
+func (t *txn) footprint() ([]model.ObjectID, model.ProcSet) {
+	objs := model.NewObjSet()
+	for _, op := range t.ops {
+		objs.Add(op.Obj)
+		if op.UseSrc {
+			objs.Add(op.Src)
+		}
+	}
+	procs := t.sParts.Clone()
+	for _, ps := range t.writeParts {
+		for _, p := range ps {
+			procs.Add(p)
+		}
+	}
+	if t.phase == phaseRunning && t.got != nil {
+		for _, p := range t.plan.Targets {
+			procs.Add(p)
+		}
+	}
+	for p := range t.votesNeeded {
+		procs.Add(p)
+	}
+	return objs.Sorted(), procs
+}

@@ -1,0 +1,273 @@
+package node
+
+import (
+	"github.com/virtualpartitions/vp/internal/durable"
+	"github.com/virtualpartitions/vp/internal/locks"
+	"github.com/virtualpartitions/vp/internal/metrics"
+	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/net"
+	"github.com/virtualpartitions/vp/internal/wire"
+)
+
+// This file is the server side of a node: the Physical-Access task of
+// Figure 12 generalized with explicit copy locks (assumption A1 demands a
+// CP-serializable scheduler; the paper's Figure 12 leaves concurrency
+// control implicit) and two-phase commit participation.
+
+func (b *Base) handleLockReq(rt net.Runtime, from model.ProcID, req wire.LockReq) {
+	refuse := func() {
+		rt.Send(from, wire.LockResp{Txn: req.Txn, Obj: req.Obj, Status: wire.LockWrongEpoch,
+			Epoch: req.Epoch, HasEpoch: req.HasEpoch})
+	}
+	// Rule R4 guard: only accept accesses from the same virtual
+	// partition (Figure 12 lines 6 and 10: "if assigned & v=cur-id").
+	if !b.Strat.AcceptAccess(rt, Epoch{VP: req.Epoch, Has: req.HasEpoch}) {
+		if b.inTransition(rt) {
+			// The node is between partitions (weak R4): park the request
+			// until the next join decides its fate (FlushDeferred).
+			b.deferred = append(b.deferred, deferredAccess{from: from, req: req})
+			return
+		}
+		refuse()
+		return
+	}
+	if !b.Store.Has(req.Obj) {
+		refuse()
+		return
+	}
+	// Rule R5 guard: "wait until l ∉ locked" (Figure 12 lines 5 and 9).
+	if b.Store.RecoveryLocked(req.Obj) {
+		b.deferred = append(b.deferred, deferredAccess{from: from, req: req})
+		return
+	}
+	b.admitLock(rt, from, req)
+}
+
+func (b *Base) admitLock(rt net.Runtime, from model.ProcID, req wire.LockReq) {
+	switch b.Locks.Acquire(req.Obj, req.Txn, req.Mode) {
+	case locks.Granted:
+		b.touch(rt, req.Txn)
+		b.respondGranted(rt, from, req)
+	case locks.Queued:
+		b.touch(rt, req.Txn)
+		b.waiting[lockKey{req.Txn, req.Obj}] = pendingLock{from: from, req: req}
+	case locks.Died:
+		rt.Send(from, wire.LockResp{Txn: req.Txn, Obj: req.Obj, Status: wire.LockDenied,
+			Epoch: req.Epoch, HasEpoch: req.HasEpoch})
+	}
+}
+
+func (b *Base) respondGranted(rt net.Runtime, to model.ProcID, req wire.LockReq) {
+	c := b.Store.Get(req.Obj)
+	if req.Mode == model.LockShared {
+		rt.Metrics().Inc(metrics.CPhysRead, 1)
+	}
+	rt.Send(to, wire.LockResp{
+		Txn:        req.Txn,
+		Obj:        req.Obj,
+		Status:     wire.LockGranted,
+		Val:        c.Val,
+		Ver:        c.Ver,
+		Epoch:      req.Epoch,
+		HasEpoch:   req.HasEpoch,
+		HasMissing: b.Store.HasMissing(req.Obj),
+	})
+}
+
+// processGrants answers lock requests that a release unblocked. The
+// admission guard is re-checked: the partition may have changed while the
+// request waited.
+func (b *Base) processGrants(rt net.Runtime, grants []locks.Grant) {
+	for len(grants) > 0 {
+		g := grants[0]
+		grants = grants[1:]
+		key := lockKey{g.Txn, g.Obj}
+		p, ok := b.waiting[key]
+		if !ok {
+			// Waiter vanished (aborted and released): free the lock.
+			grants = append(grants, b.Locks.Release(g.Obj, g.Txn)...)
+			continue
+		}
+		delete(b.waiting, key)
+		if !b.Strat.AcceptAccess(rt, Epoch{VP: p.req.Epoch, Has: p.req.HasEpoch}) {
+			grants = append(grants, b.Locks.Release(g.Obj, g.Txn)...)
+			rt.Send(p.from, wire.LockResp{Txn: g.Txn, Obj: g.Obj, Status: wire.LockWrongEpoch,
+				Epoch: p.req.Epoch, HasEpoch: p.req.HasEpoch})
+			continue
+		}
+		b.touch(rt, g.Txn)
+		b.respondGranted(rt, p.from, p.req)
+	}
+}
+
+// inTransition reports whether the strategy is between partitions and
+// wants incoming accesses parked rather than refused (§6 weak R4).
+func (b *Base) inTransition(rt net.Runtime) bool {
+	ta, ok := b.Strat.(TransitionAware)
+	return ok && ta.InTransition(rt)
+}
+
+// FlushDeferred re-processes every parked physical access. The concrete
+// node calls it after joining a new partition: requests for the new
+// epoch are admitted, stale ones refused, recovery-locked ones re-parked.
+func (b *Base) FlushDeferred(rt net.Runtime) {
+	pending := b.deferred
+	b.deferred = nil
+	for _, d := range pending {
+		b.handleLockReq(rt, d.from, d.req)
+	}
+}
+
+// RecoveryUnlocked re-admits physical accesses that were deferred while
+// obj was being refreshed (rule R5). The concrete node calls it after
+// Update-Copies-in-View unlocks the object.
+func (b *Base) RecoveryUnlocked(rt net.Runtime, obj model.ObjectID) {
+	kept := b.deferred[:0]
+	var admit []deferredAccess
+	for _, d := range b.deferred {
+		if d.req.Obj == obj {
+			admit = append(admit, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	b.deferred = kept
+	for _, d := range admit {
+		b.handleLockReq(rt, d.from, d.req)
+	}
+}
+
+func (b *Base) handlePrepare(rt net.Runtime, from model.ProcID, p wire.Prepare) {
+	vote := func(ok bool) {
+		rt.Send(from, wire.Vote{Txn: p.Txn, From: b.ID, OK: ok,
+			Epoch: p.Epoch, HasEpoch: p.HasEpoch})
+	}
+	if _, dup := b.prepared[p.Txn]; dup {
+		vote(true) // retransmitted prepare
+		return
+	}
+	if !b.Strat.AcceptAccess(rt, Epoch{VP: p.Epoch, Has: p.HasEpoch}) {
+		vote(false)
+		return
+	}
+	// The transaction must still hold an exclusive lock on every copy it
+	// wants to write here; a partition change released them (rule R4).
+	for _, w := range p.Writes {
+		if !b.Store.Has(w.Obj) || !b.Locks.Holds(w.Obj, p.Txn, model.LockExclusive) {
+			vote(false)
+			return
+		}
+	}
+	for _, w := range p.Writes {
+		if w.Delta {
+			b.Store.StageDelta(w.Obj, p.Txn, w.Val, w.Ver)
+		} else {
+			b.Store.Stage(w.Obj, p.Txn, w.Val, w.Ver)
+		}
+		if b.Journal != nil {
+			b.Journal.Stage(p.Txn, w.Obj, durable.StagedWrite{
+				Val: w.Val, Ver: w.Ver, Delta: w.Delta, MissedBy: w.MissedBy,
+			})
+		}
+	}
+	b.prepared[p.Txn] = &preparedTxn{coord: from, writes: p.Writes}
+	b.touch(rt, p.Txn)
+	vote(true)
+}
+
+func (b *Base) handleDecide(rt net.Runtime, from model.ProcID, d wire.Decide) {
+	if st, ok := b.prepared[d.Txn]; ok {
+		if d.Commit {
+			for _, w := range st.writes {
+				if b.Store.CommitStaged(w.Obj, d.Txn) {
+					rt.Metrics().Inc(metrics.CPhysWrite, 1)
+				}
+				if len(w.MissedBy) > 0 {
+					b.Store.MarkMissing(w.Obj, w.MissedBy)
+				} else {
+					b.Store.ClearMissing(w.Obj)
+				}
+			}
+		} else {
+			b.Store.DropAllStagedBy(d.Txn)
+		}
+		if b.Journal != nil {
+			b.Journal.DropStage(d.Txn, "")
+		}
+		delete(b.prepared, d.Txn)
+		b.releaseTxnLocally(rt, d.Txn)
+	} else if !d.Commit {
+		// Abort for a transaction never prepared here: free its locks.
+		b.Store.DropAllStagedBy(d.Txn)
+		b.releaseTxnLocally(rt, d.Txn)
+	}
+	rt.Send(from, wire.DecideAck{Txn: d.Txn, From: b.ID})
+}
+
+func (b *Base) handleRelease(rt net.Runtime, from model.ProcID, rel wire.Release) {
+	if _, isPrepared := b.prepared[rel.Txn]; isPrepared {
+		// A Release must never revoke a prepared transaction; only a
+		// Decide may. (Can happen if a stale Release is retransmitted.)
+		return
+	}
+	if rel.Obj != "" {
+		// Scoped release: one object only (straggler grant cleanup).
+		delete(b.waiting, lockKey{rel.Txn, rel.Obj})
+		kept := b.deferred[:0]
+		for _, d := range b.deferred {
+			if d.req.Txn != rel.Txn || d.req.Obj != rel.Obj {
+				kept = append(kept, d)
+			}
+		}
+		b.deferred = kept
+		b.Store.DropStaged(rel.Obj, rel.Txn)
+		b.processGrants(rt, b.Locks.Release(rel.Obj, rel.Txn))
+		return
+	}
+	b.Store.DropAllStagedBy(rel.Txn)
+	b.releaseTxnLocally(rt, rel.Txn)
+}
+
+func (b *Base) releaseTxnLocally(rt net.Runtime, txn model.TxnID) {
+	for k := range b.waiting {
+		if k.txn == txn {
+			delete(b.waiting, k)
+		}
+	}
+	kept := b.deferred[:0]
+	for _, d := range b.deferred {
+		if d.req.Txn != txn {
+			kept = append(kept, d)
+		}
+	}
+	b.deferred = kept
+	delete(b.activity, txn)
+	b.processGrants(rt, b.Locks.ReleaseAll(txn))
+}
+
+// touch refreshes a transaction's lock lease.
+func (b *Base) touch(rt net.Runtime, txn model.TxnID) {
+	b.activity[txn] = int64(rt.Now())
+}
+
+// sweepLeases releases the locks of transactions that have shown no
+// activity for several lock timeouts and are not prepared. A coordinator
+// that lost its Release message (or died) would otherwise leak locks
+// forever. This is safe: by then the coordinator has certainly aborted
+// the transaction (its own operation timeout is LockTimeout), and a
+// Prepare arriving after the sweep finds the locks gone and votes no.
+func (b *Base) sweepLeases(rt net.Runtime) {
+	cutoff := int64(rt.Now()) - int64(3*b.Cfg.LockTimeout)
+	for _, txn := range b.Locks.Txns() {
+		if _, isPrepared := b.prepared[txn]; isPrepared {
+			continue
+		}
+		if _, isLocal := b.active[txn]; isLocal {
+			continue // coordinated here; its own timers manage it
+		}
+		if last, ok := b.activity[txn]; !ok || last < cutoff {
+			b.Store.DropAllStagedBy(txn)
+			b.releaseTxnLocally(rt, txn)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package node
+
+import (
+	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/net"
+	"github.com/virtualpartitions/vp/internal/wire"
+)
+
+// SimpleNode adapts a bare Base to net.Handler for protocols that need
+// no traffic beyond transaction processing (quorum consensus, majority
+// voting, ROWA, missing-writes, the naive view protocol). The
+// virtual-partition node wraps Base itself because it must also route
+// partition-management messages.
+type SimpleNode struct {
+	*Base
+}
+
+// NewSimpleNode builds a handler around base.
+func NewSimpleNode(base *Base) SimpleNode { return SimpleNode{Base: base} }
+
+// Init implements net.Handler.
+func (n SimpleNode) Init(rt net.Runtime) { n.InitBase(rt) }
+
+// OnMessage implements net.Handler.
+func (n SimpleNode) OnMessage(rt net.Runtime, from model.ProcID, m wire.Message) {
+	n.HandleMessage(rt, from, m)
+}
+
+// OnTimer implements net.Handler.
+func (n SimpleNode) OnTimer(rt net.Runtime, key any) {
+	n.HandleTimer(rt, key)
+}

@@ -1,0 +1,145 @@
+package onecopy
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/virtualpartitions/vp/internal/model"
+)
+
+// Property-based tests (testing/quick) over the checker invariants.
+
+// serialSpec drives generation of a random SERIAL history: op codes are
+// interpreted against a running single-copy database, so the resulting
+// records are 1SR by construction.
+type serialSpec struct {
+	Ops []uint16
+}
+
+// Generate implements quick.Generator.
+func (serialSpec) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 1 + r.Intn(12)
+	ops := make([]uint16, n)
+	for i := range ops {
+		ops[i] = uint16(r.Uint32())
+	}
+	return reflect.ValueOf(serialSpec{Ops: ops})
+}
+
+func (s serialSpec) records() []TxnRecord {
+	objects := []model.ObjectID{"a", "b", "c"}
+	cur := map[model.ObjectID]model.Version{}
+	ctr := uint64(0)
+	recs := make([]TxnRecord, 0, len(s.Ops))
+	for i, code := range s.Ops {
+		id := model.TxnID{Start: int64(i + 1), P: 1, Seq: uint64(i + 1)}
+		reads := map[model.ObjectID]model.Version{}
+		writes := map[model.ObjectID]model.Version{}
+		for bit, obj := range objects {
+			if code&(1<<bit) != 0 {
+				reads[obj] = cur[obj]
+			}
+			if code&(1<<(bit+3)) != 0 {
+				ctr++
+				writes[obj] = model.Version{Date: model.VPID{N: 1, P: 1}, Ctr: ctr, Writer: id}
+			}
+		}
+		for obj, v := range writes {
+			cur[obj] = v
+		}
+		recs = append(recs, TxnRecord{ID: id, Committed: true, Reads: reads, Writes: writes})
+	}
+	return recs
+}
+
+// Any serial history is accepted by both checkers.
+func TestQuickSerialAccepted(t *testing.T) {
+	f := func(s serialSpec) bool {
+		recs := s.records()
+		return CheckRecords(recs).OK && CheckGraphRecords(recs).OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Acceptance is permutation-invariant: the checkers see sets of
+// transactions, not submission orders (the exact checker searches all
+// orders; the graph checker's edges are order-free).
+func TestQuickPermutationInvariant(t *testing.T) {
+	f := func(s serialSpec, seed int64) bool {
+		recs := s.records()
+		shuffled := append([]TxnRecord(nil), recs...)
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		return CheckRecords(shuffled).OK == CheckRecords(recs).OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Corrupting one read in a serial history to a FUTURE version (written
+// by a later transaction than any it could have seen consistently) is
+// caught by the exact checker whenever the graph checker also rejects;
+// and graph acceptance always implies exact acceptance.
+func TestQuickGraphSoundness(t *testing.T) {
+	f := func(s serialSpec, pick uint16) bool {
+		recs := s.records()
+		// Corrupt: make a random earlier txn read a random later write.
+		var laterWrites []model.Version
+		for _, r := range recs[len(recs)/2:] {
+			for _, v := range r.Writes {
+				laterWrites = append(laterWrites, v)
+			}
+		}
+		if len(laterWrites) > 0 && len(recs) > 1 {
+			victim := recs[int(pick)%(len(recs)/2+1)]
+			if victim.Reads == nil {
+				victim.Reads = map[model.ObjectID]model.Version{}
+			}
+			v := laterWrites[int(pick)%len(laterWrites)]
+			// Find the object this version belongs to.
+			for _, r := range recs {
+				for obj, w := range r.Writes {
+					if w == v {
+						victim.Reads[obj] = v
+					}
+				}
+			}
+		}
+		return !CheckGraphRecords(recs).OK || CheckRecords(recs).OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Appending a read-only transaction that observes the final version of
+// every object keeps a serial history serializable.
+func TestQuickReadOnlyExtension(t *testing.T) {
+	f := func(s serialSpec) bool {
+		recs := s.records()
+		final := map[model.ObjectID]model.Version{}
+		for _, r := range recs {
+			for obj, v := range r.Writes {
+				if final[obj].Less(v) {
+					final[obj] = v
+				}
+			}
+		}
+		audit := TxnRecord{
+			ID:        model.TxnID{Start: 9999, P: 9, Seq: 1},
+			Committed: true,
+			Reads:     final,
+		}
+		return CheckRecords(append(recs, audit)).OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+// Package sim provides a deterministic discrete-event engine: a virtual
+// clock, an event queue ordered by (time, insertion sequence), and a
+// seeded random source.
+//
+// All protocol code in this repository is written against virtual time, so
+// a whole cluster — network, timers, failure schedule, workload — runs as
+// a single-threaded simulation that is exactly reproducible from its seed.
+// The paper's timing parameters (the message-delay bound δ and the probe
+// period π) map directly onto event delays.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Engine is a discrete-event scheduler. It is not safe for concurrent
+// use: everything runs on the caller's goroutine, which is the point.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventHeap
+	rng     *rand.Rand
+	stopped bool
+	// Trace, if non-nil, receives a line per executed event when tracing
+	// is enabled by the harness.
+	Trace func(at time.Duration, label string)
+}
+
+type event struct {
+	at    time.Duration
+	seq   uint64 // tie-break: FIFO among simultaneous events
+	label string
+	fn    func()
+	dead  bool
+	index int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// New returns an engine whose random source is seeded with seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct {
+	ev *event
+}
+
+// At schedules fn to run at the given absolute virtual time. Scheduling
+// in the past runs at the current time (i.e. before any later events).
+func (e *Engine) At(t time.Duration, label string, fn func()) Handle {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &event{at: t, seq: e.seq, label: label, fn: fn}
+	heap.Push(&e.queue, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d time.Duration, label string, fn func()) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, label, fn)
+}
+
+// Cancel prevents a scheduled event from running. Cancelling an already
+// executed or already cancelled event is a no-op.
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.dead = true
+	}
+}
+
+// Pending reports whether the event has neither run nor been cancelled.
+func (h Handle) Pending() bool {
+	return h.ev != nil && !h.ev.dead && h.ev.fn != nil
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Steps runs events until the queue is empty, the engine is stopped, or
+// max events have executed. It returns the number executed.
+func (e *Engine) Steps(max int) int {
+	n := 0
+	for n < max && !e.stopped {
+		if !e.step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// Run executes events in order until the queue is empty or the virtual
+// clock passes until. Events scheduled at exactly until still run. It
+// returns the number of events executed.
+func (e *Engine) Run(until time.Duration) int {
+	n := 0
+	for !e.stopped {
+		next := e.peek()
+		if next == nil || next.at > until {
+			break
+		}
+		e.step()
+		n++
+	}
+	if e.now < until && !e.stopped {
+		e.now = until
+	}
+	e.stopped = false
+	return n
+}
+
+// RunAll executes events until the queue is empty (or Stop is called).
+// Protocols with periodic timers never drain the queue, so RunAll guards
+// against runaways with a generous cap and panics if it is hit.
+func (e *Engine) RunAll() int {
+	const cap = 50_000_000
+	n := e.Steps(cap)
+	if n == cap {
+		panic("sim: RunAll executed 50M events without draining; periodic timer still armed?")
+	}
+	e.stopped = false
+	return n
+}
+
+func (e *Engine) peek() *event {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if ev.dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return ev
+	}
+	return nil
+}
+
+func (e *Engine) step() bool {
+	ev := e.peek()
+	if ev == nil {
+		return false
+	}
+	heap.Pop(&e.queue)
+	if ev.at < e.now {
+		panic(fmt.Sprintf("sim: time went backwards: %v -> %v (%s)", e.now, ev.at, ev.label))
+	}
+	e.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	if e.Trace != nil {
+		e.Trace(e.now, ev.label)
+	}
+	fn()
+	return true
+}
+
+// QueueLen returns the number of live scheduled events (cancelled events
+// may be counted until they are popped).
+func (e *Engine) QueueLen() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}

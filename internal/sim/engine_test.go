@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.After(30*time.Millisecond, "c", func() { got = append(got, 3) })
+	e.After(10*time.Millisecond, "a", func() { got = append(got, 1) })
+	e.After(20*time.Millisecond, "b", func() { got = append(got, 2) })
+	if n := e.RunAll(); n != 3 {
+		t.Fatalf("ran %d events", n)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestSimultaneousEventsAreFIFO(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5*time.Millisecond, "x", func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New(1)
+	var got []string
+	e.After(10*time.Millisecond, "outer", func() {
+		got = append(got, "outer")
+		e.After(5*time.Millisecond, "inner", func() { got = append(got, "inner") })
+		e.After(0, "now", func() { got = append(got, "now") })
+	})
+	e.RunAll()
+	want := []string{"outer", "now", "inner"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New(1)
+	ran := false
+	h := e.After(time.Millisecond, "x", func() { ran = true })
+	if !h.Pending() {
+		t.Fatal("handle should be pending")
+	}
+	h.Cancel()
+	if h.Pending() {
+		t.Fatal("cancelled handle should not be pending")
+	}
+	e.RunAll()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	h.Cancel() // double cancel is a no-op
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.At(10*time.Millisecond, "a", func() { got = append(got, 1) })
+	e.At(20*time.Millisecond, "b", func() { got = append(got, 2) })
+	e.At(30*time.Millisecond, "c", func() { got = append(got, 3) })
+	n := e.Run(20 * time.Millisecond)
+	if n != 2 || len(got) != 2 {
+		t.Fatalf("Run(20ms) executed %d events (%v)", n, got)
+	}
+	if e.Now() != 20*time.Millisecond {
+		t.Fatalf("Now = %v", e.Now())
+	}
+	// Clock advances to `until` even with no events there.
+	e.Run(25 * time.Millisecond)
+	if e.Now() != 25*time.Millisecond {
+		t.Fatalf("Now = %v after empty run", e.Now())
+	}
+	e.RunAll()
+	if len(got) != 3 {
+		t.Fatal("remaining event did not run")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New(1)
+	count := 0
+	e.After(time.Millisecond, "a", func() { count++; e.Stop() })
+	e.After(2*time.Millisecond, "b", func() { count++ })
+	e.RunAll()
+	if count != 1 {
+		t.Fatalf("Stop did not halt the run: count=%d", count)
+	}
+	// The engine is reusable after Stop.
+	if e.RunAll() != 1 {
+		t.Fatal("second RunAll should execute the remaining event")
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	e := New(1)
+	e.At(10*time.Millisecond, "a", func() {
+		// Schedule "in the past": must run, at the current time.
+		e.At(time.Millisecond, "b", func() {
+			if e.Now() != 10*time.Millisecond {
+				t.Errorf("past event ran at %v", e.Now())
+			}
+		})
+	})
+	e.RunAll()
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		e := New(seed)
+		var trace []int64
+		var tick func(i int)
+		tick = func(i int) {
+			trace = append(trace, int64(e.Now()), e.Rand().Int63n(1000))
+			if i < 50 {
+				e.After(time.Duration(e.Rand().Int63n(int64(time.Second))), "t", func() { tick(i + 1) })
+			}
+		}
+		e.After(0, "start", func() { tick(0) })
+		e.RunAll()
+		return trace
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatal("trace lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestQueueLen(t *testing.T) {
+	e := New(1)
+	h1 := e.After(time.Millisecond, "a", func() {})
+	e.After(2*time.Millisecond, "b", func() {})
+	if e.QueueLen() != 2 {
+		t.Fatalf("QueueLen = %d", e.QueueLen())
+	}
+	h1.Cancel()
+	if e.QueueLen() != 1 {
+		t.Fatalf("QueueLen after cancel = %d", e.QueueLen())
+	}
+	e.RunAll()
+	if e.QueueLen() != 0 {
+		t.Fatalf("QueueLen after run = %d", e.QueueLen())
+	}
+}
+
+// Property: for any batch of (delay, id) pairs, execution order is sorted
+// by (delay, insertion order).
+func TestOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New(7)
+		type rec struct {
+			at  time.Duration
+			seq int
+		}
+		var got []rec
+		for i, d := range delays {
+			i, at := i, time.Duration(d)*time.Microsecond
+			e.At(at, "x", func() { got = append(got, rec{at, i}) })
+		}
+		e.RunAll()
+		for i := 1; i < len(got); i++ {
+			a, b := got[i-1], got[i]
+			if a.at > b.at || (a.at == b.at && a.seq > b.seq) {
+				return false
+			}
+		}
+		return len(got) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

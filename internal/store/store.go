@@ -1,0 +1,404 @@
+// Package store implements a processor's local replica storage: the
+// physical copies of logical objects with their values and dates (§5's
+// value/date functions), the per-object recovery locks used by rule R5,
+// staged (prepared) transactional writes, and a bounded write log that
+// supports the §6 log-based catch-up optimization.
+//
+// The store is purely local state manipulated from a node's event
+// handlers; it performs no I/O and needs no synchronization.
+package store
+
+import (
+	"fmt"
+
+	"github.com/virtualpartitions/vp/internal/durable"
+	"github.com/virtualpartitions/vp/internal/model"
+)
+
+// LoggedWrite is one entry of the per-object write log.
+type LoggedWrite struct {
+	Val model.Value
+	Ver model.Version
+}
+
+type objectState struct {
+	copyVal model.Copy
+	// locked implements membership in the "locked" set of Figure 3: the
+	// copy is being refreshed after a partition change and must not be
+	// read or written by transactions until recovery completes.
+	locked bool
+	// staged holds a prepared-but-undecided transactional write.
+	staged   *LoggedWrite
+	stagedBy model.TxnID
+	// missing marks processors whose copies missed a write of this
+	// object (missing-writes baseline only).
+	missing model.ProcSet
+	log     []LoggedWrite
+	// logBase is the version of the newest write ever evicted from the
+	// log (zero if none was): the log is complete for a reader at
+	// version v iff logBase ≤ v.
+	logBase model.Version
+	// comps are the per-writer counter components of a mergeable object
+	// (nil outside mergeable mode). The copy's value is initVal plus the
+	// sum of the component totals.
+	comps map[model.ProcID]Comp
+	// stagedDelta marks the staged write as a component increment.
+	stagedDelta bool
+}
+
+// Comp is one writer's counter component: the running total of its
+// committed deltas and the version of its latest one.
+type Comp struct {
+	Ver   model.Version
+	Total model.Value
+}
+
+// Store holds the physical copies residing at one processor.
+type Store struct {
+	owner   model.ProcID
+	objects map[model.ObjectID]*objectState
+	// LogCap bounds each object's write log; 0 disables logging. A
+	// truncated log forces full-value recovery, mirroring real systems.
+	logCap  int
+	initVal model.Value
+	// journal, when set, receives every committed physical write for
+	// crash-restart durability.
+	journal durable.Journal
+}
+
+// SetJournal attaches a durability journal (nil disables).
+func (s *Store) SetJournal(j durable.Journal) { s.journal = j }
+
+// New creates the store for processor p holding the copies assigned to it
+// by the catalog, all initialized to initVal with the zero version (the
+// paper's "suitably initialized" value/date functions).
+func New(p model.ProcID, cat *model.Catalog, initVal model.Value, logCap int) *Store {
+	s := &Store{
+		owner:   p,
+		objects: make(map[model.ObjectID]*objectState),
+		logCap:  logCap,
+		initVal: initVal,
+	}
+	for obj := range cat.Local(p) {
+		s.objects[obj] = &objectState{
+			copyVal: model.Copy{Val: initVal},
+			missing: model.NewProcSet(),
+		}
+	}
+	return s
+}
+
+// Owner returns the processor this store belongs to.
+func (s *Store) Owner() model.ProcID { return s.owner }
+
+// Has reports whether a copy of obj resides here.
+func (s *Store) Has(obj model.ObjectID) bool {
+	_, ok := s.objects[obj]
+	return ok
+}
+
+// Objects returns the objects stored here, sorted.
+func (s *Store) Objects() []model.ObjectID {
+	set := model.NewObjSet()
+	for o := range s.objects {
+		set.Add(o)
+	}
+	return set.Sorted()
+}
+
+func (s *Store) must(obj model.ObjectID) *objectState {
+	st, ok := s.objects[obj]
+	if !ok {
+		panic(fmt.Sprintf("store: %v holds no copy of %q", s.owner, obj))
+	}
+	return st
+}
+
+// Get returns the current committed copy.
+func (s *Store) Get(obj model.ObjectID) model.Copy { return s.must(obj).copyVal }
+
+// Apply installs a committed write: value(obj) ← val, date(obj) ← ver's
+// date (Figure 12, lines 11). The write is appended to the object log.
+func (s *Store) Apply(obj model.ObjectID, val model.Value, ver model.Version) {
+	st := s.must(obj)
+	st.copyVal = model.Copy{Val: val, Ver: ver}
+	if s.journal != nil {
+		s.journal.Apply(obj, val, ver)
+	}
+	if s.logCap > 0 {
+		st.log = append(st.log, LoggedWrite{Val: val, Ver: ver})
+		for len(st.log) > s.logCap {
+			if st.logBase.Less(st.log[0].Ver) {
+				st.logBase = st.log[0].Ver
+			}
+			st.log = st.log[1:]
+		}
+	}
+}
+
+// Restore seeds the store from durable state: committed copy values and
+// staged (prepared) writes. It must run before the node starts and does
+// not journal (the journal already holds these records).
+func (s *Store) Restore(copies map[model.ObjectID]model.Copy,
+	staged map[model.TxnID]map[model.ObjectID]durable.StagedWrite) {
+	for obj, c := range copies {
+		if st, ok := s.objects[obj]; ok {
+			st.copyVal = c
+		}
+	}
+	for txn, objs := range staged {
+		for obj, w := range objs {
+			if st, ok := s.objects[obj]; ok {
+				st.staged = &LoggedWrite{Val: w.Val, Ver: w.Ver}
+				st.stagedBy = txn
+				st.stagedDelta = w.Delta
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// R5 recovery locks
+// ---------------------------------------------------------------------------
+
+// LockForRecovery puts every listed object into the locked set (Figure 5
+// line 18 / Figure 6 lines 15–17). Objects without a local copy are
+// ignored, matching "l ∈ local" in the paper.
+func (s *Store) LockForRecovery(objs []model.ObjectID) {
+	for _, obj := range objs {
+		if st, ok := s.objects[obj]; ok {
+			st.locked = true
+		}
+	}
+}
+
+// UnlockRecovered removes obj from the locked set (Figure 9 line 17).
+func (s *Store) UnlockRecovered(obj model.ObjectID) {
+	if st, ok := s.objects[obj]; ok {
+		st.locked = false
+	}
+}
+
+// UnlockAllRecovery clears the locked set, used when a node abandons an
+// in-progress refresh because it departed to yet another partition.
+func (s *Store) UnlockAllRecovery() {
+	for _, st := range s.objects {
+		st.locked = false
+	}
+}
+
+// RecoveryLocked reports whether obj is in the locked set.
+func (s *Store) RecoveryLocked(obj model.ObjectID) bool {
+	st, ok := s.objects[obj]
+	return ok && st.locked
+}
+
+// LockedObjects returns the objects currently under recovery, sorted.
+func (s *Store) LockedObjects() []model.ObjectID {
+	set := model.NewObjSet()
+	for o, st := range s.objects {
+		if st.locked {
+			set.Add(o)
+		}
+	}
+	return set.Sorted()
+}
+
+// ---------------------------------------------------------------------------
+// Prepared (staged) transactional writes
+// ---------------------------------------------------------------------------
+
+// Stage records a prepared write for a transaction. It replaces any write
+// the same transaction staged earlier for the object.
+func (s *Store) Stage(obj model.ObjectID, txn model.TxnID, val model.Value, ver model.Version) {
+	st := s.must(obj)
+	st.staged = &LoggedWrite{Val: val, Ver: ver}
+	st.stagedBy = txn
+}
+
+// StageDelta records a prepared component increment (mergeable mode).
+func (s *Store) StageDelta(obj model.ObjectID, txn model.TxnID, delta model.Value, ver model.Version) {
+	st := s.must(obj)
+	st.staged = &LoggedWrite{Val: delta, Ver: ver}
+	st.stagedBy = txn
+	st.stagedDelta = true
+}
+
+// StagedBy returns the transaction with a prepared write on obj, if any.
+func (s *Store) StagedBy(obj model.ObjectID) (model.TxnID, bool) {
+	st, ok := s.objects[obj]
+	if !ok || st.staged == nil {
+		return model.TxnID{}, false
+	}
+	return st.stagedBy, true
+}
+
+// CommitStaged applies the staged write of txn on obj. It is a no-op if
+// no matching staged write exists (e.g. a duplicate Decide after a
+// retransmission).
+func (s *Store) CommitStaged(obj model.ObjectID, txn model.TxnID) bool {
+	st, ok := s.objects[obj]
+	if !ok || st.staged == nil || st.stagedBy != txn {
+		return false
+	}
+	w := *st.staged
+	isDelta := st.stagedDelta
+	st.staged = nil
+	st.stagedBy = model.TxnID{}
+	st.stagedDelta = false
+	if isDelta {
+		s.ApplyDelta(obj, txn.P, w.Val, w.Ver)
+	} else {
+		s.Apply(obj, w.Val, w.Ver)
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Mergeable counter components (§7 integration; see core/mergeable.go)
+// ---------------------------------------------------------------------------
+
+// ApplyDelta commits a component increment by writer p: the writer's
+// running total grows by delta and its component version advances. The
+// copy's scalar value tracks initVal plus the sum of all components.
+func (s *Store) ApplyDelta(obj model.ObjectID, p model.ProcID, delta model.Value, ver model.Version) {
+	st := s.must(obj)
+	if st.comps == nil {
+		st.comps = make(map[model.ProcID]Comp)
+	}
+	c := st.comps[p]
+	if !c.Ver.Less(ver) {
+		return // duplicate or stale apply (retransmitted decide)
+	}
+	st.comps[p] = Comp{Ver: ver, Total: c.Total + delta}
+	s.Apply(obj, s.sumComps(st), ver)
+}
+
+func (s *Store) sumComps(st *objectState) model.Value {
+	v := s.initVal
+	for _, c := range st.comps {
+		v += c.Total
+	}
+	return v
+}
+
+// Comps returns a copy of the object's components.
+func (s *Store) Comps(obj model.ObjectID) map[model.ProcID]Comp {
+	st := s.must(obj)
+	out := make(map[model.ProcID]Comp, len(st.comps))
+	for p, c := range st.comps {
+		out[p] = c
+	}
+	return out
+}
+
+// MergeComps folds another copy's components into this one: per writer,
+// the entry with the greater version wins (each writer's components are
+// totally ordered, so this neither loses nor double-counts increments).
+// The scalar value is recomputed; ver stamps the copy. It reports
+// whether anything changed.
+func (s *Store) MergeComps(obj model.ObjectID, remote map[model.ProcID]Comp, ver model.Version) bool {
+	st := s.must(obj)
+	if st.comps == nil {
+		st.comps = make(map[model.ProcID]Comp)
+	}
+	changed := false
+	for p, rc := range remote {
+		if cur, ok := st.comps[p]; !ok || cur.Ver.Less(rc.Ver) {
+			st.comps[p] = rc
+			changed = true
+		}
+	}
+	if changed {
+		s.Apply(obj, s.sumComps(st), ver)
+	}
+	return changed
+}
+
+// DropStaged discards the staged write of txn on obj (abort path).
+func (s *Store) DropStaged(obj model.ObjectID, txn model.TxnID) {
+	st, ok := s.objects[obj]
+	if ok && st.staged != nil && st.stagedBy == txn {
+		st.staged = nil
+		st.stagedBy = model.TxnID{}
+	}
+}
+
+// DropAllStagedBy discards every staged write of txn.
+func (s *Store) DropAllStagedBy(txn model.TxnID) {
+	for _, st := range s.objects {
+		if st.staged != nil && st.stagedBy == txn {
+			st.staged = nil
+			st.stagedBy = model.TxnID{}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Missing-write marks (missing-writes baseline)
+// ---------------------------------------------------------------------------
+
+// MarkMissing records that the copies at the given processors missed a
+// write of obj.
+func (s *Store) MarkMissing(obj model.ObjectID, procs []model.ProcID) {
+	st := s.must(obj)
+	for _, p := range procs {
+		st.missing.Add(p)
+	}
+}
+
+// HasMissing reports whether obj carries any missing-write marks here.
+func (s *Store) HasMissing(obj model.ObjectID) bool {
+	st, ok := s.objects[obj]
+	return ok && st.missing.Len() > 0
+}
+
+// ClearMissing removes all missing-write marks of obj.
+func (s *Store) ClearMissing(obj model.ObjectID) {
+	if st, ok := s.objects[obj]; ok {
+		st.missing = model.NewProcSet()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Write log (§6 log-based catch-up)
+// ---------------------------------------------------------------------------
+
+// LogSince returns, oldest first, every logged write of obj with version
+// strictly greater than since. complete is false when the log may be
+// missing such writes (it was truncated past `since`), in which case the
+// caller must fall back to full-value recovery.
+func (s *Store) LogSince(obj model.ObjectID, since model.Version) (entries []LoggedWrite, complete bool) {
+	st := s.must(obj)
+	if !since.Less(st.copyVal.Ver) {
+		// Requester is already as recent as this copy: nothing missed.
+		return nil, true
+	}
+	if s.logCap == 0 || since.Less(st.logBase) {
+		// Logging disabled, or writes newer than `since` were evicted.
+		return nil, false
+	}
+	for _, e := range st.log {
+		if since.Less(e.Ver) {
+			entries = append(entries, e)
+		}
+	}
+	return entries, true
+}
+
+// ApplyLog replays missed writes onto the local copy, skipping entries
+// not newer than the current version. It returns the number applied.
+func (s *Store) ApplyLog(obj model.ObjectID, entries []LoggedWrite) int {
+	st := s.must(obj)
+	n := 0
+	for _, e := range entries {
+		if st.copyVal.Ver.Less(e.Ver) {
+			s.Apply(obj, e.Val, e.Ver)
+			n++
+		}
+	}
+	return n
+}
+
+// LogLen returns the current length of obj's write log.
+func (s *Store) LogLen(obj model.ObjectID) int { return len(s.must(obj).log) }

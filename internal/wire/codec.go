@@ -1,0 +1,51 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"github.com/virtualpartitions/vp/internal/model"
+)
+
+func init() {
+	// Register every concrete message type so envelopes round-trip
+	// through gob on the TCP transport.
+	gob.Register(NewVP{})
+	gob.Register(AcceptVP{})
+	gob.Register(CommitVP{})
+	gob.Register(Probe{})
+	gob.Register(ProbeAck{})
+	gob.Register(RecoverRead{})
+	gob.Register(RecoverReadResp{})
+	gob.Register(RecoverLog{})
+	gob.Register(RecoverLogResp{})
+	gob.Register(LockReq{})
+	gob.Register(LockResp{})
+	gob.Register(Prepare{})
+	gob.Register(Vote{})
+	gob.Register(Decide{})
+	gob.Register(DecideAck{})
+	gob.Register(Release{})
+	gob.Register(ClientTxn{})
+	gob.Register(ClientResult{})
+	gob.Register(model.VPID{})
+}
+
+// Encode serializes an envelope for the TCP transport.
+func Encode(env Envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+		return nil, fmt.Errorf("wire: encode %s: %w", Kind(env.Msg), err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes an envelope produced by Encode.
+func Decode(b []byte) (Envelope, error) {
+	var env Envelope
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&env); err != nil {
+		return Envelope{}, fmt.Errorf("wire: decode: %w", err)
+	}
+	return env, nil
+}

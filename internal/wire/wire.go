@@ -1,0 +1,375 @@
+// Package wire defines every message exchanged between processors: the
+// virtual-partition management traffic of §5 (invitations, commits,
+// probes), the R5 recovery reads, the transaction traffic (lock requests,
+// two-phase commit), and client requests/results.
+//
+// Messages are plain structs. The in-memory transports pass them by
+// value; the TCP transport encodes them with encoding/gob (see codec.go).
+package wire
+
+import (
+	"fmt"
+
+	"github.com/virtualpartitions/vp/internal/model"
+)
+
+// Message is any protocol message. The concrete types below are the full
+// vocabulary; Kind classifies them for metrics and tracing.
+type Message any
+
+// Envelope is a routed message.
+type Envelope struct {
+	From model.ProcID
+	To   model.ProcID
+	Msg  Message
+}
+
+// ---------------------------------------------------------------------------
+// Virtual partition management (paper §5, Figures 4–8)
+// ---------------------------------------------------------------------------
+
+// NewVP is the invitation to join a new virtual partition ("newvp" in
+// Figure 5, line 4). It is broadcast by the initiator.
+type NewVP struct {
+	ID model.VPID
+}
+
+// AcceptVP is the acceptance of an invitation ("OK"/ack in Figure 5 line 8
+// and Figure 6 line 8). Prev carries the sender's previous partition
+// assignment, enabling the §6 "previous_v" refresh optimization at no
+// extra message cost, exactly as the paper suggests.
+type AcceptVP struct {
+	ID   model.VPID
+	From model.ProcID
+	Prev model.VPID
+}
+
+// CommitVP commits a new virtual partition ("commit" in Figure 5 line 17):
+// the initiator distributes the agreed view. Prevs mirrors AcceptVP.Prev
+// for every member, again per §6.
+type CommitVP struct {
+	ID    model.VPID
+	View  []model.ProcID
+	Prevs map[model.ProcID]model.VPID
+}
+
+// Probe is the periodic liveness probe (Figure 7 line 10).
+type Probe struct {
+	From model.ProcID
+	VP   model.VPID
+	Seq  uint64
+}
+
+// ProbeAck acknowledges a probe (Figure 8 line 5).
+type ProbeAck struct {
+	From model.ProcID
+	Seq  uint64
+}
+
+// RecoverRead asks for the current (value, date) of a copy on behalf of
+// Update-Copies-in-View (Figure 9 line 11). Unlike a transactional read it
+// is served even while the object is in the recipient's "locked" set —
+// every member refreshes concurrently, so waiting for the lock as written
+// in the paper's Physical-Access task would deadlock; serving the stored
+// pre-refresh copy is safe because the requester maximizes the date over a
+// majority (see DESIGN.md). A copy with a *prepared* transactional write
+// is the one case that must not be read yet (§6 condition (3)); the
+// response then reports Busy and the requester retries.
+type RecoverRead struct {
+	Obj model.ObjectID
+	VP  model.VPID
+	Seq uint64
+}
+
+// CompEntry is one per-writer component of a mergeable counter (§7
+// integration, see internal/core mergeable mode): the running total of
+// the deltas coordinator P has committed to the object, stamped with the
+// version of P's latest write. Components written by one coordinator are
+// totally ordered (a processor is in one partition at a time), so two
+// diverged copies merge by keeping, per writer, the entry with the
+// greater version — nothing is lost, nothing is counted twice.
+type CompEntry struct {
+	P     model.ProcID
+	Ver   model.Version
+	Total model.Value
+}
+
+// RecoverReadResp answers a RecoverRead.
+type RecoverReadResp struct {
+	Obj  model.ObjectID
+	Seq  uint64
+	OK   bool // false: responder not in the same partition
+	Busy bool // true: copy has a prepared write; retry later
+	Val  model.Value
+	Ver  model.Version
+	// Comps is attached in mergeable-counter mode only.
+	Comps []CompEntry
+}
+
+// RecoverLog asks for the tail of the write log of a copy: every write
+// with version greater than Since. It implements the §6 log-based
+// catch-up ("apply to the out-of-date copy all of the writes that it
+// missed") as an alternative to shipping the full value.
+type RecoverLog struct {
+	Obj   model.ObjectID
+	Since model.Version
+	VP    model.VPID
+	Seq   uint64
+}
+
+// RecoverLogResp carries the missed writes, oldest first. Complete is
+// false when the responder's log has been truncated below Since, in which
+// case the requester falls back to a full-value RecoverRead.
+type RecoverLogResp struct {
+	Obj      model.ObjectID
+	Seq      uint64
+	OK       bool
+	Busy     bool
+	Complete bool
+	Entries  []LogEntry
+}
+
+// LogEntry is one logged physical write.
+type LogEntry struct {
+	Val model.Value
+	Ver model.Version
+}
+
+// ---------------------------------------------------------------------------
+// Transaction processing (locks + two-phase commit)
+// ---------------------------------------------------------------------------
+
+// LockReq asks the recipient to lock its copy of Obj for the transaction
+// and, once granted, return the copy. Both modes return the copy: shared
+// locks need the value (this is the physical read of R2), exclusive locks
+// need the version so the coordinator can compute the successor version.
+//
+// Epoch carries the coordinator's virtual partition id; the recipient
+// grants only if it is assigned to the same partition (rule R4). Quorum
+// and ROWA protocols have no partitions and set HasEpoch false.
+type LockReq struct {
+	Txn      model.TxnID
+	Obj      model.ObjectID
+	Mode     model.LockMode
+	Epoch    model.VPID
+	HasEpoch bool
+}
+
+// LockStatus is the outcome of a lock request.
+type LockStatus uint8
+
+const (
+	// LockGranted: the lock is held and the copy is attached.
+	LockGranted LockStatus = iota
+	// LockDenied: wait-die killed the request (a younger transaction hit
+	// an older holder). The coordinator must abort.
+	LockDenied
+	// LockWrongEpoch: recipient is not assigned to the requester's
+	// partition (or not assigned at all). The coordinator must abort.
+	LockWrongEpoch
+)
+
+func (s LockStatus) String() string {
+	switch s {
+	case LockGranted:
+		return "granted"
+	case LockDenied:
+		return "denied"
+	default:
+		return "wrong-epoch"
+	}
+}
+
+// LockResp answers a LockReq. Epoch/HasEpoch echo the request so a
+// coordinator that migrated a transaction to a new partition (§6 weak
+// R4) can discard stale refusals addressed to the old epoch.
+type LockResp struct {
+	Txn      model.TxnID
+	Obj      model.ObjectID
+	Status   LockStatus
+	Val      model.Value
+	Ver      model.Version
+	Epoch    model.VPID
+	HasEpoch bool
+	// HasMissing reports that this copy is marked as having missed writes
+	// (missing-writes baseline only). A read-one coordinator seeing it
+	// must escalate to a majority read.
+	HasMissing bool
+}
+
+// ObjWrite is one staged physical write shipped in a Prepare.
+type ObjWrite struct {
+	Obj model.ObjectID
+	Val model.Value
+	Ver model.Version
+	// Delta marks Val as an increment to the coordinator's counter
+	// component rather than an absolute value (mergeable mode).
+	Delta bool
+	// MissedBy lists copies the write could not reach (missing-writes
+	// baseline); the recipient records marks against them.
+	MissedBy []model.ProcID
+}
+
+// Prepare is phase one of two-phase commit, sent to every participant
+// holding an exclusive lock for the transaction. The participant votes
+// yes only if it still holds the locks in the same partition (R4).
+type Prepare struct {
+	Txn      model.TxnID
+	Epoch    model.VPID
+	HasEpoch bool
+	Writes   []ObjWrite
+}
+
+// Vote answers a Prepare, echoing its epoch (see LockResp).
+type Vote struct {
+	Txn      model.TxnID
+	From     model.ProcID
+	OK       bool
+	Epoch    model.VPID
+	HasEpoch bool
+}
+
+// Decide is phase two: commit or abort. The coordinator retransmits it
+// until every prepared participant acknowledges, so a participant that
+// voted yes is never left blocked forever once communication resumes.
+type Decide struct {
+	Txn    model.TxnID
+	Commit bool
+}
+
+// DecideAck stops retransmission of Decide.
+type DecideAck struct {
+	Txn  model.TxnID
+	From model.ProcID
+}
+
+// Release frees locks a transaction holds at the recipient without a
+// write decision (read-only participants, cleanup after an abort decided
+// before prepare, or a straggler grant the coordinator no longer wants).
+// Obj narrows the release to one object; empty releases everything the
+// transaction holds at the recipient.
+type Release struct {
+	Txn model.TxnID
+	Obj model.ObjectID
+}
+
+// ---------------------------------------------------------------------------
+// Client traffic
+// ---------------------------------------------------------------------------
+
+// OpKind distinguishes the operations in a transaction specification.
+type OpKind uint8
+
+const (
+	// OpRead reads a logical object into the transaction's register file.
+	OpRead OpKind = iota
+	// OpWrite writes Const plus (optionally) the register previously read
+	// from Src. Read-modify-write transactions (increments, transfers)
+	// are expressed this way so specifications stay wire-encodable.
+	OpWrite
+)
+
+// Op is one step of a transaction.
+type Op struct {
+	Kind   OpKind
+	Obj    model.ObjectID
+	Src    model.ObjectID // register operand for OpWrite when UseSrc
+	Const  int64
+	UseSrc bool
+}
+
+// ReadOp returns an OpRead of obj.
+func ReadOp(obj model.ObjectID) Op { return Op{Kind: OpRead, Obj: obj} }
+
+// WriteOp returns an OpWrite of a constant.
+func WriteOp(obj model.ObjectID, v int64) Op {
+	return Op{Kind: OpWrite, Obj: obj, Const: v}
+}
+
+// IncrementOps returns the canonical increment transaction used by the
+// paper's Example 1: read obj, write obj := obj + delta.
+func IncrementOps(obj model.ObjectID, delta int64) []Op {
+	return []Op{
+		ReadOp(obj),
+		{Kind: OpWrite, Obj: obj, Src: obj, Const: delta, UseSrc: true},
+	}
+}
+
+// TransferOps returns a transfer transaction: move amount from a to b.
+func TransferOps(a, b model.ObjectID, amount int64) []Op {
+	return []Op{
+		ReadOp(a), ReadOp(b),
+		{Kind: OpWrite, Obj: a, Src: a, Const: -amount, UseSrc: true},
+		{Kind: OpWrite, Obj: b, Src: b, Const: amount, UseSrc: true},
+	}
+}
+
+// ClientTxn submits a transaction to the receiving processor, which
+// becomes its coordinator.
+type ClientTxn struct {
+	Tag uint64 // caller-chosen correlation tag, echoed in ClientResult
+	Ops []Op
+}
+
+// ObjVal pairs an object with the value a transaction read for it.
+type ObjVal struct {
+	Obj model.ObjectID
+	Val model.Value
+}
+
+// ClientResult reports a transaction's fate to the submitter.
+type ClientResult struct {
+	Tag       uint64
+	Txn       model.TxnID
+	Committed bool
+	// Denied is true when the transaction was refused outright because a
+	// referenced object was inaccessible (rule R1) — the "abort" exception
+	// of Logical-Read/Logical-Write — as opposed to aborted mid-flight.
+	Denied bool
+	Reason string
+	Reads  []ObjVal
+}
+
+// Kind returns a short stable name for a message's type, for metrics.
+func Kind(m Message) string {
+	switch m.(type) {
+	case NewVP:
+		return "newvp"
+	case AcceptVP:
+		return "acceptvp"
+	case CommitVP:
+		return "commitvp"
+	case Probe:
+		return "probe"
+	case ProbeAck:
+		return "probeack"
+	case RecoverRead:
+		return "recoverread"
+	case RecoverReadResp:
+		return "recoverreadresp"
+	case RecoverLog:
+		return "recoverlog"
+	case RecoverLogResp:
+		return "recoverlogresp"
+	case LockReq:
+		return "lockreq"
+	case LockResp:
+		return "lockresp"
+	case Prepare:
+		return "prepare"
+	case Vote:
+		return "vote"
+	case Decide:
+		return "decide"
+	case DecideAck:
+		return "decideack"
+	case Release:
+		return "release"
+	case ClientTxn:
+		return "clienttxn"
+	case ClientResult:
+		return "clientresult"
+	default:
+		return fmt.Sprintf("unknown(%T)", m)
+	}
+}

@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/wire"
+)
+
+func TestObjects(t *testing.T) {
+	objs := Objects(3)
+	if len(objs) != 3 || objs[0] != "o0" || objs[2] != "o2" {
+		t.Fatalf("Objects = %v", objs)
+	}
+}
+
+func TestMixRatios(t *testing.T) {
+	g := NewGenerator(1, Objects(10), []model.ProcID{1, 2, 3},
+		Mix{ReadFraction: 0.8, TransferFraction: 0.5}, 0)
+	reads, writes, transfers := 0, 0, 0
+	for i := 0; i < 5000; i++ {
+		txn := g.Next()
+		if txn.ReadOnly {
+			reads++
+		} else if len(txn.Request.Ops) == 4 {
+			transfers++
+		} else {
+			writes++
+		}
+	}
+	rf := float64(reads) / 5000
+	if rf < 0.77 || rf > 0.83 {
+		t.Fatalf("read fraction = %v, want ≈0.8", rf)
+	}
+	if transfers == 0 || writes == 0 {
+		t.Fatalf("mix degenerate: %d transfers %d writes", transfers, writes)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	count := func(zipf float64) int {
+		g := NewGenerator(7, Objects(20), []model.ProcID{1}, Mix{ReadFraction: 1}, zipf)
+		first := 0
+		for i := 0; i < 2000; i++ {
+			txn := g.Next()
+			if txn.Request.Ops[0].Obj == "o0" {
+				first++
+			}
+		}
+		return first
+	}
+	uniform := count(0)
+	skewed := count(1.2)
+	if skewed <= uniform*2 {
+		t.Fatalf("zipf skew ineffective: uniform=%d skewed=%d", uniform, skewed)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() []Txn {
+		g := NewGenerator(42, Objects(5), []model.ProcID{1, 2}, Mix{ReadFraction: 0.5}, 0.5)
+		out := make([]Txn, 50)
+		for i := range out {
+			out[i] = g.Next()
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i].Coordinator != b[i].Coordinator || len(a[i].Request.Ops) != len(b[i].Request.Ops) {
+			t.Fatalf("generation not deterministic at %d", i)
+		}
+	}
+}
+
+func TestSchedule(t *testing.T) {
+	g := NewGenerator(3, Objects(4), []model.ProcID{1}, Mix{ReadFraction: 0.5}, 0)
+	sched := g.Schedule(100*time.Millisecond, 10*time.Millisecond, 100)
+	if len(sched) != 100 {
+		t.Fatalf("len = %d", len(sched))
+	}
+	prev := time.Duration(0)
+	var tags = map[uint64]bool{}
+	for _, s := range sched {
+		if s.At < 100*time.Millisecond || s.At < prev {
+			t.Fatalf("times not monotone from start: %v after %v", s.At, prev)
+		}
+		prev = s.At
+		if tags[s.Txn.Request.Tag] {
+			t.Fatal("duplicate tag")
+		}
+		tags[s.Txn.Request.Tag] = true
+	}
+	// Mean gap sanity: total span ≈ 100×10ms.
+	span := sched[len(sched)-1].At - 100*time.Millisecond
+	if span < 500*time.Millisecond || span > 2*time.Second {
+		t.Fatalf("span = %v, want ≈1s", span)
+	}
+}
+
+func TestReadOnlyTxnsDistinctObjects(t *testing.T) {
+	g := NewGenerator(5, Objects(8), []model.ProcID{1}, Mix{ReadFraction: 1, OpsPerRead: 3}, 0)
+	for i := 0; i < 200; i++ {
+		txn := g.Next()
+		if len(txn.Request.Ops) != 3 {
+			t.Fatalf("ops = %v", txn.Request.Ops)
+		}
+		seen := map[model.ObjectID]bool{}
+		for _, op := range txn.Request.Ops {
+			if op.Kind != wire.OpRead {
+				t.Fatal("read-only txn contains a write")
+			}
+			if seen[op.Obj] {
+				t.Fatalf("duplicate object in read set: %v", txn.Request.Ops)
+			}
+			seen[op.Obj] = true
+		}
+	}
+}
+
+func TestFaultPlan(t *testing.T) {
+	procs := []model.ProcID{1, 2, 3, 4, 5}
+	plan := FaultPlan(9, procs, 0, 10*time.Second, 500*time.Millisecond, 200*time.Millisecond)
+	if len(plan) < 10 {
+		t.Fatalf("plan too sparse: %d events", len(plan))
+	}
+	prev := time.Duration(-1)
+	expectHeal := false
+	for _, f := range plan {
+		if f.At <= prev {
+			t.Fatalf("events not ordered: %v after %v", f.At, prev)
+		}
+		prev = f.At
+		if f.At >= 10*time.Second {
+			t.Fatal("event past the end")
+		}
+		if expectHeal && f.Kind != FaultHeal {
+			t.Fatal("failures overlap without a heal")
+		}
+		switch f.Kind {
+		case FaultPartition:
+			if len(f.Groups) != 2 || len(f.Groups[0]) == 0 || len(f.Groups[1]) == 0 {
+				t.Fatalf("bad partition groups: %v", f.Groups)
+			}
+			expectHeal = true
+		case FaultCrash:
+			if f.Victim == model.NoProc {
+				t.Fatal("crash without victim")
+			}
+			expectHeal = true
+		case FaultHeal:
+			expectHeal = false
+		}
+	}
+	// Determinism.
+	plan2 := FaultPlan(9, procs, 0, 10*time.Second, 500*time.Millisecond, 200*time.Millisecond)
+	if len(plan) != len(plan2) || plan[0].At != plan2[0].At {
+		t.Fatal("FaultPlan not deterministic")
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGenerator(1, nil, []model.ProcID{1}, Mix{}, 0)
+}
