@@ -1,0 +1,40 @@
+# Developer entry points. `make check` is the tier-1 gate used by CI and
+# by ROADMAP.md; `make race` covers the packages with real concurrency
+# (the TCP transport and the parallel experiment harness).
+
+GO ?= go
+
+.PHONY: check build vet test race bench bench-hotpath golden
+
+check: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./internal/net/... ./internal/bench/...
+
+# Run every benchmark in the repository.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Regenerate BENCH_hotpath.json from the hot-path microbenchmarks (see
+# EXPERIMENTS.md for the format). Benchmarks run sequentially so numbers
+# are not skewed by each other.
+bench-hotpath:
+	$(GO) test -run '^$$' -bench 'EngineSchedule|EngineCancel|WireRoundTrip|RunnerGrid' \
+		-benchmem -count=1 ./internal/sim ./internal/wire ./internal/bench \
+		| $(GO) run ./cmd/benchjson > BENCH_hotpath.json
+	@cat BENCH_hotpath.json
+
+# Regenerate the golden determinism trace after an intentional output
+# change (see internal/bench/golden_test.go).
+golden:
+	$(GO) run ./cmd/vpbench -exp e1,e2,e12 -seed 1 -markdown \
+		> internal/bench/testdata/golden_seed1.md

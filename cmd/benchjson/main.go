@@ -1,0 +1,109 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into the machine-readable BENCH_hotpath.json format documented in
+// EXPERIMENTS.md. It keeps the recorded numbers reproducible: run it via
+// `make bench-hotpath` so the benchmark set stays fixed.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+type benchmark struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	GoVersion  string      `json:"go"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rep := report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: []benchmark{},
+	}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseLine(line); ok {
+				b.Package = pkg
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine reads one benchmark result line, e.g.
+//
+//	BenchmarkWireRoundTrip-4  743631  1776 ns/op  328 B/op  5 allocs/op
+//
+// The -benchmem columns are optional; a line without them records only
+// timing.
+func parseLine(line string) (benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return benchmark{}, false
+	}
+	name := f[0]
+	// Strip the trailing -GOMAXPROCS suffix go test appends.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	b := benchmark{Name: name}
+	var err error
+	if b.Iterations, err = strconv.ParseInt(f[1], 10, 64); err != nil {
+		return benchmark{}, false
+	}
+	for i := 2; i+1 < len(f); i += 2 {
+		val, unit := f[i], f[i+1]
+		switch unit {
+		case "ns/op":
+			b.NsPerOp, err = strconv.ParseFloat(val, 64)
+		case "B/op":
+			b.BytesPerOp, err = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			b.AllocsPerOp, err = strconv.ParseInt(val, 10, 64)
+		}
+		if err != nil {
+			return benchmark{}, false
+		}
+	}
+	return b, b.NsPerOp > 0
+}

@@ -8,7 +8,12 @@
 //	vpbench -exp e3,e5      # run selected experiments
 //	vpbench -markdown       # emit GitHub-flavored markdown
 //	vpbench -seed 7         # change the deterministic seed
+//	vpbench -parallel 4     # fan experiments across 4 workers (0 = all CPUs)
 //	vpbench -list           # list experiment ids
+//
+// Each experiment owns a private simulation engine seeded from -seed, so
+// -parallel changes wall-clock time only: tables are printed in experiment
+// order and are byte-identical to a serial run.
 package main
 
 import (
@@ -26,6 +31,7 @@ func main() {
 		expFlag  = flag.String("exp", "", "comma-separated experiment ids (default: all)")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		markdown = flag.Bool("markdown", false, "emit markdown tables")
+		parallel = flag.Int("parallel", 1, "worker count for running experiments (0 = all CPUs)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -52,10 +58,10 @@ func main() {
 		}
 	}
 
-	for i, e := range selected {
-		start := time.Now()
-		table := e.Run(*seed)
-		elapsed := time.Since(start)
+	start := time.Now()
+	tables := bench.RunExperiments(selected, *seed, *parallel)
+	elapsed := time.Since(start)
+	for i, table := range tables {
 		if *markdown {
 			fmt.Println(table.Markdown())
 		} else {
@@ -63,7 +69,10 @@ func main() {
 				fmt.Println()
 			}
 			fmt.Print(table.String())
-			fmt.Printf("(%s wall-clock, simulated deterministically, seed %d)\n", elapsed.Round(time.Millisecond), *seed)
 		}
+	}
+	if !*markdown {
+		fmt.Printf("(%s wall-clock total, simulated deterministically, seed %d)\n",
+			elapsed.Round(time.Millisecond), *seed)
 	}
 }

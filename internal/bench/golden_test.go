@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoldenTraceSeed1 pins the end-to-end determinism contract: for a
+// fixed seed, experiments E1, E2 and E12 must render byte-identical
+// markdown across runs, machines, and — critically — engine-internal
+// changes (heap arity, arena slot reuse, compaction). The golden file was
+// captured with `vpbench -exp e1,e2,e12 -seed 1 -markdown`; execution
+// order is a pure function of (time, sequence), so any diff here means a
+// scheduling semantics regression, not a formatting one.
+//
+// Regenerate after an intentional output change with:
+//
+//	go run ./cmd/vpbench -exp e1,e2,e12 -seed 1 -markdown \
+//	  > internal/bench/testdata/golden_seed1.md
+func TestGoldenTraceSeed1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E12 runs 8 fault-injection trials; skipped in -short")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_seed1.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, id := range []string{"e1", "e2", "e12"} {
+		e := Find(id)
+		if e == nil {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		b.WriteString(e.Run(1).Markdown())
+		b.WriteString("\n") // vpbench prints each table with Println
+	}
+	if got := b.String(); got != string(want) {
+		t.Errorf("seed-1 trace diverged from golden file:\n--- got\n%s\n--- want\n%s",
+			got, want)
+	}
+}

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/virtualpartitions/vp/internal/workload"
+)
+
+func TestParallelCoversEveryIndexOnce(t *testing.T) {
+	const n = 100
+	var calls [n]atomic.Int32
+	got := Parallel(n, 7, func(i int) int {
+		calls[i].Add(1)
+		return i * i
+	})
+	for i := range calls {
+		if c := calls[i].Load(); c != 1 {
+			t.Errorf("index %d ran %d times", i, c)
+		}
+		if got[i] != i*i {
+			t.Errorf("result[%d] = %d, want %d", i, got[i], i*i)
+		}
+	}
+}
+
+func TestParallelEdgeCases(t *testing.T) {
+	if out := Parallel(0, 4, func(i int) int { return i }); out != nil {
+		t.Errorf("n=0: got %v, want nil", out)
+	}
+	// workers > n and workers <= 0 must still cover every index in order.
+	for _, w := range []int{-1, 0, 1, 99} {
+		out := Parallel(3, w, func(i int) int { return i + 1 })
+		if !reflect.DeepEqual(out, []int{1, 2, 3}) {
+			t.Errorf("workers=%d: got %v", w, out)
+		}
+	}
+}
+
+// testGrid is a small fast grid for equivalence tests: short horizons keep
+// the test under a second while still committing transactions.
+func testGrid(seed int64) []Cell {
+	var cells []Cell
+	for i, p := range []Protocol{ProtoVP, ProtoROWA} {
+		for j, f := range []float64{0.2, 0.8} {
+			cells = append(cells, Cell{
+				Spec:    Spec{Protocol: p, N: 3, Objects: 4, Seed: seed + int64(i*2+j)},
+				Mix:     workload.Mix{ReadFraction: f},
+				Txns:    20,
+				Horizon: 500 * time.Millisecond,
+			})
+		}
+	}
+	return cells
+}
+
+// TestRunCellsParallelMatchesSerial is the harness's determinism gate:
+// every cell owns a private seeded engine, so the grid's results must be
+// byte-identical regardless of worker count.
+func TestRunCellsParallelMatchesSerial(t *testing.T) {
+	cells := testGrid(1)
+	serial := RunCells(cells, 1)
+	for _, workers := range []int{2, 4} {
+		par := RunCells(cells, workers)
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("workers=%d: results differ from serial run:\nserial: %+v\nparallel: %+v",
+				workers, serial, par)
+		}
+	}
+	committed := 0
+	for _, res := range serial {
+		committed += res.Committed
+	}
+	if committed == 0 {
+		t.Fatal("grid committed no transactions; equivalence check is vacuous")
+	}
+}
+
+// TestRunExperimentsParallelMatchesSerial runs a real experiment through
+// the parallel path and compares rendered tables with a serial run.
+func TestRunExperimentsParallelMatchesSerial(t *testing.T) {
+	exps := []Experiment{*Find("e1"), *Find("e2")}
+	serial := RunExperiments(exps, 1, 1)
+	par := RunExperiments(exps, 1, 4)
+	if len(serial) != len(par) {
+		t.Fatalf("table counts differ: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if s, p := serial[i].Markdown(), par[i].Markdown(); s != p {
+			t.Errorf("experiment %s: parallel table differs from serial:\n--- serial\n%s\n--- parallel\n%s",
+				exps[i].ID, s, p)
+		}
+	}
+}
+
+// BenchmarkRunnerGrid measures the experiment grid at increasing worker
+// counts. On a multi-core host the speedup should be near-linear to 4
+// workers, since cells share nothing; on a single-core host (GOMAXPROCS=1)
+// all counts degenerate to serial throughput.
+func BenchmarkRunnerGrid(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				RunCells(testGrid(1), workers)
+			}
+		})
+	}
+}

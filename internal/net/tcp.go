@@ -21,6 +21,11 @@ import (
 // tolerates by design — the transport never retries on behalf of the
 // protocol.
 //
+// Every connection carries one persistent gob stream per direction
+// (wire.StreamEncoder on the writer, wire.StreamDecoder on the reader),
+// so type descriptors are handshaken once per connection instead of being
+// re-encoded on every message. A reconnect starts a fresh codec pair.
+//
 // Clients connect to the same port, send a wire.ClientTxn envelope (From
 // = model.NoProc) and receive wire.ClientResult envelopes back on the
 // same connection, matched by tag.
@@ -39,10 +44,10 @@ type TCPNode struct {
 
 	connMu   sync.Mutex
 	conns    map[model.ProcID]*peerConn
-	accepted map[stdnet.Conn]struct{}
+	accepted map[*acceptedConn]struct{}
 
 	clientMu sync.Mutex
-	clients  map[uint64]stdnet.Conn // txn tag -> submitting client conn
+	clients  map[uint64]*acceptedConn // txn tag -> submitting client conn
 
 	tmu    sync.Mutex
 	nextT  TimerID
@@ -50,9 +55,21 @@ type TCPNode struct {
 	rng    *rand.Rand
 }
 
+// peerConn is an outbound connection to one peer. Envelopes are encoded
+// by the writer goroutine, which owns the connection's StreamEncoder, so
+// Send never blocks on the network or the encoder.
 type peerConn struct {
 	conn stdnet.Conn
-	out  chan []byte
+	out  chan wire.Envelope
+}
+
+// acceptedConn is an inbound connection. The read loop owns its
+// StreamDecoder; the encoder side (used for client results) is guarded by
+// mu because results for different tags may share the connection.
+type acceptedConn struct {
+	conn stdnet.Conn
+	mu   sync.Mutex
+	enc  *wire.StreamEncoder
 }
 
 // NewTCPNode creates a node that will serve as processor id, reachable at
@@ -70,8 +87,8 @@ func NewTCPNode(id model.ProcID, addrs map[model.ProcID]string, h Handler) *TCPN
 		mbox:     make(chan rtEvent, 4096),
 		stopped:  make(chan struct{}),
 		conns:    make(map[model.ProcID]*peerConn),
-		accepted: make(map[stdnet.Conn]struct{}),
-		clients:  make(map[uint64]stdnet.Conn),
+		accepted: make(map[*acceptedConn]struct{}),
+		clients:  make(map[uint64]*acceptedConn),
 		timers:   make(map[TimerID]*time.Timer),
 		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
@@ -114,11 +131,10 @@ func (n *TCPNode) Stop() {
 		for _, pc := range n.conns {
 			pc.conn.Close()
 		}
-		for conn := range n.accepted {
-			conn.Close()
+		for ac := range n.accepted {
+			ac.conn.Close()
 		}
 		n.connMu.Unlock()
-		close(n.mbox)
 	})
 	n.wg.Wait()
 }
@@ -130,34 +146,40 @@ func (n *TCPNode) acceptLoop() {
 		if err != nil {
 			return
 		}
+		ac := &acceptedConn{conn: conn, enc: wire.NewStreamEncoder()}
 		n.connMu.Lock()
-		n.accepted[conn] = struct{}{}
+		n.accepted[ac] = struct{}{}
 		n.connMu.Unlock()
 		n.wg.Add(1)
-		go n.readLoop(conn)
+		go n.readLoop(ac)
 	}
 }
 
-func (n *TCPNode) readLoop(conn stdnet.Conn) {
+func (n *TCPNode) readLoop(ac *acceptedConn) {
 	defer n.wg.Done()
 	defer func() {
-		conn.Close()
+		ac.conn.Close()
 		n.connMu.Lock()
-		delete(n.accepted, conn)
+		delete(n.accepted, ac)
 		n.connMu.Unlock()
 	}()
+	// One persistent decoder per connection: the peer's encoder sends
+	// each type descriptor once, on the type's first message.
+	dec := wire.NewStreamDecoder()
+	fb := frameScratch.Get().(*frameBuf)
+	defer frameScratch.Put(fb)
 	for {
-		frame, err := readFrame(conn)
+		frame, err := readFrame(ac.conn, fb)
 		if err != nil {
 			return
 		}
-		env, err := wire.Decode(frame)
+		env, err := dec.Decode(frame)
 		if err != nil {
 			return // corrupted peer; drop the connection
 		}
 		if ct, ok := env.Msg.(wire.ClientTxn); ok && env.From == model.NoProc {
 			n.clientMu.Lock()
-			n.clients[ct.Tag] = conn
+			n.clients[ct.Tag] = ac
 			n.clientMu.Unlock()
 		}
 		n.enqueue(rtEvent{from: env.From, msg: env.Msg})
@@ -166,53 +188,64 @@ func (n *TCPNode) readLoop(conn stdnet.Conn) {
 
 func (n *TCPNode) eventLoop() {
 	defer n.wg.Done()
-	for ev := range n.mbox {
-		if ev.timer != nil {
-			n.tmu.Lock()
-			_, live := n.timers[ev.tid]
-			delete(n.timers, ev.tid)
-			n.tmu.Unlock()
-			if live {
-				n.handler.OnTimer(n, ev.timer)
+	// The mailbox is never closed: closing would race with concurrent
+	// enqueues from read loops and timers. Shutdown is signalled through
+	// the stopped channel instead, and undelivered events are dropped —
+	// an omission failure, which the protocol tolerates.
+	for {
+		select {
+		case <-n.stopped:
+			return
+		case ev := <-n.mbox:
+			if ev.timer != nil {
+				n.tmu.Lock()
+				_, live := n.timers[ev.tid]
+				delete(n.timers, ev.tid)
+				n.tmu.Unlock()
+				if live {
+					n.handler.OnTimer(n, ev.timer)
+				}
+				continue
 			}
-			continue
+			n.handler.OnMessage(n, ev.from, ev.msg)
 		}
-		n.handler.OnMessage(n, ev.from, ev.msg)
 	}
 }
 
 func (n *TCPNode) enqueue(ev rtEvent) {
-	defer func() { recover() }() //nolint:errcheck // mailbox may close during shutdown
 	select {
 	case <-n.stopped:
 	case n.mbox <- ev:
 	}
 }
 
-func readFrame(r io.Reader) ([]byte, error) {
-	var lenBuf [4]byte
+// frameBuf is a reusable scratch buffer for de-framing inbound messages.
+// Pooled so concurrent read loops recycle payload buffers instead of
+// allocating one per message.
+type frameBuf struct{ b []byte }
+
+var frameScratch = sync.Pool{New: func() any { return &frameBuf{b: make([]byte, 4096)} }}
+
+// readFrame reads one length-prefixed frame into fb's buffer, growing it
+// as needed. The returned slice aliases fb.b and is valid until the next
+// call with the same fb.
+func readFrame(r io.Reader, fb *frameBuf) ([]byte, error) {
+	var lenBuf [wire.FrameHeaderLen]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return nil, err
 	}
 	size := binary.BigEndian.Uint32(lenBuf[:])
-	if size > 16<<20 {
+	if size > wire.MaxFrame {
 		return nil, errors.New("net: oversized frame")
 	}
-	buf := make([]byte, size)
+	if cap(fb.b) < int(size) {
+		fb.b = make([]byte, size)
+	}
+	buf := fb.b[:size]
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil
-}
-
-func writeFrame(w io.Writer, b []byte) error {
-	var lenBuf [4]byte
-	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(b)))
-	if _, err := w.Write(lenBuf[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(b)
-	return err
 }
 
 func (n *TCPNode) peer(to model.ProcID) *peerConn {
@@ -229,7 +262,7 @@ func (n *TCPNode) peer(to model.ProcID) *peerConn {
 	if err != nil {
 		return nil // omission failure; the protocol copes
 	}
-	pc := &peerConn{conn: conn, out: make(chan []byte, 1024)}
+	pc := &peerConn{conn: conn, out: make(chan wire.Envelope, 1024)}
 	n.conns[to] = pc
 	n.wg.Add(1)
 	go func() {
@@ -242,12 +275,20 @@ func (n *TCPNode) peer(to model.ProcID) *peerConn {
 			}
 			n.connMu.Unlock()
 		}()
-		// Senders never block (Send drops on a full buffer), so exiting
-		// without draining is safe.
+		// The writer goroutine owns this connection's encoder: envelopes
+		// are gob-encoded here, once, onto the persistent stream, and each
+		// frame goes out in a single Write. Senders never block (Send
+		// drops on a full buffer), so exiting without draining is safe.
+		enc := wire.NewStreamEncoder()
 		for {
 			select {
-			case frame := <-pc.out:
-				if err := writeFrame(conn, frame); err != nil {
+			case env := <-pc.out:
+				frame, err := enc.EncodeFrame(&env)
+				if err != nil {
+					n.reg.Inc(metrics.CMsgDropped, 1)
+					return // encoder stream is now suspect; reconnect fresh
+				}
+				if _, err := conn.Write(frame); err != nil {
 					return
 				}
 			case <-n.stopped:
@@ -297,15 +338,18 @@ func (n *TCPNode) Send(to model.ProcID, m wire.Message) {
 			return
 		}
 		n.clientMu.Lock()
-		conn := n.clients[res.Tag]
+		ac := n.clients[res.Tag]
 		delete(n.clients, res.Tag)
 		n.clientMu.Unlock()
-		if conn == nil {
+		if ac == nil {
 			return
 		}
-		if frame, err := wire.Encode(wire.Envelope{From: n.id, To: model.NoProc, Msg: m}); err == nil {
-			writeFrame(conn, frame) //nolint:errcheck // client gone = omission
+		ac.mu.Lock()
+		frame, err := ac.enc.EncodeFrame(&wire.Envelope{From: n.id, To: model.NoProc, Msg: m})
+		if err == nil {
+			ac.conn.Write(frame) //nolint:errcheck // client gone = omission
 		}
+		ac.mu.Unlock()
 		return
 	}
 	pc := n.peer(to)
@@ -313,14 +357,9 @@ func (n *TCPNode) Send(to model.ProcID, m wire.Message) {
 		n.reg.Inc(metrics.CMsgDropped, 1)
 		return
 	}
-	frame, err := wire.Encode(wire.Envelope{From: n.id, To: to, Msg: m})
-	if err != nil {
-		n.reg.Inc(metrics.CMsgDropped, 1)
-		return
-	}
 	select {
 	case <-n.stopped:
-	case pc.out <- frame:
+	case pc.out <- wire.Envelope{From: n.id, To: to, Msg: m}:
 	default:
 		n.reg.Inc(metrics.CMsgDropped, 1) // backpressure = performance failure
 	}
@@ -369,20 +408,24 @@ func SubmitTCP(addr string, t wire.ClientTxn, timeout time.Duration) (wire.Clien
 		return wire.ClientResult{}, err
 	}
 	defer conn.Close()
-	frame, err := wire.Encode(wire.Envelope{From: model.NoProc, To: model.NoProc, Msg: t})
+	enc := wire.NewStreamEncoder()
+	frame, err := enc.EncodeFrame(&wire.Envelope{From: model.NoProc, To: model.NoProc, Msg: t})
 	if err != nil {
 		return wire.ClientResult{}, err
 	}
 	conn.SetDeadline(time.Now().Add(timeout)) //nolint:errcheck
-	if err := writeFrame(conn, frame); err != nil {
+	if _, err := conn.Write(frame); err != nil {
 		return wire.ClientResult{}, err
 	}
+	dec := wire.NewStreamDecoder()
+	fb := frameScratch.Get().(*frameBuf)
+	defer frameScratch.Put(fb)
 	for {
-		raw, err := readFrame(conn)
+		raw, err := readFrame(conn, fb)
 		if err != nil {
 			return wire.ClientResult{}, err
 		}
-		env, err := wire.Decode(raw)
+		env, err := dec.Decode(raw)
 		if err != nil {
 			return wire.ClientResult{}, err
 		}

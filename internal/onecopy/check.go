@@ -2,6 +2,7 @@ package onecopy
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"github.com/virtualpartitions/vp/internal/model"
@@ -71,15 +72,36 @@ func CheckRecords(recs []TxnRecord) Result {
 	}
 	type key struct {
 		mask uint64
-		cur  string
+		fp   uint64
 	}
 	cur := make([]int, len(objs)) // current writer per object (0 = initial)
-	fingerprint := func() string {
-		b := make([]byte, len(cur))
-		for i, w := range cur {
-			b[i] = byte(w)
+	// Memo fingerprint of cur. When every object's writer id fits the
+	// packed budget the encoding is exact; otherwise fall back to FNV-1a
+	// (writer ids are < 64, i.e. single bytes). A 64-bit hash collision
+	// could in principle prune a reachable state, but the state counts
+	// here (≲ 2^n·|writers|^|objs| visited, n ≤ 63 in practice ≪ 2^32)
+	// make that vanishingly unlikely. Either way the key costs zero
+	// allocations, unlike a per-state []byte→string fingerprint.
+	bitsPer := bits.Len(uint(len(writerIdx) - 1))
+	if bitsPer == 0 {
+		bitsPer = 1
+	}
+	packed := bitsPer*len(objs) <= 64
+	fingerprint := func() uint64 {
+		if packed {
+			var fp uint64
+			for _, w := range cur {
+				fp = fp<<bitsPer | uint64(w)
+			}
+			return fp
 		}
-		return string(b)
+		const offset64, prime64 = 14695981039346656037, 1099511628211
+		fp := uint64(offset64)
+		for _, w := range cur {
+			fp ^= uint64(w)
+			fp *= prime64
+		}
+		return fp
 	}
 	visited := map[key]bool{}
 	var order []model.TxnID

@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEngineSchedule measures steady-state scheduling: one After and
+// one executed event per iteration against a warm queue of 1024 pending
+// events — the discrete-event engine's hot path (RunAll executes up to
+// 50M of these per experiment).
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := New(1)
+	fn := func() {}
+	const depth = 1024
+	for i := 0; i < depth; i++ {
+		e.After(time.Duration(i)*time.Microsecond, "warm", fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(depth*time.Microsecond, "tick", fn)
+		e.Steps(1)
+	}
+}
+
+// BenchmarkEngineCancel measures schedule+cancel churn, the probe-timer
+// pattern that leaves lazily-deleted events behind.
+func BenchmarkEngineCancel(b *testing.B) {
+	e := New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := e.After(time.Duration(i%1000)*time.Microsecond, "probe", fn)
+		h.Cancel()
+		if i%1024 == 1023 {
+			e.Steps(16)
+		}
+	}
+}

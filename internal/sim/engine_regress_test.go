@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQueueLenAfterMassCancel is the regression gate for two defects the
+// arena engine fixed: QueueLen scanning the whole queue on every call, and
+// cancelled events riding in the heap until their deadline passed. After a
+// mass cancel, QueueLen must be exact immediately and the heap must have
+// compacted the corpses away instead of retaining them.
+func TestQueueLenAfterMassCancel(t *testing.T) {
+	e := New(1)
+	const total, keep = 10_000, 10
+	handles := make([]Handle, 0, total)
+	for i := 0; i < total; i++ {
+		handles = append(handles, e.After(time.Duration(i)*time.Millisecond, "ev", func() {}))
+	}
+	if got := e.QueueLen(); got != total {
+		t.Fatalf("QueueLen = %d after %d schedules", got, total)
+	}
+	for _, h := range handles[keep:] {
+		h.Cancel()
+	}
+	if got := e.QueueLen(); got != keep {
+		t.Fatalf("QueueLen = %d after mass cancel, want %d", got, keep)
+	}
+	// Compaction keeps dead entries a minority: the heap may hold at most
+	// 2× the live count, never the full cancelled backlog.
+	if hs := e.heapSize(); hs > 2*keep {
+		t.Fatalf("heap retains %d entries for %d live events; compaction failed", hs, keep)
+	}
+	// Re-cancelling already-cancelled events stays a no-op.
+	handles[keep].Cancel()
+	handles[total-1].Cancel()
+	if got := e.QueueLen(); got != keep {
+		t.Fatalf("QueueLen = %d after double cancel, want %d", got, keep)
+	}
+	if n := e.RunAll(); n != keep {
+		t.Fatalf("RunAll executed %d events, want %d", n, keep)
+	}
+	if got := e.QueueLen(); got != 0 {
+		t.Fatalf("QueueLen = %d after drain", got)
+	}
+	// Cancelling an executed event is a no-op too.
+	handles[0].Cancel()
+	if got := e.QueueLen(); got != 0 {
+		t.Fatalf("QueueLen = %d after post-run cancel", got)
+	}
+}
+
+// TestCancelledEventsNeverRun pins the semantics under slot reuse: a
+// cancelled event must not fire even when its arena slot has been
+// recycled for a new event at the same time.
+func TestCancelledEventsNeverRun(t *testing.T) {
+	e := New(1)
+	ran := map[int]bool{}
+	var handles []Handle
+	for i := 0; i < 100; i++ {
+		i := i
+		handles = append(handles, e.After(time.Millisecond, "ev", func() { ran[i] = true }))
+	}
+	for i, h := range handles {
+		if i%2 == 0 {
+			h.Cancel()
+		}
+	}
+	// Refill with new events; these reuse the freed arena slots, so the
+	// stale even-index handles now point at live slots of a newer
+	// generation and must stay inert.
+	for i := 100; i < 150; i++ {
+		i := i
+		e.After(2*time.Millisecond, "ev2", func() { ran[i] = true })
+	}
+	for i, h := range handles {
+		if i%2 == 0 {
+			h.Cancel() // stale: must not kill the slot's new occupant
+		}
+	}
+	e.RunAll()
+	for i := 0; i < 150; i++ {
+		want := i >= 100 || i%2 == 1
+		if ran[i] != want {
+			t.Errorf("event %d: ran=%v, want %v", i, ran[i], want)
+		}
+	}
+}
+
+// TestEngineSteadyStateAllocs is the allocation regression gate for the
+// scheduling hot path: on a warm engine, scheduling and executing an event
+// must not touch the allocator at all.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	e := New(1)
+	// Warm up: grow the arena, free list and heap to steady-state size.
+	for i := 0; i < 512; i++ {
+		e.After(time.Duration(i)*time.Microsecond, "warm", func() {})
+	}
+	fn := func() {}
+	for e.QueueLen() > 256 {
+		e.Steps(1)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(time.Millisecond, "tick", fn)
+		e.Steps(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule+run costs %v allocs/op, want 0", allocs)
+	}
+	// Cancellation is equally allocation-free.
+	allocs = testing.AllocsPerRun(1000, func() {
+		h := e.After(time.Millisecond, "tick", fn)
+		h.Cancel()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule+cancel costs %v allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,176 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/virtualpartitions/vp/internal/model"
+)
+
+// streamEnvelopes is one envelope per registered message kind, the full
+// vocabulary a persistent connection must carry.
+func streamEnvelopes() []Envelope {
+	vp := model.VPID{N: 7, P: 3}
+	txn := model.TxnID{Start: 10, P: 2, Seq: 5}
+	ver := model.Version{Date: vp, Ctr: 4, Writer: txn}
+	return []Envelope{
+		{From: 1, To: 2, Msg: NewVP{ID: vp}},
+		{From: 2, To: 1, Msg: AcceptVP{ID: vp, From: 2, Prev: model.VPID{N: 6, P: 1}}},
+		{From: 1, To: 2, Msg: CommitVP{ID: vp, View: []model.ProcID{1, 2, 3},
+			Prevs: map[model.ProcID]model.VPID{1: {N: 6, P: 1}}}},
+		{From: 1, To: 2, Msg: Probe{From: 1, VP: vp, Seq: 9}},
+		{From: 2, To: 1, Msg: ProbeAck{From: 2, Seq: 9}},
+		{From: 1, To: 2, Msg: RecoverRead{Obj: "x", VP: vp, Seq: 1}},
+		{From: 2, To: 1, Msg: RecoverReadResp{Obj: "x", Seq: 1, OK: true, Val: 42, Ver: ver,
+			Comps: []CompEntry{{P: 1, Ver: ver, Total: 3}}}},
+		{From: 1, To: 2, Msg: RecoverLog{Obj: "x", Since: ver, VP: vp, Seq: 2}},
+		{From: 2, To: 1, Msg: RecoverLogResp{Obj: "x", Seq: 2, OK: true, Complete: true,
+			Entries: []LogEntry{{Val: 1, Ver: ver}}}},
+		{From: 1, To: 2, Msg: LockReq{Txn: txn, Obj: "x", Mode: model.LockExclusive, Epoch: vp, HasEpoch: true}},
+		{From: 2, To: 1, Msg: LockResp{Txn: txn, Obj: "x", Status: LockGranted, Val: 5, Ver: ver}},
+		{From: 1, To: 2, Msg: Prepare{Txn: txn, Epoch: vp, HasEpoch: true,
+			Writes: []ObjWrite{{Obj: "x", Val: 6, Ver: ver, MissedBy: []model.ProcID{3}}}}},
+		{From: 2, To: 1, Msg: Vote{Txn: txn, From: 2, OK: true}},
+		{From: 1, To: 2, Msg: Decide{Txn: txn, Commit: true}},
+		{From: 2, To: 1, Msg: DecideAck{Txn: txn, From: 2}},
+		{From: 1, To: 2, Msg: Release{Txn: txn}},
+		{From: 0, To: 1, Msg: ClientTxn{Tag: 3, Ops: IncrementOps("x", 1)}},
+		{From: 1, To: 0, Msg: ClientResult{Tag: 3, Txn: txn, Committed: true,
+			Reads: []ObjVal{{Obj: "x", Val: 7}}}},
+	}
+}
+
+// TestStreamCodecAllKinds round-trips every message kind, twice, over one
+// persistent encoder/decoder pair: the second pass exercises the warm
+// stream where no type descriptors are re-sent.
+func TestStreamCodecAllKinds(t *testing.T) {
+	enc := NewStreamEncoder()
+	dec := NewStreamDecoder()
+	for pass := 0; pass < 2; pass++ {
+		for _, env := range streamEnvelopes() {
+			frame, err := enc.Encode(&env)
+			if err != nil {
+				t.Fatalf("pass %d: encode %s: %v", pass, Kind(env.Msg), err)
+			}
+			got, err := dec.Decode(frame)
+			if err != nil {
+				t.Fatalf("pass %d: decode %s: %v", pass, Kind(env.Msg), err)
+			}
+			if !reflect.DeepEqual(got, env) {
+				t.Errorf("pass %d: round trip of %s:\n got %#v\nwant %#v",
+					pass, Kind(env.Msg), got, env)
+			}
+		}
+	}
+}
+
+// TestStreamCodecDescriptorsShipOnce verifies the point of the streaming
+// codec: the first message of a type carries its descriptors, subsequent
+// ones do not, so warm frames are strictly smaller.
+func TestStreamCodecDescriptorsShipOnce(t *testing.T) {
+	enc := NewStreamEncoder()
+	env := Envelope{From: 1, To: 2, Msg: Probe{From: 1, VP: model.VPID{N: 1, P: 1}, Seq: 1}}
+	first, err := enc.Encode(&env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := len(first)
+	second, err := enc.Encode(&env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second) >= cold {
+		t.Fatalf("warm frame (%dB) not smaller than cold frame (%dB): descriptors re-sent?",
+			len(second), cold)
+	}
+	// A one-shot Encode always pays the descriptor cost.
+	oneShot, err := Encode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oneShot) <= len(second) {
+		t.Fatalf("one-shot frame (%dB) should exceed warm streaming frame (%dB)",
+			len(oneShot), len(second))
+	}
+}
+
+// TestStreamCodecFreshPairRehandshakes models a reconnect: a brand-new
+// encoder must re-send descriptors that a brand-new decoder can consume.
+func TestStreamCodecFreshPairRehandshakes(t *testing.T) {
+	for conn := 0; conn < 2; conn++ {
+		enc := NewStreamEncoder()
+		dec := NewStreamDecoder()
+		for _, env := range streamEnvelopes() {
+			frame, err := enc.Encode(&env)
+			if err != nil {
+				t.Fatalf("conn %d: %v", conn, err)
+			}
+			if _, err := dec.Decode(frame); err != nil {
+				t.Fatalf("conn %d: decode %s: %v", conn, Kind(env.Msg), err)
+			}
+		}
+	}
+}
+
+// TestEncodeFrameFraming checks the built-in length prefix.
+func TestEncodeFrameFraming(t *testing.T) {
+	enc := NewStreamEncoder()
+	dec := NewStreamDecoder()
+	env := Envelope{From: 1, To: 2, Msg: Decide{Commit: true}}
+	frame, err := enc.EncodeFrame(&env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) < FrameHeaderLen {
+		t.Fatalf("frame too short: %d", len(frame))
+	}
+	size := int(uint32(frame[0])<<24 | uint32(frame[1])<<16 | uint32(frame[2])<<8 | uint32(frame[3]))
+	if size != len(frame)-FrameHeaderLen {
+		t.Fatalf("length prefix %d != payload %d", size, len(frame)-FrameHeaderLen)
+	}
+	got, err := dec.Decode(frame[FrameHeaderLen:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, env) {
+		t.Fatalf("got %#v want %#v", got, env)
+	}
+}
+
+// TestStreamDecoderGarbage ensures a corrupt frame surfaces an error
+// instead of a panic, so the transport can drop the connection.
+func TestStreamDecoderGarbage(t *testing.T) {
+	dec := NewStreamDecoder()
+	if _, err := dec.Decode([]byte("not a gob stream")); err == nil {
+		t.Fatal("expected error decoding garbage")
+	}
+}
+
+// TestWireRoundTripAllocs is the allocation regression gate for the hot
+// transport path: on a warm connection an envelope round-trip must stay
+// within 2 allocations (the interface boxing of the decoded message).
+func TestWireRoundTripAllocs(t *testing.T) {
+	enc := NewStreamEncoder()
+	dec := NewStreamDecoder()
+	env := Envelope{From: 1, To: 2, Msg: Probe{From: 1, VP: model.VPID{N: 3, P: 1}, Seq: 7}}
+	// Warm the stream: descriptors ship once.
+	frame, err := enc.Encode(&env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Decode(frame); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		frame, err := enc.Encode(&env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dec.Decode(frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("warm envelope round-trip costs %.1f allocs/op, want <= 2", allocs)
+	}
+}
