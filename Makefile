@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-hotpath golden
+.PHONY: check build vet test race bench bench-hotpath bench-observability trace-check golden
 
 check: build vet test
 
@@ -32,6 +32,24 @@ bench-hotpath:
 		-benchmem -count=1 ./internal/sim ./internal/wire ./internal/bench \
 		| $(GO) run ./cmd/benchjson > BENCH_hotpath.json
 	@cat BENCH_hotpath.json
+
+# Capture the structured event trace of the deterministic seed-1
+# scenario and replay the paper's invariants over it: S1–S3 (view
+# consistency, reflexivity, serializable VP creation) and the access
+# rules R2/R3. vptrace exits non-zero on any violation, failing the
+# target. Used by CI.
+TRACE_FILE ?= /tmp/vp_seed1_trace.jsonl
+trace-check:
+	$(GO) run ./cmd/vpsim -quiet -seed 1 -trace-out $(TRACE_FILE)
+	$(GO) run ./cmd/vptrace check $(TRACE_FILE)
+	$(GO) run ./cmd/vptrace latency $(TRACE_FILE)
+
+# Regenerate BENCH_observability.json from the tracing hot-path
+# microbenchmarks (enabled vs disabled vs nil recorder).
+bench-observability:
+	$(GO) test -run '^$$' -bench 'TraceRecord' -benchmem -count=1 ./internal/trace \
+		| $(GO) run ./cmd/benchjson > BENCH_observability.json
+	@cat BENCH_observability.json
 
 # Regenerate the golden determinism trace after an intentional output
 # change (see internal/bench/golden_test.go).

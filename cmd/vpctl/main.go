@@ -28,36 +28,9 @@ func main() {
 		timeout = flag.Duration("timeout", 10*time.Second, "request timeout")
 	)
 	flag.Parse()
-	args := flag.Args()
-	if len(args) == 0 {
-		usage()
-	}
-
-	var ops []wire.Op
-	switch args[0] {
-	case "read":
-		if len(args) < 2 {
-			usage()
-		}
-		for _, o := range args[1:] {
-			ops = append(ops, wire.ReadOp(model.ObjectID(o)))
-		}
-	case "write":
-		if len(args) != 3 {
-			usage()
-		}
-		ops = []wire.Op{wire.WriteOp(model.ObjectID(args[1]), mustInt(args[2]))}
-	case "incr":
-		if len(args) != 3 {
-			usage()
-		}
-		ops = wire.IncrementOps(model.ObjectID(args[1]), mustInt(args[2]))
-	case "transfer":
-		if len(args) != 4 {
-			usage()
-		}
-		ops = wire.TransferOps(model.ObjectID(args[1]), model.ObjectID(args[2]), mustInt(args[3]))
-	default:
+	ops, err := parseOps(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpctl:", err)
 		usage()
 	}
 
@@ -82,13 +55,59 @@ func main() {
 	}
 }
 
-func mustInt(s string) int64 {
+// parseOps turns a command line into a transaction's operation list.
+func parseOps(args []string) ([]wire.Op, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("no command")
+	}
+	switch cmd := args[0]; cmd {
+	case "read":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("read needs at least one object")
+		}
+		var ops []wire.Op
+		for _, o := range args[1:] {
+			ops = append(ops, wire.ReadOp(model.ObjectID(o)))
+		}
+		return ops, nil
+	case "write":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("write needs <obj> <value>")
+		}
+		v, err := parseInt(args[2])
+		if err != nil {
+			return nil, err
+		}
+		return []wire.Op{wire.WriteOp(model.ObjectID(args[1]), v)}, nil
+	case "incr":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("incr needs <obj> <delta>")
+		}
+		v, err := parseInt(args[2])
+		if err != nil {
+			return nil, err
+		}
+		return wire.IncrementOps(model.ObjectID(args[1]), v), nil
+	case "transfer":
+		if len(args) != 4 {
+			return nil, fmt.Errorf("transfer needs <from> <to> <amount>")
+		}
+		v, err := parseInt(args[3])
+		if err != nil {
+			return nil, err
+		}
+		return wire.TransferOps(model.ObjectID(args[1]), model.ObjectID(args[2]), v), nil
+	default:
+		return nil, fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func parseInt(s string) (int64, error) {
 	v, err := strconv.ParseInt(s, 10, 64)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "vpctl: bad integer %q\n", s)
-		os.Exit(2)
+		return 0, fmt.Errorf("bad integer %q", s)
 	}
-	return v
+	return v, nil
 }
 
 func usage() {

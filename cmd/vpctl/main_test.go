@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/virtualpartitions/vp/internal/wire"
+)
+
+func TestParseOps(t *testing.T) {
+	ops, err := parseOps([]string{"read", "x", "y"})
+	if err != nil || len(ops) != 2 || ops[0].Kind != wire.OpRead || ops[1].Obj != "y" {
+		t.Fatalf("read: ops=%+v err=%v", ops, err)
+	}
+	ops, err = parseOps([]string{"write", "x", "42"})
+	if err != nil || len(ops) != 1 || ops[0].Kind != wire.OpWrite || ops[0].Const != 42 {
+		t.Fatalf("write: ops=%+v err=%v", ops, err)
+	}
+	ops, err = parseOps([]string{"incr", "x", "3"})
+	if err != nil || len(ops) == 0 {
+		t.Fatalf("incr: ops=%+v err=%v", ops, err)
+	}
+	ops, err = parseOps([]string{"transfer", "a", "b", "10"})
+	if err != nil || len(ops) == 0 {
+		t.Fatalf("transfer: ops=%+v err=%v", ops, err)
+	}
+}
+
+func TestParseOpsErrors(t *testing.T) {
+	for _, args := range [][]string{
+		nil,
+		{"read"},
+		{"write", "x"},
+		{"write", "x", "NaN"},
+		{"incr", "x"},
+		{"transfer", "a", "b"},
+		{"transfer", "a", "b", "many"},
+		{"frobnicate", "x"},
+	} {
+		if ops, err := parseOps(args); err == nil {
+			t.Errorf("parseOps(%v) accepted: %+v", args, ops)
+		}
+	}
+}

@@ -15,6 +15,11 @@
 //
 // Killing a node (or a minority of nodes) leaves the survivors
 // operating; a restarted node rejoins and rule R5 refreshes its copies.
+//
+// Observability: -debug-addr serves live Prometheus-text /metrics plus
+// /debug/vars (expvar) and /debug/pprof; -trace records the structured
+// protocol event trace and writes it as JSONL on shutdown, ready for
+// `vptrace check`.
 package main
 
 import (
@@ -28,74 +33,105 @@ import (
 	"time"
 
 	"github.com/virtualpartitions/vp/internal/core"
+	"github.com/virtualpartitions/vp/internal/debughttp"
 	"github.com/virtualpartitions/vp/internal/durable"
 	"github.com/virtualpartitions/vp/internal/model"
 	"github.com/virtualpartitions/vp/internal/net"
 	"github.com/virtualpartitions/vp/internal/node"
+	"github.com/virtualpartitions/vp/internal/trace"
 )
 
-func main() {
-	var (
-		id      = flag.Int("id", 0, "this processor's id (1-based, required)")
-		cluster = flag.String("cluster", "", "comma-separated id=host:port pairs (required)")
-		objects = flag.String("objects", "x", "comma-separated logical object names")
-		delta   = flag.Duration("delta", 50*time.Millisecond, "assumed message delay bound δ")
-		pi      = flag.Duration("pi", 0, "probe period π (default 20δ)")
-		dataDir = flag.String("data", "", "durable state directory (empty: in-memory only; with it, the node survives restarts)")
-		fsync   = flag.Bool("fsync", false, "fsync the journal on every record")
-		verbose = flag.Bool("v", false, "log view changes")
-	)
-	flag.Parse()
+// options is the parsed command line, separated from main so flag
+// handling is testable without forking a process.
+type options struct {
+	id        model.ProcID
+	addrs     map[model.ProcID]string
+	objects   []model.ObjectID
+	delta     time.Duration
+	pi        time.Duration
+	dataDir   string
+	fsync     bool
+	verbose   bool
+	debugAddr string
+	traceOut  string
+}
 
+// parseArgs parses argv (without the program name) into options.
+func parseArgs(args []string) (*options, error) {
+	fs := flag.NewFlagSet("vpnode", flag.ContinueOnError)
+	var (
+		id        = fs.Int("id", 0, "this processor's id (1-based, required)")
+		cluster   = fs.String("cluster", "", "comma-separated id=host:port pairs (required)")
+		objects   = fs.String("objects", "x", "comma-separated logical object names")
+		delta     = fs.Duration("delta", 50*time.Millisecond, "assumed message delay bound δ")
+		pi        = fs.Duration("pi", 0, "probe period π (default 20δ)")
+		dataDir   = fs.String("data", "", "durable state directory (empty: in-memory only; with it, the node survives restarts)")
+		fsync     = fs.Bool("fsync", false, "fsync the journal on every record")
+		verbose   = fs.Bool("v", false, "log view changes")
+		debugAddr = fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		traceOut  = fs.String("trace", "", "record the structured event trace; write JSONL here on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
 	addrs, err := parseCluster(*cluster)
+	if err != nil {
+		return nil, err
+	}
+	if *id < 1 {
+		return nil, fmt.Errorf("-id is required")
+	}
+	me := model.ProcID(*id)
+	if _, ok := addrs[me]; !ok {
+		return nil, fmt.Errorf("id %d not in -cluster", *id)
+	}
+	objNames := parseObjects(*objects)
+	if len(objNames) == 0 {
+		return nil, fmt.Errorf("-objects names no objects")
+	}
+	return &options{
+		id: me, addrs: addrs, objects: objNames,
+		delta: *delta, pi: *pi,
+		dataDir: *dataDir, fsync: *fsync, verbose: *verbose,
+		debugAddr: *debugAddr, traceOut: *traceOut,
+	}, nil
+}
+
+func main() {
+	opt, err := parseArgs(os.Args[1:])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vpnode:", err)
 		os.Exit(2)
 	}
-	if *id < 1 {
-		fmt.Fprintln(os.Stderr, "vpnode: -id is required")
-		os.Exit(2)
-	}
-	me := model.ProcID(*id)
-	if _, ok := addrs[me]; !ok {
-		fmt.Fprintf(os.Stderr, "vpnode: id %d not in -cluster\n", *id)
-		os.Exit(2)
-	}
-
-	var objNames []model.ObjectID
-	for _, o := range strings.Split(*objects, ",") {
-		if o = strings.TrimSpace(o); o != "" {
-			objNames = append(objNames, model.ObjectID(o))
-		}
-	}
-	cat := model.FullyReplicated(len(addrs), objNames...)
+	cat := model.FullyReplicated(len(opt.addrs), opt.objects...)
 
 	cfg := core.Config{
-		Config: node.Config{Delta: *delta, LogCap: 1024},
-		Pi:     *pi,
+		Config: node.Config{Delta: opt.delta, LogCap: 1024},
+		Pi:     opt.pi,
 	}
 	var nd *core.Node
-	if *dataDir != "" {
-		state, journal, err := durable.Open(*dataDir)
+	if opt.dataDir != "" {
+		state, journal, err := durable.Open(opt.dataDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vpnode:", err)
 			os.Exit(1)
 		}
-		journal.SyncEveryWrite = *fsync
+		journal.SyncEveryWrite = opt.fsync
 		defer journal.Close()
 		fresh := state.MaxID.IsZero() && len(state.Copies) == 0
 		if fresh {
-			nd = core.NewDurable(me, cfg, cat, nil, journal)
-			fmt.Printf("vpnode %v: fresh durable state in %s\n", me, *dataDir)
+			nd = core.NewDurable(opt.id, cfg, cat, nil, journal)
+			fmt.Printf("vpnode %v: fresh durable state in %s\n", opt.id, opt.dataDir)
 		} else {
-			nd = core.NewRestored(me, cfg, cat, nil, state, journal)
+			nd = core.NewRestored(opt.id, cfg, cat, nil, state, journal)
 			fmt.Printf("vpnode %v: restored from %s (max-id %v, %d copies)\n",
-				me, *dataDir, state.MaxID, len(state.Copies))
+				opt.id, opt.dataDir, state.MaxID, len(state.Copies))
 		}
 	} else {
-		nd = core.New(me, cfg, cat, nil)
+		nd = core.New(opt.id, cfg, cat, nil)
 	}
-	if *verbose {
+	if opt.verbose {
+		me := opt.id
 		nd.Observer = func(ev any) {
 			switch e := ev.(type) {
 			case core.JoinEvent:
@@ -105,18 +141,56 @@ func main() {
 			}
 		}
 	}
-	tcp := net.NewTCPNode(me, addrs, nd)
+	tcp := net.NewTCPNode(opt.id, opt.addrs, nd)
+	var rec *trace.Recorder
+	if opt.traceOut != "" {
+		rec = trace.New(trace.DefaultCap)
+		rec.SetEnabled(true)
+		tcp.SetTracer(rec)
+	}
 	if err := tcp.Run(); err != nil {
 		fmt.Fprintln(os.Stderr, "vpnode:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("vpnode %v serving on %s (δ=%v, objects %v)\n", me, addrs[me], *delta, objNames)
+	if opt.debugAddr != "" {
+		srv, addr, err := debughttp.Serve(opt.debugAddr, tcp.Metrics())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpnode:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("vpnode %v debug endpoints on http://%s/metrics\n", opt.id, addr)
+	}
+	fmt.Printf("vpnode %v serving on %s (δ=%v, objects %v)\n", opt.id, opt.addrs[opt.id], opt.delta, opt.objects)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Printf("vpnode %v shutting down\n", me)
+	fmt.Printf("vpnode %v shutting down\n", opt.id)
 	tcp.Stop()
+	if rec != nil {
+		f, err := os.Create(opt.traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpnode:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rec.WriteJSONL(f); err != nil {
+			fmt.Fprintln(os.Stderr, "vpnode: write trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("vpnode %v: %d trace events -> %s\n", opt.id, rec.Len(), opt.traceOut)
+	}
+}
+
+func parseObjects(s string) []model.ObjectID {
+	var out []model.ObjectID
+	for _, o := range strings.Split(s, ",") {
+		if o = strings.TrimSpace(o); o != "" {
+			out = append(out, model.ObjectID(o))
+		}
+	}
+	return out
 }
 
 func parseCluster(s string) (map[model.ProcID]string, error) {

@@ -10,6 +10,12 @@
 //	vpsim -scenario example1   # the paper's Example 1 graph
 //	vpsim -scenario example2   # the paper's Example 2 re-partition
 //	vpsim -quiet               # outcomes only, no trace
+//	vpsim -trace-out run.jsonl # also dump the structured event trace
+//
+// The -trace-out file is a JSONL stream of typed protocol events
+// (probes, VP formation, refreshes, transactions, messages) that
+// `vptrace check` replays to verify the paper's invariants S1–S3 and
+// the access rules R2/R3.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"github.com/virtualpartitions/vp/internal/bench"
 	"github.com/virtualpartitions/vp/internal/model"
 	"github.com/virtualpartitions/vp/internal/onecopy"
+	"github.com/virtualpartitions/vp/internal/trace"
 	"github.com/virtualpartitions/vp/internal/wire"
 	"github.com/virtualpartitions/vp/internal/workload"
 )
@@ -31,12 +38,13 @@ func main() {
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		scenario = flag.String("scenario", "split-heal", "split-heal | example1 | example2")
 		quiet    = flag.Bool("quiet", false, "suppress the protocol trace")
+		traceOut = flag.String("trace-out", "", "write the structured JSONL event trace to this file")
 	)
 	flag.Parse()
 
 	switch *scenario {
 	case "split-heal":
-		splitHeal(*n, *seed, !*quiet)
+		splitHeal(*n, *seed, !*quiet, *traceOut)
 	case "example1":
 		example1(*seed, !*quiet)
 	case "example2":
@@ -47,11 +55,29 @@ func main() {
 	}
 }
 
-func trace(r *bench.Runner, on bool) {
+func textTrace(r *bench.Runner, on bool) {
 	if on {
 		r.Cluster.TraceEnabled = true
 		r.Cluster.TraceSink = func(s string) { fmt.Println(s) }
 	}
+}
+
+// dumpTrace writes the recorder's events as JSONL.
+func dumpTrace(rec *trace.Recorder, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vpsim: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := rec.WriteJSONL(f); err != nil {
+		fmt.Fprintf(os.Stderr, "vpsim: write trace: %v\n", err)
+		os.Exit(1)
+	}
+	if dropped := rec.Dropped(); dropped > 0 {
+		fmt.Fprintf(os.Stderr, "vpsim: trace ring overflowed, oldest %d events lost (of %d)\n", dropped, rec.Total())
+	}
+	fmt.Printf("trace: %d events -> %s\n", rec.Len(), path)
 }
 
 func report(r *bench.Runner) {
@@ -65,9 +91,13 @@ func report(r *bench.Runner) {
 	fmt.Println("exact one-copy serializability check: OK")
 }
 
-func splitHeal(n int, seed int64, verbose bool) {
+func splitHeal(n int, seed int64, verbose bool, traceOut string) {
 	r := bench.NewRunner(bench.Spec{Protocol: bench.ProtoVP, N: n, Objects: 2, Seed: seed})
-	trace(r, verbose)
+	textTrace(r, verbose)
+	var rec *trace.Recorder
+	if traceOut != "" {
+		rec = r.EnableTrace(0)
+	}
 	start := r.WarmUp()
 	fmt.Printf("== %d-processor cluster, views formed by t=%v\n", n, start)
 
@@ -106,6 +136,9 @@ func splitHeal(n int, seed int64, verbose bool) {
 	submit(healAt+500*time.Millisecond, a[0], []wire.Op{wire.ReadOp("o0")},
 		fmt.Sprintf("read o0 at %v (after heal + R5 refresh)", a[0]))
 	r.Run(healAt + 2*time.Second)
+	if rec != nil {
+		dumpTrace(rec, traceOut)
+	}
 	report(r)
 }
 

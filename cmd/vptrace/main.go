@@ -1,0 +1,138 @@
+// Command vptrace analyzes structured JSONL traces captured from a run
+// of the virtual partition protocol (vpsim -trace-out, or any harness
+// that dumps a trace.Recorder).
+//
+// Usage:
+//
+//	vptrace check trace.jsonl      # replay S1,S2,S3 + R2,R3 checkers
+//	vptrace timeline trace.jsonl   # per-VP formation timelines
+//	vptrace latency trace.jsonl    # per-processor view-change latency
+//
+// A filename of "-" (or none) reads standard input. check exits with
+// status 1 when any invariant is violated, so it can gate CI.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/virtualpartitions/vp/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it returns the process exit code.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "usage: vptrace check|timeline|latency [trace.jsonl]")
+		return 2
+	}
+	cmd := args[0]
+	in := stdin
+	name := "<stdin>"
+	if len(args) > 1 && args[1] != "-" {
+		f, err := os.Open(args[1])
+		if err != nil {
+			fmt.Fprintf(stderr, "vptrace: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		in, name = f, args[1]
+	}
+	events, err := trace.ReadJSONL(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "vptrace: %s: %v\n", name, err)
+		return 2
+	}
+	switch cmd {
+	case "check":
+		return check(events, stdout)
+	case "timeline":
+		return timeline(events, stdout)
+	case "latency":
+		return latency(events, stdout)
+	default:
+		fmt.Fprintf(stderr, "vptrace: unknown command %q (want check, timeline or latency)\n", cmd)
+		return 2
+	}
+}
+
+// check replays the invariant checkers and reports per-rule totals.
+func check(events []trace.Event, w io.Writer) int {
+	rep := trace.Check(events)
+	rules := make([]string, 0, len(rep.Checked))
+	seen := map[string]bool{}
+	for r := range rep.Checked {
+		rules, seen[r] = append(rules, r), true
+	}
+	for r := range rep.Skipped {
+		if !seen[r] {
+			rules = append(rules, r)
+		}
+	}
+	sort.Strings(rules)
+	fmt.Fprintf(w, "%d events\n", len(events))
+	for _, r := range rules {
+		line := fmt.Sprintf("%-3s checked %d", r, rep.Checked[r])
+		if n := rep.Skipped[r]; n > 0 {
+			line += fmt.Sprintf(" (skipped %d)", n)
+		}
+		fmt.Fprintln(w, line)
+	}
+	if rep.OK() {
+		fmt.Fprintln(w, "OK: S1 S2 S3 R2 R3 hold on this trace")
+		return 0
+	}
+	fmt.Fprintf(w, "%d VIOLATIONS\n", len(rep.Violations))
+	for _, v := range rep.Violations {
+		fmt.Fprintf(w, "  %s seq=%d proc=%v: %s\n", v.Rule, v.Seq, v.Proc, v.Msg)
+	}
+	return 1
+}
+
+// timeline prints one block per virtual partition in creation order.
+func timeline(events []trace.Event, w io.Writer) int {
+	tls := trace.Timelines(events)
+	if len(tls) == 0 {
+		fmt.Fprintln(w, "no virtual partition events in trace")
+		return 0
+	}
+	for _, tl := range tls {
+		fmt.Fprintf(w, "vp %v\n", tl.VP)
+		if tl.InviteAt >= 0 {
+			fmt.Fprintf(w, "  invited   %v by %v\n", tl.InviteAt, tl.VP.P)
+		}
+		if tl.CommitAt >= 0 {
+			fmt.Fprintf(w, "  committed %v view=%v\n", tl.CommitAt, tl.View)
+		}
+		for _, j := range tl.Joins {
+			fmt.Fprintf(w, "  joined    %v proc=%v\n", j.At, j.Proc)
+		}
+		if lat := tl.FormationLatency(); lat > 0 {
+			fmt.Fprintf(w, "  formation latency %v\n", lat)
+		}
+	}
+	return 0
+}
+
+// latency prints the per-processor view-change latency summary.
+func latency(events []trace.Event, w io.Writer) int {
+	stats := trace.ViewChangeLatencies(events)
+	if len(stats) == 0 {
+		fmt.Fprintln(w, "no depart→join pairs in trace")
+		return 0
+	}
+	fmt.Fprintf(w, "%-6s %7s %12s %12s %12s\n", "proc", "changes", "min", "mean", "max")
+	for _, st := range stats {
+		fmt.Fprintf(w, "%-6v %7d %12v %12v %12v\n",
+			st.Proc, st.Count, round(st.Min), round(st.Mean), round(st.Max))
+	}
+	return 0
+}
+
+func round(d time.Duration) time.Duration { return d.Round(time.Microsecond) }

@@ -20,6 +20,7 @@ import (
 	"github.com/virtualpartitions/vp/internal/net"
 	"github.com/virtualpartitions/vp/internal/node"
 	"github.com/virtualpartitions/vp/internal/onecopy"
+	"github.com/virtualpartitions/vp/internal/trace"
 	"github.com/virtualpartitions/vp/internal/wire"
 	"github.com/virtualpartitions/vp/internal/workload"
 )
@@ -178,6 +179,26 @@ func NewRunner(spec Spec) *Runner {
 	}
 	r.Cluster.Start()
 	return r
+}
+
+// EnableTrace installs and enables a structured event recorder on the
+// cluster (capacity 0 = trace.DefaultCap) and seeds it with one
+// EvPlacement event per catalog object, so trace-replay checkers can
+// verify the access rules R2/R3 against the actual copy placement.
+// Tracing is pure observation: it never perturbs the simulation's
+// scheduling or randomness, so a traced run and an untraced run of the
+// same seed produce identical histories.
+func (r *Runner) EnableTrace(capacity int) *trace.Recorder {
+	if capacity <= 0 {
+		capacity = trace.DefaultCap
+	}
+	rec := trace.New(capacity)
+	rec.SetEnabled(true)
+	r.Cluster.Rec = rec
+	for _, obj := range r.Cat.Objects() {
+		rec.Record(trace.Event{Kind: trace.EvPlacement, Obj: obj, Procs: r.Cat.Copies(obj).Sorted()})
+	}
+	return rec
 }
 
 // VPNode returns the core node at p (nil for other protocols).

@@ -132,6 +132,11 @@ type Node struct {
 	// ViewChanges counts partition assignments, for experiments.
 	ViewChanges int
 
+	// departedAt records when the node last departed a partition, so the
+	// next join can observe the view-change latency (metrics.SViewChange).
+	departedAt  time.Duration
+	departedSet bool
+
 	// Observer, when set (tests, experiments), receives a JoinEvent or
 	// DepartEvent after each assignment change.
 	Observer func(ev any)

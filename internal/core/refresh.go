@@ -7,6 +7,7 @@ import (
 	"github.com/virtualpartitions/vp/internal/model"
 	"github.com/virtualpartitions/vp/internal/net"
 	"github.com/virtualpartitions/vp/internal/store"
+	"github.com/virtualpartitions/vp/internal/trace"
 	"github.com/virtualpartitions/vp/internal/wire"
 )
 
@@ -77,6 +78,7 @@ func (n *Node) startRefresh(rt net.Runtime, objs []model.ObjectID) {
 			}
 		}
 		n.refreshing[obj] = st
+		rt.Tracer().Record(trace.Event{At: rt.Now(), Proc: rt.ID(), Kind: trace.EvRefreshStart, VP: n.curID, Obj: obj, Aux: int64(st.pending.Len())})
 		if st.pending.Len() == 0 {
 			n.finishRefresh(rt, st)
 			continue
@@ -127,6 +129,7 @@ func (n *Node) onRecoverRead(rt net.Runtime, from model.ProcID, m wire.RecoverRe
 		}
 		rt.Metrics().Inc(metrics.CRefreshReads, 1)
 		rt.Metrics().Inc(metrics.CRefreshBytes, n.cfg.ObjectBytes)
+		rt.Tracer().Record(trace.Event{At: rt.Now(), Proc: rt.ID(), Kind: trace.EvRefreshServe, VP: n.curID, Obj: m.Obj, Peer: from, Aux: n.cfg.ObjectBytes})
 	}
 	rt.Send(from, resp)
 }
@@ -148,6 +151,7 @@ func (n *Node) onRecoverLog(rt net.Runtime, from model.ProcID, m wire.RecoverLog
 			}
 			rt.Metrics().Inc(metrics.CCatchupWrites, int64(len(entries)))
 			rt.Metrics().Inc(metrics.CRefreshBytes, int64(len(entries))*n.cfg.RecordBytes)
+			rt.Tracer().Record(trace.Event{At: rt.Now(), Proc: rt.ID(), Kind: trace.EvRefreshServe, VP: n.curID, Obj: m.Obj, Peer: from, Aux: int64(len(entries)) * n.cfg.RecordBytes})
 		}
 	}
 	rt.Send(from, resp)
@@ -313,6 +317,7 @@ func (n *Node) finishRefresh(rt net.Runtime, st *refreshState) {
 	delete(n.refreshing, st.obj)
 	n.Store.UnlockRecovered(st.obj)
 	n.RecoveryUnlocked(rt, st.obj)
+	rt.Tracer().Record(trace.Event{At: rt.Now(), Proc: rt.ID(), Kind: trace.EvRefreshDone, VP: n.curID, Obj: st.obj})
 	rt.Logf("refresh %s done at %v", st.obj, n.Store.Get(st.obj).Ver)
 }
 

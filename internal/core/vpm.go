@@ -5,6 +5,7 @@ import (
 	"github.com/virtualpartitions/vp/internal/model"
 	"github.com/virtualpartitions/vp/internal/net"
 	"github.com/virtualpartitions/vp/internal/node"
+	"github.com/virtualpartitions/vp/internal/trace"
 	"github.com/virtualpartitions/vp/internal/wire"
 )
 
@@ -21,7 +22,9 @@ func (n *Node) depart(rt net.Runtime, reason string) {
 	}
 	n.assigned = false
 	n.myPrev = n.curID
+	n.departedAt, n.departedSet = rt.Now(), true
 	n.abandonRefresh(rt)
+	rt.Tracer().Record(trace.Event{At: rt.Now(), Proc: rt.ID(), Kind: trace.EvVPDepart, VP: n.curID, Msg: reason})
 	if n.Observer != nil {
 		n.Observer(DepartEvent{Proc: rt.ID(), VP: n.curID, At: rt.Now()})
 	}
@@ -54,6 +57,7 @@ func (n *Node) startCreateVP(rt net.Runtime, id model.VPID) {
 	n.createID = id
 	n.accepts = map[model.ProcID]model.VPID{rt.ID(): n.myPrev}
 	rt.Metrics().Inc(metrics.CVPInvites, 1)
+	rt.Tracer().Record(trace.Event{At: rt.Now(), Proc: rt.ID(), Kind: trace.EvVPInvite, VP: id})
 	for _, p := range rt.Procs() {
 		if p != rt.ID() {
 			rt.Send(p, wire.NewVP{ID: id})
@@ -94,6 +98,9 @@ func (n *Node) onCreateWindow(rt net.Runtime, id model.VPID) {
 	// Send the commits before joining locally: join starts rule R5
 	// recovery, whose reads must not overtake the commit messages.
 	viewSet := model.NewProcSet(view...)
+	if tr := rt.Tracer(); tr.Enabled() {
+		tr.Record(trace.Event{At: rt.Now(), Proc: rt.ID(), Kind: trace.EvVPCommit, VP: id, Procs: viewSet.Sorted()})
+	}
 	for _, p := range viewSet.Sorted() {
 		if p != rt.ID() {
 			rt.Send(p, wire.CommitVP{ID: id, View: viewSet.Sorted(), Prevs: prevs})
@@ -113,6 +120,7 @@ func (n *Node) onNewVP(rt net.Runtime, from model.ProcID, m wire.NewVP) {
 	// Accepting cancels any lower-numbered creation of our own: its 2δ
 	// window will find createID ≠ maxID and stand down.
 	rt.Send(m.ID.P, wire.AcceptVP{ID: m.ID, From: rt.ID(), Prev: n.myPrev})
+	rt.Tracer().Record(trace.Event{At: rt.Now(), Proc: rt.ID(), Kind: trace.EvVPAccept, VP: m.ID, Peer: m.ID.P})
 	n.resetAcceptTimer(rt)
 }
 
@@ -164,6 +172,13 @@ func (n *Node) join(rt net.Runtime, id model.VPID, view model.ProcSet, prevs map
 	n.prevs = prevs
 	n.assigned = true
 	n.ViewChanges++
+	if n.departedSet {
+		rt.Metrics().ObserveDuration(metrics.SViewChange, rt.Now()-n.departedAt)
+		n.departedSet = false
+	}
+	if tr := rt.Tracer(); tr.Enabled() {
+		tr.Record(trace.Event{At: rt.Now(), Proc: rt.ID(), Kind: trace.EvVPJoin, VP: id, Procs: view.Sorted()})
+	}
 	rt.Logf("joined %v view=%v", id, view)
 	if n.Observer != nil {
 		n.Observer(JoinEvent{Proc: rt.ID(), VP: id, View: view.Clone(), At: rt.Now()})
@@ -191,6 +206,7 @@ func (n *Node) join(rt net.Runtime, id model.VPID, view model.ProcSet, prevs map
 	// recovery is skipped.
 	if n.cfg.UsePrevOpt && n.allPrevsEqual() {
 		rt.Metrics().Inc(metrics.CRefreshSkips, int64(len(locked)))
+		rt.Tracer().Record(trace.Event{At: rt.Now(), Proc: rt.ID(), Kind: trace.EvRefreshSkip, VP: id, Aux: int64(len(locked))})
 		rt.Logf("refresh skipped for %d objects (split-off from %v)", len(locked), n.myPrev)
 		n.FlushDeferred(rt)
 		return
@@ -257,6 +273,7 @@ func (n *Node) onProbeTick(rt net.Runtime) {
 	n.probeSeq++
 	n.probeAcks = model.NewProcSet(rt.ID())
 	n.probeOpen = true
+	rt.Tracer().Record(trace.Event{At: rt.Now(), Proc: rt.ID(), Kind: trace.EvProbeSend, VP: n.curID, Aux: int64(n.probeSeq)})
 	for _, p := range rt.Procs() {
 		if p != rt.ID() {
 			rt.Send(p, wire.Probe{From: rt.ID(), VP: n.curID, Seq: n.probeSeq})
@@ -306,5 +323,6 @@ func (n *Node) onProbe(rt net.Runtime, from model.ProcID, m wire.Probe) {
 func (n *Node) onProbeAck(rt net.Runtime, from model.ProcID, m wire.ProbeAck) {
 	if n.probeOpen && m.Seq == n.probeSeq {
 		n.probeAcks.Add(from)
+		rt.Tracer().Record(trace.Event{At: rt.Now(), Proc: rt.ID(), Kind: trace.EvProbeAck, VP: n.curID, Peer: from, Aux: int64(m.Seq)})
 	}
 }

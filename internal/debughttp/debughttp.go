@@ -1,0 +1,46 @@
+// Package debughttp serves the live observability endpoints of a node:
+// Prometheus-text /metrics, Go expvar under /debug/vars, and the
+// net/http/pprof profiling handlers under /debug/pprof/. It is wired
+// into vpnode behind the -debug-addr flag and deliberately stays off
+// the default ServeMux so importing it does not pollute global state
+// beyond what expvar and pprof themselves register.
+package debughttp
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"github.com/virtualpartitions/vp/internal/metrics"
+)
+
+// Mux builds the debug handler tree over a registry.
+func Mux(reg *metrics.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w) //nolint:errcheck // client gone mid-scrape
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve listens on addr and serves the debug endpoints until the
+// returned server is closed. It returns once the listener is bound, so
+// callers can immediately scrape the reported address (Addr resolves
+// ":0" to the chosen port).
+func Serve(addr string, reg *metrics.Registry) (*http.Server, string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: Mux(reg)}
+	go srv.Serve(l) //nolint:errcheck // ErrServerClosed on shutdown
+	return srv, l.Addr().String(), nil
+}

@@ -1,0 +1,62 @@
+package debughttp
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/virtualpartitions/vp/internal/metrics"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Inc(metrics.CTxnCommit, 3)
+	reg.Inc(metrics.CMsgSent+".probe", 9)
+	srv, addr, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body := get(t, "http://"+addr+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "vp_txn_commit 3") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, `vp_net_msg_sent{kind="probe"} 9`) {
+		t.Errorf("/metrics missing per-kind series:\n%s", body)
+	}
+
+	// A scrape after more activity sees the new values: live, not cached.
+	reg.Inc(metrics.CTxnCommit, 1)
+	if _, body = get(t, "http://"+addr+"/metrics"); !strings.Contains(body, "vp_txn_commit 4") {
+		t.Errorf("second scrape stale:\n%s", body)
+	}
+
+	if code, body = get(t, "http://"+addr+"/debug/vars"); code != http.StatusOK || !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars status %d, body %.80s", code, body)
+	}
+	if code, _ = get(t, "http://"+addr+"/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+	if code, _ = get(t, "http://"+addr+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+}

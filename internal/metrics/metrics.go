@@ -8,25 +8,58 @@ package metrics
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 )
 
+// DefaultSampleCap bounds how many raw observations a distribution
+// retains. Beyond the cap, reservoir sampling keeps a uniform sample of
+// everything seen, so long experiments cannot grow memory without bound
+// while quantile estimates stay representative.
+const DefaultSampleCap = 4096
+
+// sampleSet is one bounded distribution: the retained reservoir plus the
+// total number of observations ever made.
+type sampleSet struct {
+	vals []float64
+	seen int64
+}
+
 // Registry is a named collection of counters and samples.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]int64
-	samples  map[string][]float64
+	mu        sync.Mutex
+	counters  map[string]int64
+	samples   map[string]*sampleSet
+	sampleCap int
+	// rng drives reservoir replacement. Seeded deterministically so the
+	// same run retains the same sample (the registry is already serialized
+	// by mu, so this costs nothing extra).
+	rng *rand.Rand
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]int64),
-		samples:  make(map[string][]float64),
+		counters:  make(map[string]int64),
+		samples:   make(map[string]*sampleSet),
+		sampleCap: DefaultSampleCap,
+		rng:       rand.New(rand.NewSource(1)),
 	}
+}
+
+// SetSampleCap changes the per-distribution retention bound. It applies
+// to subsequent observations; existing reservoirs are not trimmed. A cap
+// of at least 1 is enforced.
+func (r *Registry) SetSampleCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.mu.Lock()
+	r.sampleCap = n
+	r.mu.Unlock()
 }
 
 // Inc adds delta to the named counter.
@@ -43,10 +76,26 @@ func (r *Registry) Get(name string) int64 {
 	return r.counters[name]
 }
 
-// Observe records one sample of a distribution.
+// Observe records one sample of a distribution. Below the cap every
+// observation is retained exactly; past it, observation k replaces a
+// random reservoir slot with probability cap/k (Vitter's algorithm R),
+// so the reservoir stays a uniform sample of the whole stream.
 func (r *Registry) Observe(name string, v float64) {
 	r.mu.Lock()
-	r.samples[name] = append(r.samples[name], v)
+	s := r.samples[name]
+	if s == nil {
+		s = &sampleSet{}
+		r.samples[name] = s
+	}
+	s.seen++
+	switch {
+	case len(s.vals) < r.sampleCap:
+		s.vals = append(s.vals, v)
+	default:
+		if j := r.rng.Int63n(s.seen); j < int64(len(s.vals)) {
+			s.vals[j] = v
+		}
+	}
 	r.mu.Unlock()
 }
 
@@ -74,10 +123,17 @@ type Summary struct {
 }
 
 // Samples returns a summary of the named distribution. The zero Summary
-// is returned when nothing was observed.
+// is returned when nothing was observed. Count is the total number of
+// observations; when it exceeds the sample cap, the remaining statistics
+// are estimates over the retained reservoir.
 func (r *Registry) Samples(name string) Summary {
 	r.mu.Lock()
-	vals := append([]float64(nil), r.samples[name]...)
+	var vals []float64
+	seen := 0
+	if s := r.samples[name]; s != nil {
+		vals = append(vals, s.vals...)
+		seen = int(s.seen)
+	}
 	r.mu.Unlock()
 	if len(vals) == 0 {
 		return Summary{}
@@ -92,7 +148,7 @@ func (r *Registry) Samples(name string) Summary {
 		return vals[i]
 	}
 	return Summary{
-		Count: len(vals),
+		Count: seen,
 		Mean:  sum / float64(len(vals)),
 		Min:   vals[0],
 		Max:   vals[len(vals)-1],
@@ -118,7 +174,7 @@ func (r *Registry) SampleNames() []string {
 func (r *Registry) Reset() {
 	r.mu.Lock()
 	r.counters = make(map[string]int64)
-	r.samples = make(map[string][]float64)
+	r.samples = make(map[string]*sampleSet)
 	r.mu.Unlock()
 }
 
@@ -158,4 +214,11 @@ const (
 	CCatchupWrites = "vp.catchup.writes"
 	CStaleReads    = "replica.stale.reads"
 	CMergeCombined = "mergeable.merges"
+)
+
+// Well-known sample (distribution) names.
+const (
+	// SViewChange is the time from a processor departing its virtual
+	// partition to joining the next one, in milliseconds.
+	SViewChange = "vp.viewchange.ms"
 )

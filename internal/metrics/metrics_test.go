@@ -102,3 +102,88 @@ func TestConcurrentUse(t *testing.T) {
 		t.Fatalf("samples = %d", r.Samples("s").Count)
 	}
 }
+
+func TestReservoirBoundsSamples(t *testing.T) {
+	r := NewRegistry()
+	r.SetSampleCap(64)
+	for i := 0; i < 10_000; i++ {
+		r.Observe("lat", float64(i))
+	}
+	s := r.Samples("lat")
+	if s.Count != 10_000 {
+		t.Fatalf("Count = %d, want total observations 10000", s.Count)
+	}
+	// The reservoir is a uniform sample of [0,10000): its mean must land
+	// near the population mean, and its extremes inside the range.
+	if s.Mean < 3500 || s.Mean > 6500 {
+		t.Errorf("reservoir mean %v implausible for uniform stream", s.Mean)
+	}
+	if s.Min < 0 || s.Max >= 10_000 {
+		t.Errorf("reservoir holds out-of-range values: min=%v max=%v", s.Min, s.Max)
+	}
+}
+
+func TestReservoirExactBelowCap(t *testing.T) {
+	r := NewRegistry()
+	r.SetSampleCap(100)
+	for i := 1; i <= 100; i++ {
+		r.Observe("lat", float64(i))
+	}
+	s := r.Samples("lat")
+	if s.Count != 100 || s.Mean != 50.5 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("below-cap summary not exact: %+v", s)
+	}
+}
+
+func TestReservoirMemoryBound(t *testing.T) {
+	r := NewRegistry()
+	r.SetSampleCap(8)
+	for i := 0; i < 1000; i++ {
+		r.Observe("x", float64(i))
+	}
+	r.mu.Lock()
+	got := len(r.samples["x"].vals)
+	r.mu.Unlock()
+	if got != 8 {
+		t.Fatalf("reservoir holds %d values, cap is 8", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Inc(CTxnCommit, 7)
+	r.Inc(CMsgSent, 5)
+	r.Inc(CMsgSent+".lockreq", 3)
+	r.Inc(CMsgSent+".probe", 2)
+	r.Observe(SViewChange, 4)
+	r.Observe(SViewChange, 8)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE vp_txn_commit counter",
+		"vp_txn_commit 7",
+		"# TYPE vp_net_msg_sent counter",
+		"vp_net_msg_sent 5",
+		`vp_net_msg_sent{kind="lockreq"} 3`,
+		`vp_net_msg_sent{kind="probe"} 2`,
+		"# TYPE vp_vp_viewchange_ms summary",
+		`vp_vp_viewchange_ms{quantile="0.5"}`,
+		"vp_vp_viewchange_ms_sum 12",
+		"vp_vp_viewchange_ms_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Two scrapes of the same registry must be byte-identical.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("scrape output not stable across calls")
+	}
+}

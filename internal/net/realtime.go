@@ -9,6 +9,7 @@ import (
 
 	"github.com/virtualpartitions/vp/internal/metrics"
 	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/trace"
 	"github.com/virtualpartitions/vp/internal/wire"
 )
 
@@ -20,6 +21,10 @@ import (
 type RealCluster struct {
 	Topo *Topology
 	Reg  *metrics.Registry
+	// Rec is the structured event recorder shared by all nodes. Nil (the
+	// default) disables tracing; Recorder methods are concurrency-safe,
+	// so node goroutines record into it directly.
+	Rec *trace.Recorder
 
 	// OnClientResult receives transaction results (called from node
 	// goroutines; must be safe for concurrent use).
@@ -145,6 +150,8 @@ func (n *realNode) Rand() *rand.Rand { return n.rng }
 
 func (n *realNode) Metrics() *metrics.Registry { return n.c.Reg }
 
+func (n *realNode) Tracer() *trace.Recorder { return n.c.Rec }
+
 func (n *realNode) Send(to model.ProcID, m wire.Message) {
 	c := n.c
 	if to == n.id {
@@ -152,8 +159,10 @@ func (n *realNode) Send(to model.ProcID, m wire.Message) {
 		n.enqueue(rtEvent{from: n.id, msg: m})
 		return
 	}
+	kind := wire.Kind(m)
 	c.Reg.Inc(metrics.CMsgSent, 1)
-	c.Reg.Inc("net.msg.sent."+wire.Kind(m), 1)
+	c.Reg.Inc(metrics.CMsgSent+"."+kind, 1)
+	c.Rec.Record(trace.Event{At: n.Now(), Proc: n.id, Kind: trace.EvMsgSend, Peer: to, Msg: kind})
 	if to == model.NoProc {
 		if c.OnClientResult != nil {
 			if res, ok := m.(wire.ClientResult); ok {
@@ -164,7 +173,7 @@ func (n *realNode) Send(to model.ProcID, m wire.Message) {
 	}
 	dst, ok := c.nodes[to]
 	if !ok || !c.Topo.Connected(n.id, to) {
-		c.Reg.Inc(metrics.CMsgDropped, 1)
+		n.drop(to, kind)
 		return
 	}
 	if p := c.Topo.DropProb(); p > 0 {
@@ -172,17 +181,19 @@ func (n *realNode) Send(to model.ProcID, m wire.Message) {
 		drop := n.rng.Float64() < p
 		n.rmu.Unlock()
 		if drop {
-			c.Reg.Inc(metrics.CMsgDropped, 1)
+			n.drop(to, kind)
 			return
 		}
 	}
 	lat := c.Topo.Latency(n.id, to)
 	deliver := func() {
 		if !c.Topo.Connected(n.id, to) {
-			c.Reg.Inc(metrics.CMsgDropped, 1)
+			n.drop(to, kind)
 			return
 		}
 		c.Reg.Inc(metrics.CMsgDelivered, 1)
+		c.Reg.Inc(metrics.CMsgDelivered+"."+kind, 1)
+		c.Rec.Record(trace.Event{At: n.Now(), Proc: to, Kind: trace.EvMsgRecv, Peer: n.id, Msg: kind})
 		dst.enqueue(rtEvent{from: n.id, msg: m})
 	}
 	if lat <= 0 {
@@ -216,4 +227,15 @@ func (n *realNode) Distance(to model.ProcID) time.Duration {
 	return n.c.Topo.Latency(n.id, to)
 }
 
-func (n *realNode) Logf(format string, args ...any) {}
+// drop accounts one lost message in the metrics and the trace.
+func (n *realNode) drop(to model.ProcID, kind string) {
+	n.c.Reg.Inc(metrics.CMsgDropped, 1)
+	n.c.Rec.Record(trace.Event{At: n.Now(), Proc: n.id, Kind: trace.EvMsgDrop, Peer: to, Msg: kind})
+}
+
+func (n *realNode) Logf(format string, args ...any) {
+	if !n.c.Rec.Enabled() {
+		return
+	}
+	n.c.Rec.Logf(n.Now(), n.id, format, args...)
+}

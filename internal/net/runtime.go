@@ -6,6 +6,7 @@ import (
 
 	"github.com/virtualpartitions/vp/internal/metrics"
 	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/trace"
 	"github.com/virtualpartitions/vp/internal/wire"
 )
 
@@ -40,7 +41,12 @@ type Runtime interface {
 	Rand() *rand.Rand
 	// Metrics returns the cluster-wide metrics registry.
 	Metrics() *metrics.Registry
-	// Logf records a trace line when tracing is enabled.
+	// Tracer returns the structured event recorder. It may be nil or
+	// disabled — trace.Recorder methods tolerate both — so protocol code
+	// records unconditionally and pays one branch when tracing is off.
+	Tracer() *trace.Recorder
+	// Logf records a structured EvLog trace line when tracing is enabled
+	// (and, under simulation, echoes it to the engine's text sink).
 	Logf(format string, args ...any)
 }
 

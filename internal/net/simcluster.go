@@ -8,6 +8,7 @@ import (
 	"github.com/virtualpartitions/vp/internal/metrics"
 	"github.com/virtualpartitions/vp/internal/model"
 	"github.com/virtualpartitions/vp/internal/sim"
+	"github.com/virtualpartitions/vp/internal/trace"
 	"github.com/virtualpartitions/vp/internal/wire"
 )
 
@@ -18,6 +19,10 @@ type SimCluster struct {
 	Engine *sim.Engine
 	Topo   *Topology
 	Reg    *metrics.Registry
+	// Rec is the structured event recorder handed to every node via
+	// Runtime.Tracer. Nil (the default) disables tracing at zero cost;
+	// harnesses that want a trace install one before (or after) Start.
+	Rec *trace.Recorder
 
 	nodes    map[model.ProcID]Handler
 	runtimes map[model.ProcID]*simRuntime
@@ -131,8 +136,10 @@ func (c *SimCluster) deliver(from, to model.ProcID, m wire.Message) {
 		}
 		return
 	}
+	kind := wire.Kind(m)
 	c.Reg.Inc(metrics.CMsgSent, 1)
-	c.Reg.Inc("net.msg.sent."+wire.Kind(m), 1)
+	c.Reg.Inc(metrics.CMsgSent+"."+kind, 1)
+	c.Rec.Record(trace.Event{At: c.Engine.Now(), Proc: from, Kind: trace.EvMsgSend, Peer: to, Msg: kind})
 	if to == model.NoProc {
 		// Client sink: local, reliable.
 		if c.OnClientResult != nil {
@@ -145,26 +152,34 @@ func (c *SimCluster) deliver(from, to model.ProcID, m wire.Message) {
 	}
 	h, ok := c.nodes[to]
 	if !ok {
-		c.Reg.Inc(metrics.CMsgDropped, 1)
+		c.drop(from, to, kind)
 		return
 	}
 	if !c.Topo.Connected(from, to) {
-		c.Reg.Inc(metrics.CMsgDropped, 1)
+		c.drop(from, to, kind)
 		return
 	}
 	if p := c.Topo.DropProb(); p > 0 && c.Engine.Rand().Float64() < p {
-		c.Reg.Inc(metrics.CMsgDropped, 1)
+		c.drop(from, to, kind)
 		return
 	}
 	lat := c.Topo.Latency(from, to)
-	c.Engine.After(lat, "deliver-"+wire.Kind(m), func() {
+	c.Engine.After(lat, "deliver-"+kind, func() {
 		if c.DropInFlight && !c.Topo.Connected(from, to) {
-			c.Reg.Inc(metrics.CMsgDropped, 1)
+			c.drop(from, to, kind)
 			return
 		}
 		c.Reg.Inc(metrics.CMsgDelivered, 1)
+		c.Reg.Inc(metrics.CMsgDelivered+"."+kind, 1)
+		c.Rec.Record(trace.Event{At: c.Engine.Now(), Proc: to, Kind: trace.EvMsgRecv, Peer: from, Msg: kind})
 		h.OnMessage(c.runtimes[to], from, m)
 	})
+}
+
+// drop accounts one lost message in the metrics and the trace.
+func (c *SimCluster) drop(from, to model.ProcID, kind string) {
+	c.Reg.Inc(metrics.CMsgDropped, 1)
+	c.Rec.Record(trace.Event{At: c.Engine.Now(), Proc: from, Kind: trace.EvMsgDrop, Peer: to, Msg: kind})
 }
 
 // simRuntime implements Runtime on top of the cluster's engine.
@@ -184,6 +199,8 @@ func (r *simRuntime) Now() time.Duration    { return r.c.Engine.Now() }
 func (r *simRuntime) Rand() *rand.Rand      { return r.rng }
 
 func (r *simRuntime) Metrics() *metrics.Registry { return r.c.Reg }
+
+func (r *simRuntime) Tracer() *trace.Recorder { return r.c.Rec }
 
 func (r *simRuntime) Send(to model.ProcID, m wire.Message) {
 	r.c.deliver(r.id, to, m)
@@ -215,13 +232,26 @@ func (r *simRuntime) Distance(to model.ProcID) time.Duration {
 	return r.c.Topo.Latency(r.id, to)
 }
 
+// Logf routes protocol log lines through the structured recorder (as
+// EvLog events) and, when the legacy text trace is on, through the
+// human-readable sink. With both off the format work is skipped, so
+// benchmarks stay silent and allocation-free.
 func (r *simRuntime) Logf(format string, args ...any) {
-	if !r.c.TraceEnabled {
+	c := r.c
+	structured := c.Rec.Enabled()
+	if !c.TraceEnabled && !structured {
 		return
 	}
-	line := fmt.Sprintf("[%8.3fms %v] %s", float64(r.c.Engine.Now())/float64(time.Millisecond), r.id, fmt.Sprintf(format, args...))
-	if r.c.TraceSink != nil {
-		r.c.TraceSink(line)
+	msg := fmt.Sprintf(format, args...)
+	if structured {
+		c.Rec.Record(trace.Event{At: c.Engine.Now(), Proc: r.id, Kind: trace.EvLog, Msg: msg})
+	}
+	if !c.TraceEnabled {
+		return
+	}
+	line := fmt.Sprintf("[%8.3fms %v] %s", float64(c.Engine.Now())/float64(time.Millisecond), r.id, msg)
+	if c.TraceSink != nil {
+		c.TraceSink(line)
 	} else {
 		fmt.Println(line)
 	}

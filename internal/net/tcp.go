@@ -12,6 +12,7 @@ import (
 
 	"github.com/virtualpartitions/vp/internal/metrics"
 	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/trace"
 	"github.com/virtualpartitions/vp/internal/wire"
 )
 
@@ -34,6 +35,7 @@ type TCPNode struct {
 	handler Handler
 	addrs   map[model.ProcID]string
 	reg     *metrics.Registry
+	rec     *trace.Recorder
 	start   time.Time
 
 	listener stdnet.Listener
@@ -96,6 +98,13 @@ func NewTCPNode(id model.ProcID, addrs map[model.ProcID]string, h Handler) *TCPN
 
 // Metrics returns the node's registry.
 func (n *TCPNode) Metrics() *metrics.Registry { return n.reg }
+
+// SetTracer installs a structured event recorder. Call before Run; the
+// node starts with tracing off (nil recorder).
+func (n *TCPNode) SetTracer(r *trace.Recorder) { n.rec = r }
+
+// Tracer implements Runtime.
+func (n *TCPNode) Tracer() *trace.Recorder { return n.rec }
 
 // Addr returns the listen address after Run has started.
 func (n *TCPNode) Addr() string {
@@ -182,6 +191,10 @@ func (n *TCPNode) readLoop(ac *acceptedConn) {
 			n.clients[ct.Tag] = ac
 			n.clientMu.Unlock()
 		}
+		kind := wire.Kind(env.Msg)
+		n.reg.Inc(metrics.CMsgDelivered, 1)
+		n.reg.Inc(metrics.CMsgDelivered+"."+kind, 1)
+		n.rec.Record(trace.Event{At: n.Now(), Proc: n.id, Kind: trace.EvMsgRecv, Peer: env.From, Msg: kind})
 		n.enqueue(rtEvent{from: env.From, msg: env.Msg})
 	}
 }
@@ -330,8 +343,10 @@ func (n *TCPNode) Send(to model.ProcID, m wire.Message) {
 		n.enqueue(rtEvent{from: n.id, msg: m}) // local, free
 		return
 	}
+	kind := wire.Kind(m)
 	n.reg.Inc(metrics.CMsgSent, 1)
-	n.reg.Inc("net.msg.sent."+wire.Kind(m), 1)
+	n.reg.Inc(metrics.CMsgSent+"."+kind, 1)
+	n.rec.Record(trace.Event{At: n.Now(), Proc: n.id, Kind: trace.EvMsgSend, Peer: to, Msg: kind})
 	if to == model.NoProc {
 		res, ok := m.(wire.ClientResult)
 		if !ok {
@@ -354,15 +369,21 @@ func (n *TCPNode) Send(to model.ProcID, m wire.Message) {
 	}
 	pc := n.peer(to)
 	if pc == nil {
-		n.reg.Inc(metrics.CMsgDropped, 1)
+		n.drop(to, kind)
 		return
 	}
 	select {
 	case <-n.stopped:
 	case pc.out <- wire.Envelope{From: n.id, To: to, Msg: m}:
 	default:
-		n.reg.Inc(metrics.CMsgDropped, 1) // backpressure = performance failure
+		n.drop(to, kind) // backpressure = performance failure
 	}
+}
+
+// drop accounts one lost message in the metrics and the trace.
+func (n *TCPNode) drop(to model.ProcID, kind string) {
+	n.reg.Inc(metrics.CMsgDropped, 1)
+	n.rec.Record(trace.Event{At: n.Now(), Proc: n.id, Kind: trace.EvMsgDrop, Peer: to, Msg: kind})
 }
 
 // SetTimer implements Runtime.
@@ -397,8 +418,14 @@ func (n *TCPNode) Distance(to model.ProcID) time.Duration {
 	return time.Millisecond
 }
 
-// Metrics implements Runtime.
-func (n *TCPNode) Logf(format string, args ...any) {}
+// Logf implements Runtime: it records an EvLog event when a tracer is
+// installed and enabled, and is free otherwise.
+func (n *TCPNode) Logf(format string, args ...any) {
+	if !n.rec.Enabled() {
+		return
+	}
+	n.rec.Logf(n.Now(), n.id, format, args...)
+}
 
 // SubmitTCP sends a transaction to a node at addr and waits for its
 // result. It is the client side of the TCP transport, used by vpctl.

@@ -7,6 +7,7 @@ import (
 	"github.com/virtualpartitions/vp/internal/model"
 	"github.com/virtualpartitions/vp/internal/net"
 	"github.com/virtualpartitions/vp/internal/onecopy"
+	"github.com/virtualpartitions/vp/internal/trace"
 	"github.com/virtualpartitions/vp/internal/wire"
 )
 
@@ -66,6 +67,7 @@ type txn struct {
 func (b *Base) startTxn(rt net.Runtime, ct wire.ClientTxn) {
 	deny := func(reason string) {
 		rt.Metrics().Inc(metrics.CTxnDenied, 1)
+		rt.Tracer().Record(trace.Event{At: rt.Now(), Proc: b.ID, Kind: trace.EvTxnDeny, Msg: reason, Aux: int64(ct.Tag)})
 		rt.Send(model.NoProc, wire.ClientResult{
 			Tag: ct.Tag, Denied: true, Reason: reason,
 		})
@@ -95,6 +97,7 @@ func (b *Base) startTxn(rt net.Runtime, ct wire.ClientTxn) {
 		missedBy:   make(map[model.ObjectID][]model.ProcID),
 	}
 	b.active[t.id] = t
+	rt.Tracer().Record(trace.Event{At: rt.Now(), Proc: b.ID, Kind: trace.EvTxnBegin, VP: epoch.VP, Txn: t.id, Aux: int64(len(ct.Ops))})
 	b.step(rt, t)
 }
 
@@ -336,6 +339,10 @@ func (b *Base) completeOp(rt net.Runtime, t *txn) {
 		}
 		t.regs[op.Obj] = maxResp.Val
 		t.readVers[op.Obj] = maxResp.Ver
+		if tr := rt.Tracer(); tr.Enabled() {
+			tr.Record(trace.Event{At: rt.Now(), Proc: b.ID, Kind: trace.EvTxnRead, VP: t.epoch.VP, Txn: t.id, Obj: op.Obj,
+				Procs: append([]model.ProcID(nil), grantedProcs...)})
+		}
 	case wire.OpWrite:
 		val := model.Value(op.Const)
 		if op.UseSrc {
@@ -352,6 +359,10 @@ func (b *Base) completeOp(rt net.Runtime, t *txn) {
 			}
 		}
 		t.missedBy[op.Obj] = missed
+		if tr := rt.Tracer(); tr.Enabled() {
+			tr.Record(trace.Event{At: rt.Now(), Proc: b.ID, Kind: trace.EvTxnWrite, VP: t.epoch.VP, Txn: t.id, Obj: op.Obj,
+				Procs: append([]model.ProcID(nil), grantedProcs...)})
+		}
 	}
 	t.opIdx++
 	b.step(rt, t)
@@ -546,8 +557,10 @@ func (b *Base) abortTxn(rt net.Runtime, t *txn, reason string) {
 func (b *Base) finish(rt net.Runtime, t *txn, committed bool, reason string) {
 	if committed {
 		rt.Metrics().Inc(metrics.CTxnCommit, 1)
+		rt.Tracer().Record(trace.Event{At: rt.Now(), Proc: b.ID, Kind: trace.EvTxnCommit, VP: t.epoch.VP, Txn: t.id})
 	} else {
 		rt.Metrics().Inc(metrics.CTxnAbort, 1)
+		rt.Tracer().Record(trace.Event{At: rt.Now(), Proc: b.ID, Kind: trace.EvTxnAbort, VP: t.epoch.VP, Txn: t.id, Msg: reason})
 	}
 	if b.Hist != nil {
 		rec := onecopy.TxnRecord{

@@ -1,0 +1,352 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/virtualpartitions/vp/internal/model"
+)
+
+// Trace-driven protocol audit: replay a recorded event stream through
+// checkers for the paper's view-management properties and access rules.
+//
+//	S1 (view consistency)  — processors assigned to the same virtual
+//	                         partition have identical views.
+//	S2 (reflexivity)       — a processor's view contains the processor.
+//	S3 (serializable VP    — each processor joins partitions in strictly
+//	    creation)            increasing ≺ order, so the global creation
+//	                         order embeds every local assignment order.
+//	R2 (read-one)          — a committed logical read in partition v read
+//	                         exactly one copy, held inside view(v).
+//	R3 (write-all-in-view) — a committed logical write in partition v
+//	                         targeted exactly copies(l) ∩ view(v).
+//
+// R2/R3 need the copy placement, which the harness records as EvPlacement
+// events at the head of the trace; without them those rules are reported
+// as skipped rather than silently passed.
+
+// Violation is one observed breach of a property.
+type Violation struct {
+	Rule string // "S1", "S2", "S3", "R2", "R3"
+	Seq  uint64 // sequence number of the offending event (0: aggregate)
+	Proc model.ProcID
+	Msg  string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s violated at seq %d (%v): %s", v.Rule, v.Seq, v.Proc, v.Msg)
+}
+
+// Report is the outcome of a Check run.
+type Report struct {
+	Violations []Violation
+	// Checked counts the facts each rule verified (joins for S1–S3,
+	// logical accesses for R2/R3).
+	Checked map[string]int
+	// Skipped counts facts a rule could not verify (missing placement,
+	// partition-free transactions, uncommitted transactions).
+	Skipped map[string]int
+}
+
+// OK reports whether no rule was violated.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+func (r *Report) violate(rule string, seq uint64, proc model.ProcID, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{
+		Rule: rule, Seq: seq, Proc: proc, Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+func sortedProcs(ps []model.ProcID) []model.ProcID {
+	out := append([]model.ProcID(nil), ps...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sameProcs(a, b []model.ProcID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsProc(ps []model.ProcID, p model.ProcID) bool {
+	for _, q := range ps {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// txnFacts accumulates what the trace says about one transaction.
+type txnFacts struct {
+	epoch     model.VPID
+	hasEpoch  bool
+	beginSeq  uint64
+	coord     model.ProcID
+	reads     []Event
+	writes    []Event
+	committed bool
+}
+
+// Check replays the events through every checker and returns the report.
+// Events are processed in Seq order regardless of input order.
+func Check(events []Event) *Report {
+	evs := append([]Event(nil), events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+
+	rep := &Report{
+		Checked: map[string]int{"S1": 0, "S2": 0, "S3": 0, "R2": 0, "R3": 0},
+		Skipped: map[string]int{"R2": 0, "R3": 0},
+	}
+
+	placement := map[model.ObjectID][]model.ProcID{} // sorted holders
+	views := map[model.VPID][]model.ProcID{}         // first sorted view seen per VP
+	lastJoined := map[model.ProcID]model.VPID{}      // per-proc last assignment
+	hasJoined := map[model.ProcID]bool{}
+	txns := map[model.TxnID]*txnFacts{}
+	var txnOrder []model.TxnID
+
+	for _, e := range evs {
+		switch e.Kind {
+		case EvPlacement:
+			placement[e.Obj] = sortedProcs(e.Procs)
+
+		case EvVPJoin:
+			view := sortedProcs(e.Procs)
+			// S2: reflexivity.
+			rep.Checked["S2"]++
+			if !containsProc(view, e.Proc) {
+				rep.violate("S2", e.Seq, e.Proc, "view %v of %v does not contain the processor", view, e.VP)
+			}
+			// S1: all views of one partition identical.
+			rep.Checked["S1"]++
+			if prev, ok := views[e.VP]; ok {
+				if !sameProcs(prev, view) {
+					rep.violate("S1", e.Seq, e.Proc, "view %v of %v differs from previously seen view %v", view, e.VP, prev)
+				}
+			} else {
+				views[e.VP] = view
+			}
+			// S3: strictly increasing assignment order per processor.
+			rep.Checked["S3"]++
+			if hasJoined[e.Proc] && !lastJoined[e.Proc].Less(e.VP) {
+				rep.violate("S3", e.Seq, e.Proc, "joined %v after %v, breaking the ≺ creation order", e.VP, lastJoined[e.Proc])
+			}
+			lastJoined[e.Proc] = e.VP
+			hasJoined[e.Proc] = true
+
+		case EvTxnBegin:
+			if _, ok := txns[e.Txn]; !ok {
+				txns[e.Txn] = &txnFacts{
+					epoch: e.VP, hasEpoch: e.HasEpoch(), beginSeq: e.Seq, coord: e.Proc,
+				}
+				txnOrder = append(txnOrder, e.Txn)
+			}
+		case EvTxnRead:
+			if t := txns[e.Txn]; t != nil {
+				t.reads = append(t.reads, e)
+			}
+		case EvTxnWrite:
+			if t := txns[e.Txn]; t != nil {
+				t.writes = append(t.writes, e)
+			}
+		case EvTxnCommit:
+			if t := txns[e.Txn]; t != nil {
+				t.committed = true
+			}
+		}
+	}
+
+	// R2/R3 over committed transactions that ran inside a partition.
+	for _, id := range txnOrder {
+		t := txns[id]
+		if !t.committed {
+			rep.Skipped["R2"] += len(t.reads)
+			rep.Skipped["R3"] += len(t.writes)
+			continue
+		}
+		if !t.hasEpoch {
+			// Partition-free protocol (quorum, ROWA): rules do not apply.
+			rep.Skipped["R2"] += len(t.reads)
+			rep.Skipped["R3"] += len(t.writes)
+			continue
+		}
+		view, haveView := views[t.epoch]
+		for _, e := range t.reads {
+			holders, havePl := placement[e.Obj]
+			if !haveView || !havePl {
+				rep.Skipped["R2"]++
+				continue
+			}
+			rep.Checked["R2"]++
+			if len(e.Procs) != 1 {
+				rep.violate("R2", e.Seq, e.Proc, "logical read of %s in %v used %d physical copies, want 1", e.Obj, t.epoch, len(e.Procs))
+				continue
+			}
+			target := e.Procs[0]
+			if !containsProc(view, target) {
+				rep.violate("R2", e.Seq, e.Proc, "read of %s targeted %v outside view %v of %v", e.Obj, target, view, t.epoch)
+			} else if !containsProc(holders, target) {
+				rep.violate("R2", e.Seq, e.Proc, "read of %s targeted %v which holds no copy (holders %v)", e.Obj, target, holders)
+			}
+		}
+		for _, e := range t.writes {
+			holders, havePl := placement[e.Obj]
+			if !haveView || !havePl {
+				rep.Skipped["R3"]++
+				continue
+			}
+			rep.Checked["R3"]++
+			want := intersectProcs(holders, view)
+			got := sortedProcs(e.Procs)
+			if !sameProcs(got, want) {
+				rep.violate("R3", e.Seq, e.Proc, "write of %s in %v targeted %v, want copies∩view = %v", e.Obj, t.epoch, got, want)
+			}
+		}
+	}
+	return rep
+}
+
+func intersectProcs(a, b []model.ProcID) []model.ProcID {
+	var out []model.ProcID
+	for _, p := range a {
+		if containsProc(b, p) {
+			out = append(out, p)
+		}
+	}
+	return sortedProcs(out)
+}
+
+// ---------------------------------------------------------------------------
+// Timelines and view-change latency
+// ---------------------------------------------------------------------------
+
+// JoinRec is one processor's assignment to a partition.
+type JoinRec struct {
+	Proc model.ProcID
+	At   time.Duration
+}
+
+// VPTimeline summarizes one virtual partition's life in the trace.
+type VPTimeline struct {
+	VP        model.VPID
+	View      []model.ProcID
+	InviteAt  time.Duration // first EvVPInvite (-1: not observed)
+	CommitAt  time.Duration // initiator's EvVPCommit (-1: not observed)
+	Joins     []JoinRec     // in join order
+	FirstJoin time.Duration
+	LastJoin  time.Duration
+}
+
+// FormationLatency is the invite-to-last-join span (0 when either end is
+// missing from the trace).
+func (t *VPTimeline) FormationLatency() time.Duration {
+	if t.InviteAt < 0 || len(t.Joins) == 0 {
+		return 0
+	}
+	return t.LastJoin - t.InviteAt
+}
+
+// Timelines extracts one VPTimeline per partition id, sorted by ≺.
+func Timelines(events []Event) []VPTimeline {
+	byVP := map[model.VPID]*VPTimeline{}
+	get := func(vp model.VPID) *VPTimeline {
+		t, ok := byVP[vp]
+		if !ok {
+			t = &VPTimeline{VP: vp, InviteAt: -1, CommitAt: -1}
+			byVP[vp] = t
+		}
+		return t
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case EvVPInvite:
+			t := get(e.VP)
+			if t.InviteAt < 0 || e.At < t.InviteAt {
+				t.InviteAt = e.At
+			}
+		case EvVPCommit:
+			t := get(e.VP)
+			if t.CommitAt < 0 || e.At < t.CommitAt {
+				t.CommitAt = e.At
+			}
+		case EvVPJoin:
+			t := get(e.VP)
+			if len(t.View) == 0 {
+				t.View = sortedProcs(e.Procs)
+			}
+			t.Joins = append(t.Joins, JoinRec{Proc: e.Proc, At: e.At})
+			if len(t.Joins) == 1 || e.At < t.FirstJoin {
+				t.FirstJoin = e.At
+			}
+			if e.At > t.LastJoin {
+				t.LastJoin = e.At
+			}
+		}
+	}
+	out := make([]VPTimeline, 0, len(byVP))
+	for _, t := range byVP {
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].VP.Less(out[j].VP) })
+	return out
+}
+
+// ViewChangeStat aggregates one processor's depart→join latencies: the
+// spans during which the processor was unassigned and refusing work.
+type ViewChangeStat struct {
+	Proc           model.ProcID
+	Count          int
+	Min, Max, Mean time.Duration
+}
+
+// ViewChangeLatencies pairs every EvVPDepart with the processor's next
+// EvVPJoin and aggregates the spans per processor, sorted by processor.
+func ViewChangeLatencies(events []Event) []ViewChangeStat {
+	evs := append([]Event(nil), events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+	departAt := map[model.ProcID]time.Duration{}
+	pending := map[model.ProcID]bool{}
+	agg := map[model.ProcID]*ViewChangeStat{}
+	for _, e := range evs {
+		switch e.Kind {
+		case EvVPDepart:
+			departAt[e.Proc] = e.At
+			pending[e.Proc] = true
+		case EvVPJoin:
+			if !pending[e.Proc] {
+				continue
+			}
+			pending[e.Proc] = false
+			d := e.At - departAt[e.Proc]
+			st, ok := agg[e.Proc]
+			if !ok {
+				st = &ViewChangeStat{Proc: e.Proc, Min: d, Max: d}
+				agg[e.Proc] = st
+			}
+			st.Count++
+			if d < st.Min {
+				st.Min = d
+			}
+			if d > st.Max {
+				st.Max = d
+			}
+			st.Mean += d // sum; divided below
+		}
+	}
+	out := make([]ViewChangeStat, 0, len(agg))
+	for _, st := range agg {
+		st.Mean /= time.Duration(st.Count)
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Proc < out[j].Proc })
+	return out
+}
