@@ -1,10 +1,11 @@
 # Developer entry points. `make check` is the tier-1 gate used by CI and
 # by ROADMAP.md; `make race` covers the packages with real concurrency
-# (the TCP transport and the parallel experiment harness).
+# (the TCP transport, the nemesis fault injector and the parallel
+# experiment harness); `make chaos` is the seeded fault-injection gate.
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-hotpath bench-observability trace-check golden
+.PHONY: check build vet test race bench bench-hotpath bench-observability trace-check chaos golden
 
 check: build vet test
 
@@ -18,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/net/... ./internal/bench/...
+	$(GO) test -race -count=1 ./internal/net/... ./internal/nemesis/... ./internal/bench/... ./cmd/vpchaos/...
 
 # Run every benchmark in the repository.
 bench:
@@ -43,6 +44,16 @@ trace-check:
 	$(GO) run ./cmd/vpsim -quiet -seed 1 -trace-out $(TRACE_FILE)
 	$(GO) run ./cmd/vptrace check $(TRACE_FILE)
 	$(GO) run ./cmd/vptrace latency $(TRACE_FILE)
+
+# Seeded chaos run: a live 5-node TCP cluster under a nemesis schedule
+# with at least 3 partition/heal and 2 crash/restart episodes, verified
+# for 1SR, S1–S3/R2/R3 trace invariants and post-heal liveness, then the
+# same schedule replayed byte-deterministically on the sim backend.
+# vpchaos exits non-zero on any failure, failing the target. Used by CI;
+# a failing run reproduces locally from the same CHAOS_SEED.
+CHAOS_SEED ?= 7
+chaos:
+	$(GO) run ./cmd/vpchaos -n 5 -seed $(CHAOS_SEED) -partitions 3 -crashes 2
 
 # Regenerate BENCH_observability.json from the tracing hot-path
 # microbenchmarks (enabled vs disabled vs nil recorder).

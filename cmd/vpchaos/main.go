@@ -1,0 +1,479 @@
+// Command vpchaos is the chaos harness: it boots an N-node virtual
+// partition cluster over real TCP (one process, N nodes, real sockets),
+// drives a mixed read/write workload while a seeded nemesis injects the
+// paper's fault model — partitions, crashes with journal restarts, lost,
+// slow and duplicated messages — and then holds the run to the same bar
+// the deterministic simulation is held to:
+//
+//   - the committed history must be one-copy serializable (onecopy),
+//   - the structured trace must replay with zero S1–S3/R2/R3 violations
+//     (internal/trace.Check), and
+//   - the cluster must be live again after the final heal: a majority
+//     view re-forms and a fresh write commits.
+//
+// The same schedule is then replayed on the simulation backend twice and
+// the two runs must be byte-identical — the determinism claim that makes
+// any live failure reproducible by seed.
+//
+// Example:
+//
+//	vpchaos -n 5 -seed 7 -partitions 3 -crashes 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	stdnet "net"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/virtualpartitions/vp/internal/bench"
+	"github.com/virtualpartitions/vp/internal/core"
+	"github.com/virtualpartitions/vp/internal/durable"
+	"github.com/virtualpartitions/vp/internal/metrics"
+	"github.com/virtualpartitions/vp/internal/model"
+	vnet "github.com/virtualpartitions/vp/internal/net"
+	"github.com/virtualpartitions/vp/internal/nemesis"
+	"github.com/virtualpartitions/vp/internal/node"
+	"github.com/virtualpartitions/vp/internal/onecopy"
+	"github.com/virtualpartitions/vp/internal/trace"
+	"github.com/virtualpartitions/vp/internal/wire"
+	"github.com/virtualpartitions/vp/internal/workload"
+)
+
+// options is the parsed command line, separated from main so the harness
+// is drivable from tests without forking.
+type options struct {
+	n          int
+	seed       int64
+	delta      time.Duration
+	objects    int
+	clients    int
+	partitions int
+	crashes    int
+	meanHold   time.Duration
+	meanGap    time.Duration
+	skipLive   bool
+	skipSim    bool
+	verbose    bool
+}
+
+func parseArgs(args []string) (*options, error) {
+	fs := flag.NewFlagSet("vpchaos", flag.ContinueOnError)
+	var (
+		n          = fs.Int("n", 5, "cluster size")
+		seed       = fs.Int64("seed", 1, "nemesis + workload seed; a failing run reproduces from this")
+		delta      = fs.Duration("delta", 20*time.Millisecond, "assumed message delay bound δ for the live cluster")
+		objects    = fs.Int("objects", 4, "number of logical objects")
+		clients    = fs.Int("clients", 3, "concurrent workload clients")
+		partitions = fs.Int("partitions", 3, "minimum partition/heal episodes")
+		crashes    = fs.Int("crashes", 2, "minimum crash/restart episodes")
+		meanHold   = fs.Duration("hold", 400*time.Millisecond, "mean fault episode duration")
+		meanGap    = fs.Duration("gap", 400*time.Millisecond, "mean fault-free gap between episodes")
+		skipLive   = fs.Bool("skip-live", false, "skip the live TCP chaos run")
+		skipSim    = fs.Bool("skip-sim", false, "skip the sim determinism replay")
+		verbose    = fs.Bool("v", false, "log every nemesis step and view change")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if *n < 3 {
+		return nil, fmt.Errorf("-n must be >= 3 (need a majority to survive faults)")
+	}
+	if *objects < 1 || *clients < 1 {
+		return nil, fmt.Errorf("-objects and -clients must be positive")
+	}
+	return &options{
+		n: *n, seed: *seed, delta: *delta, objects: *objects, clients: *clients,
+		partitions: *partitions, crashes: *crashes,
+		meanHold: *meanHold, meanGap: *meanGap,
+		skipLive: *skipLive, skipSim: *skipSim, verbose: *verbose,
+	}, nil
+}
+
+func main() {
+	opt, err := parseArgs(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpchaos:", err)
+		os.Exit(2)
+	}
+	sched := buildSchedule(opt)
+	fmt.Printf("vpchaos: seed %d, %d nodes, schedule of %d steps over %s\n",
+		opt.seed, opt.n, len(sched.Steps), sched.End.Round(time.Millisecond))
+	if opt.verbose {
+		fmt.Print(sched)
+	}
+	failed := false
+	if !opt.skipLive {
+		if err := runLive(opt, sched); err != nil {
+			fmt.Fprintln(os.Stderr, "vpchaos: LIVE RUN FAILED:", err)
+			failed = true
+		}
+	}
+	if !opt.skipSim {
+		if err := runSim(opt, sched); err != nil {
+			fmt.Fprintln(os.Stderr, "vpchaos: SIM REPLAY FAILED:", err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("vpchaos: all checks passed")
+}
+
+// buildSchedule derives the shared fault schedule: the same Schedule is
+// interpreted as wall-clock offsets by the live run and as virtual times
+// by the sim replay.
+func buildSchedule(opt *options) nemesis.Schedule {
+	procs := make([]model.ProcID, opt.n)
+	for i := range procs {
+		procs[i] = model.ProcID(i + 1)
+	}
+	// Leave the warm-up window undisturbed: views must form before the
+	// first fault (π = 20δ, liveness bound Δ = π + 8δ).
+	warm := 3 * (20*opt.delta + 8*opt.delta)
+	return nemesis.Generate(opt.seed, nemesis.Options{
+		Procs:         procs,
+		Start:         warm,
+		MeanHold:      opt.meanHold,
+		MeanGap:       opt.meanGap,
+		MinPartitions: opt.partitions,
+		MinCrashes:    opt.crashes,
+		Flaky:         true,
+	})
+}
+
+// runLive executes the schedule against a real TCP cluster and verifies
+// safety (1SR + trace invariants) and liveness (post-heal commit).
+func runLive(opt *options, sched nemesis.Schedule) error {
+	procs := make([]model.ProcID, opt.n)
+	addrs := map[model.ProcID]string{}
+	dirs := map[model.ProcID]string{}
+	for i := range procs {
+		p := model.ProcID(i + 1)
+		procs[i] = p
+		dir, err := os.MkdirTemp("", fmt.Sprintf("vpchaos-n%d-", p))
+		if err != nil {
+			return err
+		}
+		dirs[p] = dir
+	}
+	defer func() {
+		for _, d := range dirs {
+			os.RemoveAll(d)
+		}
+	}()
+	ports, err := freePorts(opt.n)
+	if err != nil {
+		return err
+	}
+	for i, p := range procs {
+		addrs[p] = ports[i]
+	}
+
+	objs := workload.Objects(opt.objects)
+	cat := model.FullyReplicated(opt.n, objs...)
+	hist := onecopy.NewHistory()
+	rec := trace.New(1 << 18)
+	rec.SetEnabled(true)
+	for _, obj := range cat.Objects() {
+		rec.Record(trace.Event{Kind: trace.EvPlacement, Obj: obj, Procs: cat.Copies(obj).Sorted()})
+	}
+	inj := nemesis.NewInjector(opt.seed)
+	cfg := core.Config{Config: node.Config{Delta: opt.delta, LogCap: 256}}
+	tcpCfg := vnet.TCPConfig{
+		DialTimeout:  500 * time.Millisecond,
+		ReconnectMin: 20 * time.Millisecond,
+		ReconnectMax: 250 * time.Millisecond,
+	}
+
+	// Last view assignment per processor, fed by core observers (called
+	// from node event loops — guard with a mutex).
+	var viewMu sync.Mutex
+	lastJoin := map[model.ProcID]core.JoinEvent{}
+	assigned := map[model.ProcID]bool{}
+
+	nodes := map[model.ProcID]*vnet.TCPNode{}
+	journals := map[model.ProcID]*durable.FileJournal{}
+	boot := func(id model.ProcID) error {
+		state, journal, err := durable.Open(dirs[id])
+		if err != nil {
+			return fmt.Errorf("open journal for %v: %w", id, err)
+		}
+		var nd *core.Node
+		if state.MaxID.IsZero() && len(state.Copies) == 0 {
+			nd = core.NewDurable(id, cfg, cat, hist, journal)
+		} else {
+			nd = core.NewRestored(id, cfg, cat, hist, state, journal)
+		}
+		me := id
+		nd.Observer = func(ev any) {
+			viewMu.Lock()
+			defer viewMu.Unlock()
+			switch e := ev.(type) {
+			case core.JoinEvent:
+				lastJoin[me] = e
+				assigned[me] = true
+				if opt.verbose {
+					fmt.Printf("  node %v joined %v view=%v\n", me, e.VP, e.View)
+				}
+			case core.DepartEvent:
+				assigned[me] = false
+			}
+		}
+		tn := vnet.NewTCPNodeConfig(id, addrs, nd, tcpCfg)
+		tn.SetTracer(rec)
+		tn.SetInterceptor(inj)
+		if err := tn.Run(); err != nil {
+			journal.Close()
+			return fmt.Errorf("start node %v: %w", id, err)
+		}
+		nodes[id] = tn
+		journals[id] = journal
+		return nil
+	}
+	for _, p := range procs {
+		if err := boot(p); err != nil {
+			return err
+		}
+	}
+	defer func() {
+		for id, tn := range nodes {
+			tn.Stop()
+			journals[id].Close()
+		}
+	}()
+
+	// Workload clients: disjoint tag spaces, each submitting increments
+	// and reads to rotating coordinators. Failures under faults are
+	// expected (omissions, denials); safety is judged on what committed.
+	var committed, failedTxns atomic.Int64
+	stopC := make(chan struct{})
+	var cwg sync.WaitGroup
+	for k := 0; k < opt.clients; k++ {
+		cwg.Add(1)
+		go func(k int) {
+			defer cwg.Done()
+			rng := rand.New(rand.NewSource(opt.seed + int64(k)*7919))
+			tag := uint64(k+1) << 32
+			for {
+				select {
+				case <-stopC:
+					return
+				default:
+				}
+				tag++
+				target := addrs[procs[rng.Intn(len(procs))]]
+				obj := objs[rng.Intn(len(objs))]
+				var ops []wire.Op
+				if rng.Float64() < 0.5 {
+					ops = []wire.Op{wire.ReadOp(obj)}
+				} else {
+					ops = wire.IncrementOps(obj, 1)
+				}
+				res, err := vnet.SubmitTCPRetry(target, wire.ClientTxn{Tag: tag, Ops: ops},
+					800*time.Millisecond, time.Now().Add(2*time.Second))
+				if err == nil && res.Committed {
+					committed.Add(1)
+				} else {
+					failedTxns.Add(1)
+				}
+				time.Sleep(time.Duration(rng.Intn(40)) * time.Millisecond)
+			}
+		}(k)
+	}
+
+	// Nemesis driver: walk the schedule in wall time.
+	start := time.Now()
+	for _, st := range sched.Steps {
+		if d := st.At - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		if opt.verbose {
+			fmt.Printf("  %8s nemesis: %s\n", time.Since(start).Round(time.Millisecond), strings.TrimSpace(st.String()))
+		}
+		if inj.Apply(st) {
+			continue
+		}
+		switch st.Kind {
+		case nemesis.StepCrash:
+			if tn, ok := nodes[st.Victim]; ok {
+				tn.Stop()
+				journals[st.Victim].Close()
+				delete(nodes, st.Victim)
+				delete(journals, st.Victim)
+			}
+		case nemesis.StepRestart:
+			if _, up := nodes[st.Victim]; !up {
+				if err := boot(st.Victim); err != nil {
+					close(stopC)
+					cwg.Wait()
+					return err
+				}
+			}
+		}
+	}
+	close(stopC)
+	cwg.Wait()
+
+	// Liveness: after the final heal a fresh write must commit within
+	// the recovery bound (generous wall-clock slack for CI).
+	liveTag := uint64(1) << 62
+	res, err := vnet.SubmitTCPRetry(addrs[procs[0]], wire.ClientTxn{Tag: liveTag, Ops: wire.IncrementOps(objs[0], 1)},
+		2*time.Second, time.Now().Add(30*time.Second))
+	if err != nil || !res.Committed {
+		return fmt.Errorf("liveness: no committed write after final heal: res=%+v err=%v", res, err)
+	}
+
+	// Majority view: a majority of processors must agree on one final
+	// virtual partition whose view is itself a majority.
+	majority := opt.n/2 + 1
+	viewMu.Lock()
+	byVP := map[model.VPID]int{}
+	var bigView bool
+	for p, on := range assigned {
+		if !on {
+			continue
+		}
+		e := lastJoin[p]
+		byVP[e.VP]++
+		if byVP[e.VP] >= majority && e.View.Len() >= majority {
+			bigView = true
+		}
+	}
+	viewMu.Unlock()
+	if !bigView {
+		return fmt.Errorf("liveness: no majority view re-formed (assignments: %v)", byVP)
+	}
+
+	// Safety checks on what actually happened.
+	if r := onecopy.CheckGraph(hist); !r.OK {
+		return fmt.Errorf("1SR check failed: %s", r.Reason)
+	}
+	rep := trace.Check(rec.Events())
+	if !rep.OK() {
+		var b strings.Builder
+		for _, v := range rep.Violations {
+			fmt.Fprintf(&b, "\n  %s", v)
+		}
+		return fmt.Errorf("trace invariants violated:%s", b.String())
+	}
+	if rec.Dropped() > 0 {
+		fmt.Printf("  note: trace ring dropped %d events (checks ran on the retained window)\n", rec.Dropped())
+	}
+
+	counts := sched.Counts()
+	var reconnects, drops int64
+	for _, tn := range nodes {
+		reconnects += tn.Metrics().Get(metrics.CPeerReconnect)
+		drops += tn.Metrics().Get(metrics.CMsgDropped)
+	}
+	fmt.Printf("vpchaos live: %d committed / %d failed txns; %d partitions, %d isolations, %d crashes; "+
+		"%d drops, %d reconnects; 1SR ok, trace ok (S1-S3/R2/R3 checked %v), post-heal commit ok\n",
+		committed.Load(), failedTxns.Load(),
+		counts[nemesis.StepPartition], counts[nemesis.StepIsolateOne], counts[nemesis.StepCrash],
+		drops, reconnects, checkedSummary(rep))
+	if committed.Load() == 0 {
+		return fmt.Errorf("workload committed nothing; the run proves nothing")
+	}
+	return nil
+}
+
+// runSim replays the same schedule on the deterministic simulation twice
+// and demands byte-identical runs, plus the same safety and liveness
+// bars as the live run.
+func runSim(opt *options, sched nemesis.Schedule) error {
+	digest1, err1 := simDigest(opt, sched, true)
+	if err1 != nil {
+		return err1
+	}
+	digest2, err2 := simDigest(opt, sched, false)
+	if err2 != nil {
+		return err2
+	}
+	if digest1 != digest2 {
+		return fmt.Errorf("sim replay is not byte-deterministic for seed %d (digest lengths %d vs %d)",
+			opt.seed, len(digest1), len(digest2))
+	}
+	fmt.Printf("vpchaos sim: byte-deterministic replay ok (%d-byte digest), 1SR ok, post-heal commit ok\n", len(digest1))
+	return nil
+}
+
+// simDigest runs the schedule once on the sim backend, enforces the
+// safety/liveness bar, and returns a byte-exact digest of the run.
+func simDigest(opt *options, sched nemesis.Schedule, check bool) (string, error) {
+	spec := bench.Spec{
+		Protocol: bench.ProtoVP,
+		N:        opt.n,
+		Objects:  opt.objects,
+		Seed:     opt.seed,
+		Delta:    2 * time.Millisecond,
+	}
+	r := bench.NewRunner(spec)
+	rec := r.EnableTrace(1 << 18)
+	r.WarmUp()
+	nemesis.ApplyToSim(r.Cluster, r.Topo, sched)
+
+	gen := workload.NewGenerator(opt.seed+1, workload.Objects(opt.objects), r.Topo.Procs(),
+		workload.Mix{ReadFraction: 0.5}, 0)
+	r.Load(gen.Schedule(sched.Steps[0].At/2, 10*time.Millisecond, 200))
+	liveTag := uint64(1) << 62
+	r.Submit(sched.End+500*time.Millisecond, workload.Txn{
+		Coordinator: 1,
+		Request:     wire.ClientTxn{Tag: liveTag, Ops: wire.IncrementOps(workload.Objects(1)[0], 1)},
+	})
+	r.Run(sched.End + 2*time.Second)
+
+	if check {
+		if res := r.ResultFor(liveTag); !res.Committed {
+			return "", fmt.Errorf("sim liveness: post-heal write did not commit: %+v", res)
+		}
+		if stats := r.Stats(); !stats.OneCopySR {
+			return "", fmt.Errorf("sim history is not 1SR")
+		}
+		if rep := trace.Check(rec.Events()); !rep.OK() {
+			return "", fmt.Errorf("sim trace invariants violated: %v", rep.Violations[0])
+		}
+	}
+	var b strings.Builder
+	b.WriteString(r.Hist.String())
+	b.WriteString("\n---\n")
+	b.WriteString(r.Cluster.Reg.String())
+	b.WriteString("\n---\n")
+	if err := rec.WriteJSONL(&b); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func checkedSummary(rep *trace.Report) string {
+	keys := make([]string, 0, len(rep.Checked))
+	for k := range rep.Checked {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, rep.Checked[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+func freePorts(n int) ([]string, error) {
+	out := make([]string, n)
+	for i := range out {
+		l, err := stdnet.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		out[i] = l.Addr().String()
+		l.Close()
+	}
+	return out, nil
+}

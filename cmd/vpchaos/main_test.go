@@ -1,0 +1,80 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseArgs(t *testing.T) {
+	opt, err := parseArgs([]string{"-n", "7", "-seed", "42", "-partitions", "4",
+		"-crashes", "3", "-hold", "250ms", "-skip-sim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.n != 7 || opt.seed != 42 || opt.partitions != 4 || opt.crashes != 3 ||
+		opt.meanHold != 250*time.Millisecond || !opt.skipSim || opt.skipLive {
+		t.Fatalf("parsed wrong: %+v", opt)
+	}
+}
+
+func TestParseArgsErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-n", "2"},       // below majority-capable size
+		{"-objects", "0"}, // no objects
+		{"-clients", "0"}, // no clients
+	} {
+		if _, err := parseArgs(args); err == nil {
+			t.Errorf("parseArgs(%v) accepted", args)
+		}
+	}
+}
+
+// TestScheduleSharedShape: the schedule main hands to both backends
+// honors the acceptance floor and ends fault-free.
+func TestScheduleSharedShape(t *testing.T) {
+	opt, err := parseArgs([]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buildSchedule(opt)
+	c := s.Counts()
+	if got := c["partition"] + c["isolate-one"]; got < 3 {
+		t.Fatalf("%d partition-type episodes, want >= 3", got)
+	}
+	if c["crash"] < 2 || c["restart"] != c["crash"] {
+		t.Fatalf("crash/restart mismatch: %v", c)
+	}
+	if s.Steps[len(s.Steps)-1].Kind != "heal" {
+		t.Fatal("schedule must end with a heal")
+	}
+}
+
+// TestSimReplayDeterministic runs the sim backend end to end (fast:
+// virtual time) through the same entry point make chaos uses.
+func TestSimReplayDeterministic(t *testing.T) {
+	opt, err := parseArgs([]string{"-seed", "11", "-partitions", "3", "-crashes", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runSim(opt, buildSchedule(opt)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLiveChaosShort is a scaled-down live chaos run: a real 3-node TCP
+// cluster, one partition and one crash/restart, full safety + liveness
+// verification. make chaos runs the full-size version.
+func TestLiveChaosShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time TCP chaos run")
+	}
+	opt, err := parseArgs([]string{"-n", "3", "-seed", "5", "-delta", "15ms",
+		"-partitions", "1", "-crashes", "1", "-hold", "200ms", "-gap", "200ms",
+		"-clients", "2", "-objects", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runLive(opt, buildSchedule(opt)); err != nil {
+		t.Fatal(err)
+	}
+}

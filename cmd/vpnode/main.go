@@ -54,6 +54,7 @@ type options struct {
 	verbose   bool
 	debugAddr string
 	traceOut  string
+	tcp       net.TCPConfig
 }
 
 // parseArgs parses argv (without the program name) into options.
@@ -70,6 +71,10 @@ func parseArgs(args []string) (*options, error) {
 		verbose   = fs.Bool("v", false, "log view changes")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 		traceOut  = fs.String("trace", "", "record the structured event trace; write JSONL here on shutdown")
+		dialTO    = fs.Duration("dial-timeout", 0, "TCP dial timeout per connection attempt (default 2s)")
+		reconMin  = fs.Duration("reconnect-min", 0, "initial peer redial backoff (default 50ms)")
+		reconMax  = fs.Duration("reconnect-max", 0, "maximum peer redial backoff (default 2s)")
+		queueLen  = fs.Int("peer-queue", 0, "bounded per-peer outbound queue length (default 1024)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -94,6 +99,8 @@ func parseArgs(args []string) (*options, error) {
 		delta: *delta, pi: *pi,
 		dataDir: *dataDir, fsync: *fsync, verbose: *verbose,
 		debugAddr: *debugAddr, traceOut: *traceOut,
+		tcp: net.TCPConfig{DialTimeout: *dialTO, ReconnectMin: *reconMin,
+			ReconnectMax: *reconMax, QueueLen: *queueLen},
 	}, nil
 }
 
@@ -141,7 +148,7 @@ func main() {
 			}
 		}
 	}
-	tcp := net.NewTCPNode(opt.id, opt.addrs, nd)
+	tcp := net.NewTCPNodeConfig(opt.id, opt.addrs, nd, opt.tcp)
 	var rec *trace.Recorder
 	if opt.traceOut != "" {
 		rec = trace.New(trace.DefaultCap)

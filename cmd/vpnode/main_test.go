@@ -38,6 +38,33 @@ func TestParseArgs(t *testing.T) {
 	}
 }
 
+func TestParseArgsTransportFlags(t *testing.T) {
+	opt, err := parseArgs([]string{
+		"-id", "1", "-cluster", "1=localhost:7001",
+		"-dial-timeout", "500ms",
+		"-reconnect-min", "10ms",
+		"-reconnect-max", "1s",
+		"-peer-queue", "64",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := net.TCPConfig{DialTimeout: 500 * time.Millisecond,
+		ReconnectMin: 10 * time.Millisecond, ReconnectMax: time.Second, QueueLen: 64}
+	if opt.tcp != want {
+		t.Fatalf("tcp config parsed wrong: %+v", opt.tcp)
+	}
+	// Unset transport flags stay zero and defer to the transport's own
+	// defaults.
+	opt, err = parseArgs([]string{"-id", "1", "-cluster", "1=localhost:7001"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.tcp != (net.TCPConfig{}) {
+		t.Fatalf("transport flags should default to zero, got %+v", opt.tcp)
+	}
+}
+
 func TestParseArgsErrors(t *testing.T) {
 	cases := [][]string{
 		{},                                // no cluster

@@ -214,6 +214,11 @@ const (
 	CCatchupWrites = "vp.catchup.writes"
 	CStaleReads    = "replica.stale.reads"
 	CMergeCombined = "mergeable.merges"
+	// Transport health (TCP engine): connection losses, (re)establishments
+	// and successful redials of the per-peer reconnect loop.
+	CPeerDown      = "net.peer.down"
+	CPeerUp        = "net.peer.up"
+	CPeerReconnect = "net.peer.reconnect"
 )
 
 // Well-known sample (distribution) names.

@@ -30,6 +30,12 @@ type RealCluster struct {
 	// goroutines; must be safe for concurrent use).
 	OnClientResult func(from model.ProcID, res wire.ClientResult)
 
+	// Icpt, when non-nil, is consulted on every remote send (after the
+	// Topology's own connectivity and drop checks), so a nemesis can
+	// inject drops, delays and duplicates into a live in-memory cluster.
+	// Set before Start.
+	Icpt Interceptor
+
 	start   time.Time
 	nodes   map[model.ProcID]*realNode
 	stopped atomic.Bool
@@ -186,21 +192,38 @@ func (n *realNode) Send(to model.ProcID, m wire.Message) {
 		}
 	}
 	lat := c.Topo.Latency(n.id, to)
-	deliver := func() {
-		if !c.Topo.Connected(n.id, to) {
+	if ic := c.Icpt; ic != nil {
+		v := ic.Outbound(n.id, to, kind)
+		if v.Drop {
 			n.drop(to, kind)
 			return
 		}
-		c.Reg.Inc(metrics.CMsgDelivered, 1)
-		c.Reg.Inc(metrics.CMsgDelivered+"."+kind, 1)
-		c.Rec.Record(trace.Event{At: n.Now(), Proc: to, Kind: trace.EvMsgRecv, Peer: n.id, Msg: kind})
-		dst.enqueue(rtEvent{from: n.id, msg: m})
+		lat += v.Delay
+		if v.Duplicate {
+			dup := m
+			dupLat := lat
+			time.AfterFunc(dupLat+time.Millisecond, func() { n.deliverTo(dst, to, dup, kind) })
+		}
 	}
 	if lat <= 0 {
-		deliver()
+		n.deliverTo(dst, to, m, kind)
 	} else {
-		time.AfterFunc(lat, deliver)
+		time.AfterFunc(lat, func() { n.deliverTo(dst, to, m, kind) })
 	}
+}
+
+// deliverTo completes one remote delivery, re-checking connectivity at
+// delivery time so a partition formed in flight still loses the message.
+func (n *realNode) deliverTo(dst *realNode, to model.ProcID, m wire.Message, kind string) {
+	c := n.c
+	if !c.Topo.Connected(n.id, to) {
+		n.drop(to, kind)
+		return
+	}
+	c.Reg.Inc(metrics.CMsgDelivered, 1)
+	c.Reg.Inc(metrics.CMsgDelivered+"."+kind, 1)
+	c.Rec.Record(trace.Event{At: n.Now(), Proc: to, Kind: trace.EvMsgRecv, Peer: n.id, Msg: kind})
+	dst.enqueue(rtEvent{from: n.id, msg: m})
 }
 
 func (n *realNode) SetTimer(d time.Duration, key any) TimerID {

@@ -1,6 +1,7 @@
 package net
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -16,11 +17,50 @@ import (
 	"github.com/virtualpartitions/vp/internal/wire"
 )
 
+// TCPConfig tunes the transport's failure behavior. The zero value is
+// valid and selects the defaults documented per field.
+type TCPConfig struct {
+	// DialTimeout bounds each connection attempt (default 2s).
+	DialTimeout time.Duration
+	// ReconnectMin is the initial redial backoff after a connection loss
+	// or failed dial (default 50ms). Each failed attempt doubles it, with
+	// ±25% jitter so peers do not redial in lockstep.
+	ReconnectMin time.Duration
+	// ReconnectMax caps the redial backoff (default 2s).
+	ReconnectMax time.Duration
+	// QueueLen bounds each peer's outbound queue (default 1024). Sends
+	// beyond it are dropped and accounted — backpressure is a performance
+	// failure the protocol tolerates, never a blocked sender.
+	QueueLen int
+}
+
+func (c TCPConfig) withDefaults() TCPConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.ReconnectMin <= 0 {
+		c.ReconnectMin = 50 * time.Millisecond
+	}
+	if c.ReconnectMax < c.ReconnectMin {
+		c.ReconnectMax = 2 * time.Second
+	}
+	if c.ReconnectMax < c.ReconnectMin {
+		c.ReconnectMax = c.ReconnectMin
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 1024
+	}
+	return c
+}
+
 // TCPNode hosts one Handler in its own process and exchanges
 // length-prefixed gob envelopes with its peers over TCP. Message loss on
 // broken connections is simply an omission failure, which the protocol
-// tolerates by design — the transport never retries on behalf of the
-// protocol.
+// tolerates by design — the transport never retries a message on behalf
+// of the protocol. It does, however, keep trying to restore the
+// *connection*: each peer has a persistent reconnect loop with
+// exponential backoff and jitter, so a transient blip degrades to a
+// bounded burst of omissions instead of permanently severing the link.
 //
 // Every connection carries one persistent gob stream per direction
 // (wire.StreamEncoder on the writer, wire.StreamDecoder on the reader),
@@ -34,6 +74,8 @@ type TCPNode struct {
 	id      model.ProcID
 	handler Handler
 	addrs   map[model.ProcID]string
+	cfg     TCPConfig
+	icpt    Interceptor // set before Run; nil = no fault injection
 	reg     *metrics.Registry
 	rec     *trace.Recorder
 	start   time.Time
@@ -43,6 +85,8 @@ type TCPNode struct {
 	wg       sync.WaitGroup
 	stopOnce sync.Once
 	stopped  chan struct{}
+	dialCtx  context.Context
+	dialStop context.CancelFunc
 
 	connMu   sync.Mutex
 	conns    map[model.ProcID]*peerConn
@@ -57,12 +101,32 @@ type TCPNode struct {
 	rng    *rand.Rand
 }
 
-// peerConn is an outbound connection to one peer. Envelopes are encoded
-// by the writer goroutine, which owns the connection's StreamEncoder, so
-// Send never blocks on the network or the encoder.
+// peerConn is the persistent outbound state for one peer: a bounded
+// envelope queue drained by the peer's reconnect loop, plus the live
+// connection (nil while the peer is unreachable). The loop owns the
+// connection's StreamEncoder, so Send never blocks on the network or the
+// encoder.
 type peerConn struct {
+	out chan wire.Envelope
+
+	mu   sync.Mutex
 	conn stdnet.Conn
-	out  chan wire.Envelope
+}
+
+func (pc *peerConn) setConn(c stdnet.Conn) {
+	pc.mu.Lock()
+	pc.conn = c
+	pc.mu.Unlock()
+}
+
+// closeConn closes the live connection if any (unblocking a writer stuck
+// in conn.Write). The reconnect loop decides what happens next.
+func (pc *peerConn) closeConn() {
+	pc.mu.Lock()
+	if pc.conn != nil {
+		pc.conn.Close()
+	}
+	pc.mu.Unlock()
 }
 
 // acceptedConn is an inbound connection. The read loop owns its
@@ -74,20 +138,31 @@ type acceptedConn struct {
 	enc  *wire.StreamEncoder
 }
 
-// NewTCPNode creates a node that will serve as processor id, reachable at
-// addrs[id], with peers at the remaining addresses.
+// NewTCPNode creates a node with default transport tuning. See
+// NewTCPNodeConfig.
 func NewTCPNode(id model.ProcID, addrs map[model.ProcID]string, h Handler) *TCPNode {
+	return NewTCPNodeConfig(id, addrs, h, TCPConfig{})
+}
+
+// NewTCPNodeConfig creates a node that will serve as processor id,
+// reachable at addrs[id], with peers at the remaining addresses, using
+// the given transport tuning.
+func NewTCPNodeConfig(id model.ProcID, addrs map[model.ProcID]string, h Handler, cfg TCPConfig) *TCPNode {
 	if _, ok := addrs[id]; !ok {
 		panic(fmt.Sprintf("net: no address for own id %v", id))
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	return &TCPNode{
 		id:       id,
 		handler:  h,
 		addrs:    addrs,
+		cfg:      cfg.withDefaults(),
 		reg:      metrics.NewRegistry(),
 		start:    time.Now(),
 		mbox:     make(chan rtEvent, 4096),
 		stopped:  make(chan struct{}),
+		dialCtx:  ctx,
+		dialStop: cancel,
 		conns:    make(map[model.ProcID]*peerConn),
 		accepted: make(map[*acceptedConn]struct{}),
 		clients:  make(map[uint64]*acceptedConn),
@@ -105,6 +180,11 @@ func (n *TCPNode) SetTracer(r *trace.Recorder) { n.rec = r }
 
 // Tracer implements Runtime.
 func (n *TCPNode) Tracer() *trace.Recorder { return n.rec }
+
+// SetInterceptor installs a fault-injecting interceptor consulted on
+// every remote send. Call before Run; nil (the default) disables
+// injection.
+func (n *TCPNode) SetInterceptor(ic Interceptor) { n.icpt = ic }
 
 // Addr returns the listen address after Run has started.
 func (n *TCPNode) Addr() string {
@@ -129,16 +209,19 @@ func (n *TCPNode) Run() error {
 	return nil
 }
 
-// Stop shuts the node down and waits for its goroutines.
+// Stop shuts the node down and waits for its goroutines. Reconnect loops
+// abort promptly: in-flight dials are cancelled and backoff sleeps are
+// interrupted.
 func (n *TCPNode) Stop() {
 	n.stopOnce.Do(func() {
 		close(n.stopped)
+		n.dialStop()
 		if n.listener != nil {
 			n.listener.Close()
 		}
 		n.connMu.Lock()
 		for _, pc := range n.conns {
-			pc.conn.Close()
+			pc.closeConn()
 		}
 		for ac := range n.accepted {
 			ac.conn.Close()
@@ -261,6 +344,9 @@ func readFrame(r io.Reader, fb *frameBuf) ([]byte, error) {
 	return buf, nil
 }
 
+// peer returns the persistent outbound state for a peer, spawning its
+// reconnect loop on first use. It returns nil for unknown processors and
+// after Stop.
 func (n *TCPNode) peer(to model.ProcID) *peerConn {
 	n.connMu.Lock()
 	defer n.connMu.Unlock()
@@ -271,45 +357,123 @@ func (n *TCPNode) peer(to model.ProcID) *peerConn {
 	if !ok {
 		return nil
 	}
-	conn, err := stdnet.DialTimeout("tcp", addr, 2*time.Second)
-	if err != nil {
-		return nil // omission failure; the protocol copes
+	select {
+	case <-n.stopped:
+		return nil
+	default:
 	}
-	pc := &peerConn{conn: conn, out: make(chan wire.Envelope, 1024)}
+	pc := &peerConn{out: make(chan wire.Envelope, n.cfg.QueueLen)}
 	n.conns[to] = pc
 	n.wg.Add(1)
-	go func() {
-		defer n.wg.Done()
-		defer func() {
-			conn.Close()
-			n.connMu.Lock()
-			if n.conns[to] == pc {
-				delete(n.conns, to)
+	go n.peerLoop(to, addr, pc)
+	return pc
+}
+
+// peerLoop keeps one peer reachable: dial (with exponential backoff and
+// jitter), drain the outbound queue onto the connection, and on any
+// failure tear the connection down and redial. The loop exits only when
+// the node stops; Stop interrupts both in-flight dials (context) and
+// backoff sleeps (stopped channel).
+func (n *TCPNode) peerLoop(to model.ProcID, addr string, pc *peerConn) {
+	defer n.wg.Done()
+	defer pc.closeConn()
+	// Jitter source local to this loop: n.rng belongs to the handler
+	// event loop (Runtime.Rand) and must not be shared across goroutines.
+	rng := rand.New(rand.NewSource(int64(n.id)*1_000_003 + int64(to)*7919 + time.Now().UnixNano()))
+	backoff := n.cfg.ReconnectMin
+	attempts := int64(0)
+	everUp := false
+	for {
+		select {
+		case <-n.stopped:
+			return
+		default:
+		}
+		dialer := stdnet.Dialer{Timeout: n.cfg.DialTimeout}
+		conn, err := dialer.DialContext(n.dialCtx, "tcp", addr)
+		if err != nil {
+			attempts++
+			if attempts == 1 {
+				// One peer-down event per outage, on its first failed dial.
+				n.peerDown(to)
 			}
-			n.connMu.Unlock()
-		}()
-		// The writer goroutine owns this connection's encoder: envelopes
-		// are gob-encoded here, once, onto the persistent stream, and each
-		// frame goes out in a single Write. Senders never block (Send
-		// drops on a full buffer), so exiting without draining is safe.
-		enc := wire.NewStreamEncoder()
-		for {
+			// Exponential backoff with ±25% jitter, capped. A Stop during
+			// this sleep aborts the redial promptly.
+			d := backoff
+			if j := int64(backoff) / 2; j > 0 {
+				d += time.Duration(rng.Int63n(j)) - backoff/4
+			}
+			backoff *= 2
+			if backoff > n.cfg.ReconnectMax {
+				backoff = n.cfg.ReconnectMax
+			}
+			t := time.NewTimer(d)
 			select {
-			case env := <-pc.out:
-				frame, err := enc.EncodeFrame(&env)
-				if err != nil {
-					n.reg.Inc(metrics.CMsgDropped, 1)
-					return // encoder stream is now suspect; reconnect fresh
-				}
-				if _, err := conn.Write(frame); err != nil {
-					return
-				}
 			case <-n.stopped:
+				t.Stop()
 				return
+			case <-t.C:
+			}
+			continue
+		}
+		pc.setConn(conn)
+		n.peerUp(to, attempts+1, everUp)
+		everUp = true
+		attempts = 0
+		backoff = n.cfg.ReconnectMin
+		alive := n.writeLoop(to, pc, conn)
+		pc.setConn(nil)
+		conn.Close()
+		if !alive {
+			return
+		}
+		n.peerDown(to)
+	}
+}
+
+// writeLoop drains the peer's queue onto conn until the connection
+// breaks (returns true: redial) or the node stops (returns false).
+func (n *TCPNode) writeLoop(to model.ProcID, pc *peerConn, conn stdnet.Conn) bool {
+	// The loop owns this connection's encoder: envelopes are gob-encoded
+	// here, once, onto the persistent stream, and each frame goes out in
+	// a single Write. A reconnect starts a fresh codec pair, so the type
+	// descriptors are re-handshaken.
+	enc := wire.NewStreamEncoder()
+	for {
+		select {
+		case <-n.stopped:
+			return false
+		case env := <-pc.out:
+			frame, err := enc.EncodeFrame(&env)
+			if err != nil {
+				// Encoder stream is now suspect; lose this message and
+				// reconnect with fresh codecs.
+				n.drop(to, wire.Kind(env.Msg))
+				return true
+			}
+			if _, err := conn.Write(frame); err != nil {
+				// Possibly half-written: the message is lost (omission).
+				n.drop(to, wire.Kind(env.Msg))
+				return true
 			}
 		}
-	}()
-	return pc
+	}
+}
+
+// peerUp accounts a (re)established peer connection.
+func (n *TCPNode) peerUp(to model.ProcID, attempts int64, re bool) {
+	n.reg.Inc(metrics.CPeerUp, 1)
+	n.rec.Record(trace.Event{At: n.Now(), Proc: n.id, Kind: trace.EvPeerUp, Peer: to, Aux: attempts})
+	if re {
+		n.reg.Inc(metrics.CPeerReconnect, 1)
+		n.rec.Record(trace.Event{At: n.Now(), Proc: n.id, Kind: trace.EvReconnect, Peer: to, Aux: attempts})
+	}
+}
+
+// peerDown accounts a lost (or never-established) peer connection.
+func (n *TCPNode) peerDown(to model.ProcID) {
+	n.reg.Inc(metrics.CPeerDown, 1)
+	n.rec.Record(trace.Event{At: n.Now(), Proc: n.id, Kind: trace.EvPeerDown, Peer: to})
 }
 
 var _ Runtime = (*TCPNode)(nil)
@@ -362,7 +526,10 @@ func (n *TCPNode) Send(to model.ProcID, m wire.Message) {
 		ac.mu.Lock()
 		frame, err := ac.enc.EncodeFrame(&wire.Envelope{From: n.id, To: model.NoProc, Msg: m})
 		if err == nil {
-			ac.conn.Write(frame) //nolint:errcheck // client gone = omission
+			if _, werr := ac.conn.Write(frame); werr != nil {
+				// Client gone = omission; account it like any other loss.
+				n.drop(to, kind)
+			}
 		}
 		ac.mu.Unlock()
 		return
@@ -372,11 +539,32 @@ func (n *TCPNode) Send(to model.ProcID, m wire.Message) {
 		n.drop(to, kind)
 		return
 	}
+	env := wire.Envelope{From: n.id, To: to, Msg: m}
+	if ic := n.icpt; ic != nil {
+		v := ic.Outbound(n.id, to, kind)
+		if v.Drop {
+			n.drop(to, kind)
+			return
+		}
+		if v.Duplicate {
+			n.queueOut(pc, to, env, kind)
+		}
+		if v.Delay > 0 {
+			time.AfterFunc(v.Delay, func() { n.queueOut(pc, to, env, kind) })
+			return
+		}
+	}
+	n.queueOut(pc, to, env, kind)
+}
+
+// queueOut hands one envelope to the peer's bounded queue, dropping (with
+// accounting) on backpressure — a performance failure, never a block.
+func (n *TCPNode) queueOut(pc *peerConn, to model.ProcID, env wire.Envelope, kind string) {
 	select {
 	case <-n.stopped:
-	case pc.out <- wire.Envelope{From: n.id, To: to, Msg: m}:
+	case pc.out <- env:
 	default:
-		n.drop(to, kind) // backpressure = performance failure
+		n.drop(to, kind)
 	}
 }
 
@@ -440,7 +628,9 @@ func SubmitTCP(addr string, t wire.ClientTxn, timeout time.Duration) (wire.Clien
 	if err != nil {
 		return wire.ClientResult{}, err
 	}
-	conn.SetDeadline(time.Now().Add(timeout)) //nolint:errcheck
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return wire.ClientResult{}, fmt.Errorf("net: set submit deadline: %w", err)
+	}
 	if _, err := conn.Write(frame); err != nil {
 		return wire.ClientResult{}, err
 	}
@@ -458,6 +648,46 @@ func SubmitTCP(addr string, t wire.ClientTxn, timeout time.Duration) (wire.Clien
 		}
 		if res, ok := env.Msg.(wire.ClientResult); ok && res.Tag == t.Tag {
 			return res, nil
+		}
+	}
+}
+
+// SubmitTCPRetry submits a transaction with deadline-aware backoff: each
+// attempt is one SubmitTCP call with perTry as its timeout, and failed
+// attempts — transport errors AND aborted/denied results, both of which
+// are expected under partitions — are retried with exponential backoff
+// until a result is committed or the deadline passes. On deadline it
+// returns the last result and error observed.
+//
+// Retrying after a transport error resubmits the SAME tag but is a NEW
+// transaction as far as the cluster is concerned; a caller whose earlier
+// attempt actually committed (result lost in flight) gets the operation
+// applied more than once. This at-least-once contract is exactly what
+// chaos workloads want; callers needing at-most-once must not retry.
+func SubmitTCPRetry(addr string, t wire.ClientTxn, perTry time.Duration, deadline time.Time) (wire.ClientResult, error) {
+	backoff := perTry / 8
+	if backoff <= 0 {
+		backoff = 25 * time.Millisecond
+	}
+	var lastRes wire.ClientResult
+	var lastErr error
+	for {
+		res, err := SubmitTCP(addr, t, perTry)
+		if err == nil && res.Committed {
+			return res, nil
+		}
+		lastRes, lastErr = res, err
+		if time.Now().Add(backoff).After(deadline) {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("net: submit deadline passed (last result: committed=%v denied=%v reason=%q)",
+					lastRes.Committed, lastRes.Denied, lastRes.Reason)
+			}
+			return lastRes, lastErr
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > time.Second {
+			backoff = time.Second
 		}
 	}
 }

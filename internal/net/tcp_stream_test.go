@@ -151,7 +151,7 @@ func TestTCPStreamReconnect(t *testing.T) {
 	if pc == nil {
 		t.Fatal("no peer connection after first batch")
 	}
-	pc.conn.Close()
+	pc.closeConn()
 
 	// The whole vocabulary must survive the reconnect; sendAndExpect
 	// retransmits across the window where the dying connection still

@@ -108,6 +108,36 @@ func (t *Topology) SetLatency(a, b model.ProcID, d time.Duration) {
 	t.mu.Unlock()
 }
 
+// SlowAll overrides every link's latency to d (a uniform performance
+// failure: messages still arrive, later than the bound assumes).
+func (t *Topology) SlowAll(d time.Duration) {
+	if d <= 0 {
+		panic("net: latency must be positive")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for a := 1; a <= t.n; a++ {
+		for b := a + 1; b <= t.n; b++ {
+			t.latency[edgeKey(model.ProcID(a), model.ProcID(b))] = d
+		}
+	}
+}
+
+// ResetLatencies discards every per-link latency override, restoring the
+// uniform base latency everywhere.
+func (t *Topology) ResetLatencies() {
+	t.mu.Lock()
+	t.latency = make(map[[2]model.ProcID]time.Duration)
+	t.mu.Unlock()
+}
+
+// BaseLatency returns the uniform latency links have without overrides.
+func (t *Topology) BaseLatency() time.Duration {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.baseLat
+}
+
 // SetDropProb sets the probability that a message on a healthy link is
 // lost (an omission failure that is not a partition).
 func (t *Topology) SetDropProb(p float64) {

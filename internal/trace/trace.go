@@ -65,6 +65,11 @@ const (
 	EvPlacement // harness-emitted: Obj's copies live at Procs
 	EvLog       // freeform structured log line; Msg = text
 
+	// --- transport health (TCP engine) ---
+	EvPeerDown  // the connection to Peer was lost (or could not be dialed)
+	EvPeerUp    // a connection to Peer was established; Aux = dial attempts
+	EvReconnect // a connection to Peer was re-established after a loss; Aux = attempts
+
 	numKinds // sentinel
 )
 
@@ -92,6 +97,9 @@ var kindNames = [numKinds]string{
 	EvMsgDrop:      "msg-drop",
 	EvPlacement:    "placement",
 	EvLog:          "log",
+	EvPeerDown:     "peer-down",
+	EvPeerUp:       "peer-up",
+	EvReconnect:    "reconnect",
 }
 
 func (k EventKind) String() string {
