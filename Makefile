@@ -1,11 +1,12 @@
 # Developer entry points. `make check` is the tier-1 gate used by CI and
 # by ROADMAP.md; `make race` covers the packages with real concurrency
-# (the TCP transport, the nemesis fault injector and the parallel
-# experiment harness); `make chaos` is the seeded fault-injection gate.
+# (the TCP transport, the nemesis fault injector, the parallel
+# experiment harness and the client gateway); `make chaos` is the seeded
+# fault-injection gate and `make loadtest` the gateway smoke gate.
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-hotpath bench-observability trace-check chaos golden
+.PHONY: check build vet test race bench bench-hotpath bench-observability trace-check chaos loadtest bench-gateway golden
 
 check: build vet test
 
@@ -19,7 +20,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/net/... ./internal/nemesis/... ./internal/bench/... ./cmd/vpchaos/...
+	$(GO) test -race -count=1 ./internal/net/... ./internal/nemesis/... ./internal/bench/... ./internal/gateway/... ./cmd/vpchaos/...
 
 # Run every benchmark in the repository.
 bench:
@@ -54,6 +55,24 @@ trace-check:
 CHAOS_SEED ?= 7
 chaos:
 	$(GO) run ./cmd/vpchaos -n 5 -seed $(CHAOS_SEED) -partitions 3 -crashes 2
+
+# Gateway smoke gate: boot an in-process 3-node TCP cluster plus a
+# vpgateway, run a short closed-loop burst through the HTTP API, and
+# assert zero read-your-writes/1SR violations and non-zero committed
+# throughput. vpload -smoke exits non-zero otherwise, failing the
+# target. Used by CI.
+LOAD_SEED ?= 1
+loadtest:
+	$(GO) run ./cmd/vpload -local 3 -smoke -clients 8 -duration 3s -seed $(LOAD_SEED)
+
+# Regenerate BENCH_gateway.json: the group-commit ablation (batching
+# off vs on) at a paced 1500 writes/sec against one contended object on
+# a local 3-node cluster, with coordinated-omission-corrected latency
+# (see EXPERIMENTS.md).
+bench-gateway:
+	$(GO) run ./cmd/vpload -local 3 -compare -clients 32 -rate 1500 -duration 8s \
+		-read-fraction 0 -objects 1 -out BENCH_gateway.json
+	@cat BENCH_gateway.json
 
 # Regenerate BENCH_observability.json from the tracing hot-path
 # microbenchmarks (enabled vs disabled vs nil recorder).

@@ -1,5 +1,7 @@
 // Command vpctl is the client for vpnode clusters: it submits one
-// transaction to a node over TCP and prints the outcome.
+// transaction to a node over TCP, retrying transient failures (wait-die
+// abort victims, brief partitions) until -timeout, and prints the
+// outcome.
 //
 // Usage:
 //
@@ -15,6 +17,7 @@ import (
 	"math/rand"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/virtualpartitions/vp/internal/model"
@@ -25,21 +28,22 @@ import (
 func main() {
 	var (
 		addr    = flag.String("addr", "localhost:7001", "node address")
-		timeout = flag.Duration("timeout", 10*time.Second, "request timeout")
+		timeout = flag.Duration("timeout", 10*time.Second, "overall deadline across retries")
+		perTry  = flag.Duration("per-try", 2*time.Second, "timeout of each individual attempt")
 	)
 	flag.Parse()
-	ops, err := parseOps(flag.Args())
+	args := flag.Args()
+	ops, err := parseOps(args)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vpctl:", err)
 		usage()
 	}
+	// The command as typed ("incr x 1"), so failures name the operation
+	// that failed rather than a bare reason.
+	cmd := strings.Join(args, " ")
 
 	req := wire.ClientTxn{Tag: rand.New(rand.NewSource(time.Now().UnixNano())).Uint64(), Ops: ops}
-	res, err := net.SubmitTCP(*addr, req, *timeout)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "vpctl:", err)
-		os.Exit(1)
-	}
+	res, err := net.SubmitTCPRetry(*addr, req, *perTry, time.Now().Add(*timeout))
 	switch {
 	case res.Committed:
 		fmt.Println("committed")
@@ -47,11 +51,15 @@ func main() {
 			fmt.Printf("  %s = %d\n", rv.Obj, rv.Val)
 		}
 	case res.Denied:
-		fmt.Printf("denied: %s\n", res.Reason)
+		fmt.Fprintf(os.Stderr, "vpctl: %s: denied: %s\n", cmd, res.Reason)
 		os.Exit(3)
-	default:
-		fmt.Printf("aborted: %s\n", res.Reason)
+	case res.Reason != "":
+		fmt.Fprintf(os.Stderr, "vpctl: %s: aborted after retries until deadline: %s\n", cmd, res.Reason)
 		os.Exit(4)
+	default:
+		// No result at all: every attempt died in transport.
+		fmt.Fprintf(os.Stderr, "vpctl: %s: %v\n", cmd, err)
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,131 @@
+// Command vpgateway runs the client gateway: a long-lived HTTP service
+// fronting a vpnode cluster that adds sessions (read-your-writes and
+// monotonic reads via an opaque token), group-commit batching of
+// concurrent writes, admission control with fast shedding, and pooled
+// persistent connections to the cluster.
+//
+// Example, against the three-node cluster from the vpnode docs:
+//
+//	vpgateway -listen :8080 \
+//	    -cluster 1=localhost:7001,2=localhost:7002,3=localhost:7003 \
+//	    -health 1=localhost:7101,2=localhost:7102,3=localhost:7103
+//
+// then:
+//
+//	curl -s -X POST localhost:8080/txn -d '{"ops":[{"kind":"incr","obj":"x","delta":5}]}'
+//	curl -s 'localhost:8080/read?obj=x' -H "X-VP-Session: <token from the response>"
+//	curl -s localhost:8080/gw/stats
+//
+// The -health flags are the nodes' -debug-addr endpoints; when given,
+// the gateway polls /healthz and routes around nodes that are down or
+// outside any virtual partition.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/virtualpartitions/vp/internal/gateway"
+	"github.com/virtualpartitions/vp/internal/model"
+)
+
+// options is the parsed command line, separated from main so flag
+// handling is testable without forking a process.
+type options struct {
+	listen string
+	cfg    gateway.Config
+}
+
+func parseArgs(args []string) (*options, error) {
+	fs := flag.NewFlagSet("vpgateway", flag.ContinueOnError)
+	var (
+		listen      = fs.String("listen", ":8080", "HTTP listen address")
+		cluster     = fs.String("cluster", "", "comma-separated id=host:port node addresses (required)")
+		health      = fs.String("health", "", "comma-separated id=host:port node debug addresses for /healthz routing")
+		batching    = fs.Bool("batch", true, "coalesce concurrent writes into group-commit rounds")
+		batchWindow = fs.Duration("batch-window", 2*time.Millisecond, "group-commit coalescing window")
+		batchMax    = fs.Int("batch-max", 64, "flush a round at this many coalesced writes")
+		maxInflight = fs.Int("max-inflight", 256, "admission: concurrent requests served")
+		maxQueue    = fs.Int("max-queue", 0, "admission: waiting requests before shedding (default 4x max-inflight)")
+		perTry      = fs.Duration("per-try", 500*time.Millisecond, "per-node attempt timeout")
+		deadline    = fs.Duration("deadline", 5*time.Second, "end-to-end budget per client request")
+		marks       = fs.Int("session-marks", gateway.DefaultSessionMarks, "per-session object version marks retained")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	addrs, err := parseNodeMap(*cluster, "-cluster")
+	if err != nil {
+		return nil, err
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("-cluster is required")
+	}
+	var healthAddrs map[model.ProcID]string
+	if *health != "" {
+		if healthAddrs, err = parseNodeMap(*health, "-health"); err != nil {
+			return nil, err
+		}
+	}
+	return &options{
+		listen: *listen,
+		cfg: gateway.Config{
+			Cluster: addrs, Health: healthAddrs,
+			Batching: *batching, BatchWindow: *batchWindow, BatchMax: *batchMax,
+			MaxInflight: *maxInflight, MaxQueue: *maxQueue,
+			PerTry: *perTry, Deadline: *deadline, SessionMarks: *marks,
+		},
+	}, nil
+}
+
+func parseNodeMap(s, flagName string) (map[model.ProcID]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[model.ProcID]string)
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad %s entry %q (want id=host:port)", flagName, part)
+		}
+		id, err := strconv.Atoi(kv[0])
+		if err != nil || id < 1 {
+			return nil, fmt.Errorf("bad processor id %q in %s", kv[0], flagName)
+		}
+		out[model.ProcID(id)] = kv[1]
+	}
+	return out, nil
+}
+
+func main() {
+	opt, err := parseArgs(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpgateway:", err)
+		os.Exit(2)
+	}
+	g := gateway.New(opt.cfg)
+	defer g.Close()
+	srv, addr, err := g.Serve(opt.listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpgateway:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	mode := "off"
+	if opt.cfg.Batching {
+		mode = fmt.Sprintf("window=%v max=%d", opt.cfg.BatchWindow, opt.cfg.BatchMax)
+	}
+	fmt.Printf("vpgateway serving on http://%s (%d nodes, batching %s, inflight<=%d)\n",
+		addr, len(opt.cfg.Cluster), mode, opt.cfg.MaxInflight)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("vpgateway shutting down")
+}

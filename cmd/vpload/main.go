@@ -1,0 +1,585 @@
+// Command vpload is the closed-loop load generator for the client
+// gateway: N session-holding clients issue a deterministic read/write
+// mix (internal/workload: seeded, optionally Zipf-skewed) against a
+// gateway's HTTP API, each client submitting its next request as soon
+// as the previous one answers. It reports committed throughput and
+// latency percentiles as JSON and — because every client remembers its
+// own committed writes — verifies on the fly that no sessioned read
+// ever returned a value older than the session's own last committed
+// write.
+//
+// Modes:
+//
+//	vpload -addr http://localhost:8080           # drive an external gateway
+//	vpload -local 3                              # boot an in-process 3-node TCP cluster + gateway
+//	vpload -local 3 -smoke                       # short burst; exit non-zero on zero
+//	                                             # throughput or any consistency violation
+//	vpload -local 3 -compare -out BENCH_gateway.json
+//	                                             # run the same load with batching off and
+//	                                             # on; write the ablation comparison
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	stdnet "net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/virtualpartitions/vp/internal/core"
+	"github.com/virtualpartitions/vp/internal/gateway"
+	"github.com/virtualpartitions/vp/internal/metrics"
+	"github.com/virtualpartitions/vp/internal/model"
+	vnet "github.com/virtualpartitions/vp/internal/net"
+	"github.com/virtualpartitions/vp/internal/node"
+	"github.com/virtualpartitions/vp/internal/onecopy"
+	"github.com/virtualpartitions/vp/internal/workload"
+)
+
+// options is the parsed command line, separated from main so the
+// harness is drivable from tests without forking.
+type options struct {
+	addr         string
+	local        int
+	clients      int
+	rate         float64
+	duration     time.Duration
+	ramp         time.Duration
+	readFraction float64
+	objects      int
+	zipf         float64
+	seed         int64
+	batch        bool
+	batchWindow  time.Duration
+	smoke        bool
+	compare      bool
+	out          string
+	delta        time.Duration
+}
+
+func parseArgs(args []string) (*options, error) {
+	fs := flag.NewFlagSet("vpload", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", "", "gateway base URL (e.g. http://localhost:8080)")
+		local        = fs.Int("local", 0, "boot an in-process cluster of this many nodes plus a gateway instead of -addr")
+		clients      = fs.Int("clients", 8, "concurrent closed-loop clients (each is one session)")
+		rate         = fs.Float64("rate", 0, "target offered load in requests/sec across all clients (0 = closed loop, as fast as responses return); latency is then measured from the scheduled send time, so an overloaded target shows its true queueing delay instead of coordinated omission")
+		duration     = fs.Duration("duration", 5*time.Second, "measured load duration")
+		ramp         = fs.Duration("ramp", 0, "stagger client start times across this window")
+		readFraction = fs.Float64("read-fraction", 0.5, "fraction of requests that are reads")
+		objects      = fs.Int("objects", 4, "number of logical objects")
+		zipf         = fs.Float64("zipf", 0, "object popularity skew (0 = uniform)")
+		seed         = fs.Int64("seed", 1, "workload seed; runs are reproducible per client")
+		batch        = fs.Bool("batch", true, "-local only: enable group-commit batching")
+		batchWindow  = fs.Duration("batch-window", 2*time.Millisecond, "-local only: batching window")
+		smoke        = fs.Bool("smoke", false, "assert non-zero committed throughput and zero violations; exit 1 otherwise")
+		compare      = fs.Bool("compare", false, "-local only: run batching off then on and report both")
+		out          = fs.String("out", "", "write the JSON report here instead of stdout")
+		delta        = fs.Duration("delta", 20*time.Millisecond, "-local only: cluster message delay bound δ")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if (*addr == "") == (*local == 0) {
+		return nil, fmt.Errorf("exactly one of -addr or -local is required")
+	}
+	if *compare && *local == 0 {
+		return nil, fmt.Errorf("-compare needs -local (it reboots the cluster between runs)")
+	}
+	if *local != 0 && *local < 3 {
+		return nil, fmt.Errorf("-local must be >= 3 (a majority must survive nothing here, but the protocol wants peers)")
+	}
+	if *clients < 1 || *objects < 1 {
+		return nil, fmt.Errorf("-clients and -objects must be positive")
+	}
+	if *readFraction < 0 || *readFraction > 1 {
+		return nil, fmt.Errorf("-read-fraction must be in [0,1]")
+	}
+	if *rate < 0 {
+		return nil, fmt.Errorf("-rate must be >= 0")
+	}
+	if *addr != "" && !strings.Contains(*addr, "://") {
+		// Accept bare host:port; without a scheme http.Client fails every
+		// request instantly and the whole run reads as "failed".
+		*addr = "http://" + *addr
+	}
+	return &options{
+		addr: *addr, local: *local, clients: *clients, rate: *rate,
+		duration: *duration, ramp: *ramp,
+		readFraction: *readFraction, objects: *objects, zipf: *zipf, seed: *seed,
+		batch: *batch, batchWindow: *batchWindow,
+		smoke: *smoke, compare: *compare, out: *out, delta: *delta,
+	}, nil
+}
+
+// report is the JSON output of one load run.
+type report struct {
+	Config struct {
+		Clients      int     `json:"clients"`
+		RateTPS      float64 `json:"rate_tps,omitempty"`
+		DurationMS   int64   `json:"duration_ms"`
+		ReadFraction float64 `json:"read_fraction"`
+		Objects      int     `json:"objects"`
+		Zipf         float64 `json:"zipf"`
+		Seed         int64   `json:"seed"`
+		Batching     bool    `json:"batching"`
+	} `json:"config"`
+	ElapsedMS     int64   `json:"elapsed_ms"`
+	Committed     int64   `json:"committed"`
+	CommittedTPS  float64 `json:"committed_tps"`
+	Reads         int64   `json:"reads"`
+	Writes        int64   `json:"writes"`
+	Failed        int64   `json:"failed"`
+	Shed          int64   `json:"shed"`
+	Violations    int64   `json:"violations"`
+	LatencyMS     latency `json:"latency_ms"`
+	ReadLatencyMS latency `json:"read_latency_ms"`
+
+	// Gateway-side ablation numbers, scraped from /gw/stats.
+	Gateway *gwSide `json:"gateway,omitempty"`
+}
+
+type latency struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+func toLatency(s metrics.Summary) latency {
+	return latency{Mean: s.Mean, P50: s.P50, P95: s.P95, P99: s.P99, Max: s.Max}
+}
+
+// gwSide summarizes the gateway counters that quantify batching: how
+// many backend 2PC rounds carried how many logical writes.
+type gwSide struct {
+	WriteTxns      int64   `json:"backend_write_txns"`
+	WriteCommitted int64   `json:"write_committed"`
+	RoundsPerWrite float64 `json:"rounds_per_write"`
+	BatchRounds    int64   `json:"batch_rounds"`
+	MeanBatchSize  float64 `json:"mean_batch_size"`
+	StaleRetries   int64   `json:"session_stale_retries"`
+	Shed           int64   `json:"shed"`
+}
+
+// client is one closed-loop session: it tracks its own committed write
+// versions so read-your-writes violations are detected independently of
+// the gateway's own session logic.
+type client struct {
+	id      int
+	url     string
+	hc      *http.Client
+	gen     *workload.Generator
+	session string
+	marks   map[string]gateway.VerRef
+}
+
+func (c *client) versionLess(a, b gateway.VerRef) bool {
+	av := model.Version{Date: model.VPID{N: a.VPN, P: a.VPP}, Ctr: a.Ctr}
+	bv := model.Version{Date: model.VPID{N: b.VPN, P: b.VPP}, Ctr: b.Ctr}
+	return av.Less(bv)
+}
+
+// step issues one request and classifies the outcome. sched is the
+// request's scheduled send time under paced (-rate) load: latency is
+// measured from it, so queueing delay an overloaded target imposes on
+// the schedule counts against it (no coordinated omission). In closed
+// loop sched is zero and latency is measured from the actual send.
+func (c *client) step(res *runStats, reg *metrics.Registry, sched time.Time) {
+	t := c.gen.Next()
+	var (
+		method, path string
+		body         io.Reader
+	)
+	if t.ReadOnly {
+		method = "GET"
+		path = "/read?obj=" + string(t.Request.Ops[0].Obj)
+	} else {
+		// The generator's non-read transactions are single-object
+		// increments (TransferFraction 0).
+		req := gateway.TxnRequest{Ops: []gateway.TxnOp{
+			{Kind: "incr", Obj: string(t.Request.Ops[0].Obj), Delta: 1},
+		}}
+		raw, _ := json.Marshal(req) //nolint:errcheck // fixed shape
+		method, path, body = "POST", "/txn", bytes.NewReader(raw)
+	}
+	httpReq, err := http.NewRequest(method, c.url+path, body)
+	if err != nil {
+		res.add(func(s *runStats) { s.failed++ })
+		return
+	}
+	if c.session != "" {
+		httpReq.Header.Set(gateway.SessionHeader, c.session)
+	}
+	began := time.Now()
+	if !sched.IsZero() {
+		began = sched
+	}
+	resp, err := c.hc.Do(httpReq)
+	if err != nil {
+		res.add(func(s *runStats) { s.failed++ })
+		return
+	}
+	rawBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	elapsed := time.Since(began)
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusServiceUnavailable:
+		res.add(func(s *runStats) { s.shed++ })
+		return
+	default:
+		res.add(func(s *runStats) { s.failed++ })
+		return
+	}
+	var tr gateway.TxnResponse
+	if err := json.Unmarshal(rawBody, &tr); err != nil || !tr.Committed {
+		res.add(func(s *runStats) { s.failed++ })
+		return
+	}
+	if tok := resp.Header.Get(gateway.SessionHeader); tok != "" {
+		c.session = tok
+	}
+
+	reg.ObserveDuration("load.latency", elapsed)
+	violation := false
+	if t.ReadOnly {
+		reg.ObserveDuration("load.read.latency", elapsed)
+		// The independent read-your-writes check: the returned version
+		// must not precede this client's own committed write.
+		for _, r := range tr.Reads {
+			if mark, ok := c.marks[r.Obj]; ok && c.versionLess(r.Version, mark) {
+				violation = true
+			}
+		}
+	} else {
+		for _, w := range tr.Writes {
+			if mark, ok := c.marks[w.Obj]; !ok || c.versionLess(mark, w.Version) {
+				c.marks[w.Obj] = w.Version
+			}
+		}
+	}
+	ro := t.ReadOnly
+	res.add(func(s *runStats) {
+		s.committed++
+		if ro {
+			s.reads++
+		} else {
+			s.writes++
+		}
+		if violation {
+			s.violations++
+		}
+	})
+}
+
+// runStats accumulates outcomes across clients.
+type runStats struct {
+	mu         sync.Mutex
+	committed  int64
+	reads      int64
+	writes     int64
+	failed     int64
+	shed       int64
+	violations int64
+}
+
+func (s *runStats) add(f func(*runStats)) {
+	s.mu.Lock()
+	f(s)
+	s.mu.Unlock()
+}
+
+// runLoad drives the closed loop against a gateway base URL.
+func runLoad(opt *options, url string, batching bool) (*report, error) {
+	objs := workload.Objects(opt.objects)
+	mix := workload.Mix{ReadFraction: opt.readFraction}
+	reg := metrics.NewRegistry()
+	stats := &runStats{}
+	transport := &http.Transport{MaxIdleConnsPerHost: opt.clients}
+	defer transport.CloseIdleConnections()
+
+	stop := time.Now().Add(opt.ramp + opt.duration)
+	var wg sync.WaitGroup
+	began := time.Now()
+	for i := 0; i < opt.clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if opt.ramp > 0 && opt.clients > 1 {
+				time.Sleep(opt.ramp * time.Duration(i) / time.Duration(opt.clients))
+			}
+			c := &client{
+				id:  i,
+				url: url,
+				hc:  &http.Client{Transport: transport, Timeout: 30 * time.Second},
+				// Per-client seeds keep every client's stream independent
+				// and the whole run reproducible.
+				gen:   workload.NewGenerator(opt.seed+int64(i), objs, []model.ProcID{1}, mix, opt.zipf),
+				marks: map[string]gateway.VerRef{},
+			}
+			if opt.rate <= 0 {
+				for time.Now().Before(stop) {
+					c.step(stats, reg, time.Time{})
+				}
+				return
+			}
+			// Paced: this client fires every clients/rate seconds, offset
+			// by its index so the fleet's arrivals interleave evenly. A
+			// client behind schedule (the target is slower than the
+			// offered rate) sends immediately but keeps measuring from
+			// the scheduled time.
+			interval := time.Duration(float64(opt.clients) / opt.rate * float64(time.Second))
+			next := time.Now().Add(interval * time.Duration(i) / time.Duration(opt.clients))
+			for next.Before(stop) {
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+				c.step(stats, reg, next)
+				next = next.Add(interval)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(began)
+
+	rep := &report{}
+	rep.Config.Clients = opt.clients
+	rep.Config.RateTPS = opt.rate
+	rep.Config.DurationMS = opt.duration.Milliseconds()
+	rep.Config.ReadFraction = opt.readFraction
+	rep.Config.Objects = opt.objects
+	rep.Config.Zipf = opt.zipf
+	rep.Config.Seed = opt.seed
+	rep.Config.Batching = batching
+	rep.ElapsedMS = elapsed.Milliseconds()
+	rep.Committed = stats.committed
+	rep.CommittedTPS = float64(stats.committed) / elapsed.Seconds()
+	rep.Reads, rep.Writes = stats.reads, stats.writes
+	rep.Failed, rep.Shed = stats.failed, stats.shed
+	rep.Violations = stats.violations
+	rep.LatencyMS = toLatency(reg.Samples("load.latency"))
+	rep.ReadLatencyMS = toLatency(reg.Samples("load.read.latency"))
+	rep.Gateway = scrapeGateway(url)
+	return rep, nil
+}
+
+// scrapeGateway pulls the ablation counters from /gw/stats; absence is
+// not an error (the target may not expose stats).
+func scrapeGateway(url string) *gwSide {
+	resp, err := http.Get(url + "/gw/stats")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var st gateway.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil
+	}
+	g := &gwSide{
+		WriteTxns:      st.Counters[metrics.CGwWriteTxns],
+		WriteCommitted: st.Counters[metrics.CGwWriteCommitted],
+		BatchRounds:    st.Counters[metrics.CGwBatchRounds],
+		MeanBatchSize:  st.Batch.Mean,
+		StaleRetries:   st.Counters[metrics.CGwStaleRetries],
+		Shed:           st.Counters[metrics.CGwShed],
+	}
+	if g.WriteCommitted > 0 {
+		g.RoundsPerWrite = float64(g.WriteTxns) / float64(g.WriteCommitted)
+	}
+	return g
+}
+
+// localCluster is an in-process real-TCP cluster plus gateway.
+type localCluster struct {
+	url   string
+	hist  *onecopy.History
+	stop  func()
+	gwCfg gateway.Config
+}
+
+// bootLocal starts n vpnode cores over real sockets and one gateway.
+func bootLocal(opt *options, batching bool) (*localCluster, error) {
+	n := opt.local
+	addrs := map[model.ProcID]string{}
+	for i := 0; i < n; i++ {
+		l, err := stdnet.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addrs[model.ProcID(i+1)] = l.Addr().String()
+		l.Close()
+	}
+	cat := model.FullyReplicated(n, workload.Objects(opt.objects)...)
+	hist := onecopy.NewHistory()
+	cfg := core.Config{Config: node.Config{Delta: opt.delta, LogCap: 256}}
+	var nodes []*vnet.TCPNode
+	for id := model.ProcID(1); id <= model.ProcID(n); id++ {
+		tcp := vnet.NewTCPNode(id, addrs, core.New(id, cfg, cat, hist))
+		if err := tcp.Run(); err != nil {
+			for _, nd := range nodes {
+				nd.Stop()
+			}
+			return nil, fmt.Errorf("node %v: %w", id, err)
+		}
+		nodes = append(nodes, tcp)
+	}
+	gwCfg := gateway.Config{
+		Cluster: addrs, Batching: batching, BatchWindow: opt.batchWindow,
+		PerTry: time.Second, Deadline: 20 * time.Second,
+	}
+	g := gateway.New(gwCfg)
+	srv, addr, err := g.Serve("127.0.0.1:0")
+	if err != nil {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+		g.Close()
+		return nil, err
+	}
+	stop := func() {
+		srv.Close()
+		g.Close()
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	}
+	return &localCluster{url: "http://" + addr, hist: hist, stop: stop, gwCfg: gwCfg}, nil
+}
+
+// compareReport is the BENCH_gateway.json shape: the same load with
+// batching off and on.
+type compareReport struct {
+	Bench       string  `json:"bench"`
+	Off         *report `json:"batching_off"`
+	On          *report `json:"batching_on"`
+	RoundsOff   float64 `json:"rounds_per_write_off"`
+	RoundsOn    float64 `json:"rounds_per_write_on"`
+	P50RatioOn  float64 `json:"p50_on_over_off"`
+	TPSRatioOn  float64 `json:"tps_on_over_off"`
+	Description string  `json:"description"`
+}
+
+func run(opt *options, w io.Writer) error {
+	emit := func(v any) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	}
+	smokeCheck := func(reps ...*report) error {
+		if !opt.smoke {
+			return nil
+		}
+		for _, r := range reps {
+			if r.Committed == 0 {
+				return fmt.Errorf("smoke: zero committed throughput")
+			}
+			if r.Violations != 0 {
+				return fmt.Errorf("smoke: %d read-your-writes violations", r.Violations)
+			}
+		}
+		return nil
+	}
+
+	if opt.local == 0 {
+		rep, err := runLoad(opt, opt.addr, opt.batch)
+		if err != nil {
+			return err
+		}
+		if err := emit(rep); err != nil {
+			return err
+		}
+		return smokeCheck(rep)
+	}
+
+	runOnce := func(batching bool) (*report, error) {
+		lc, err := bootLocal(opt, batching)
+		if err != nil {
+			return nil, err
+		}
+		defer lc.stop()
+		rep, err := runLoad(opt, lc.url, batching)
+		if err != nil {
+			return nil, err
+		}
+		if r := onecopy.CheckGraph(lc.hist); !r.OK {
+			rep.Violations++
+			fmt.Fprintf(os.Stderr, "vpload: history not one-copy serializable: %s\n", r.Reason)
+		}
+		return rep, nil
+	}
+
+	if !opt.compare {
+		rep, err := runOnce(opt.batch)
+		if err != nil {
+			return err
+		}
+		if err := emit(rep); err != nil {
+			return err
+		}
+		return smokeCheck(rep)
+	}
+
+	off, err := runOnce(false)
+	if err != nil {
+		return err
+	}
+	on, err := runOnce(true)
+	if err != nil {
+		return err
+	}
+	cmp := &compareReport{
+		Bench: "gateway group-commit ablation",
+		Off:   off, On: on,
+		Description: "identical load against a fresh local cluster, batching off vs on; " +
+			"rounds_per_write is backend 2PC rounds per committed logical write; with -rate, " +
+			"latency is measured from each request's scheduled send time (coordinated-omission " +
+			"corrected), so a side that cannot sustain the offered rate shows its backlog as latency",
+	}
+	if off.Gateway != nil {
+		cmp.RoundsOff = off.Gateway.RoundsPerWrite
+	}
+	if on.Gateway != nil {
+		cmp.RoundsOn = on.Gateway.RoundsPerWrite
+	}
+	if off.LatencyMS.P50 > 0 {
+		cmp.P50RatioOn = on.LatencyMS.P50 / off.LatencyMS.P50
+	}
+	if off.CommittedTPS > 0 {
+		cmp.TPSRatioOn = on.CommittedTPS / off.CommittedTPS
+	}
+	if err := emit(cmp); err != nil {
+		return err
+	}
+	return smokeCheck(off, on)
+}
+
+func main() {
+	opt, err := parseArgs(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpload:", err)
+		os.Exit(2)
+	}
+	var w io.Writer = os.Stdout
+	if opt.out != "" {
+		f, err := os.Create(opt.out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpload:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := run(opt, w); err != nil {
+		fmt.Fprintln(os.Stderr, "vpload:", err)
+		os.Exit(1)
+	}
+}

@@ -137,14 +137,25 @@ func main() {
 	} else {
 		nd = core.New(opt.id, cfg, cat, nil)
 	}
-	if opt.verbose {
-		me := opt.id
+	var health *debughttp.Health
+	if opt.debugAddr != "" {
+		health = &debughttp.Health{}
+		health.Set(nd.Assigned(), nd.CurID(), nd.View().Sorted())
+	}
+	if opt.verbose || health != nil {
+		me, verbose := opt.id, opt.verbose
 		nd.Observer = func(ev any) {
 			switch e := ev.(type) {
 			case core.JoinEvent:
-				fmt.Printf("vpnode %v: joined %v view=%v\n", me, e.VP, e.View)
+				health.Set(true, e.VP, e.View.Sorted())
+				if verbose {
+					fmt.Printf("vpnode %v: joined %v view=%v\n", me, e.VP, e.View)
+				}
 			case core.DepartEvent:
-				fmt.Printf("vpnode %v: departed %v\n", me, e.VP)
+				health.Set(false, e.VP, nil)
+				if verbose {
+					fmt.Printf("vpnode %v: departed %v\n", me, e.VP)
+				}
 			}
 		}
 	}
@@ -160,7 +171,7 @@ func main() {
 		os.Exit(1)
 	}
 	if opt.debugAddr != "" {
-		srv, addr, err := debughttp.Serve(opt.debugAddr, tcp.Metrics())
+		srv, addr, err := debughttp.Serve(opt.debugAddr, tcp.Metrics(), health)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vpnode:", err)
 			os.Exit(1)

@@ -1,26 +1,100 @@
 // Package debughttp serves the live observability endpoints of a node:
-// Prometheus-text /metrics, Go expvar under /debug/vars, and the
-// net/http/pprof profiling handlers under /debug/pprof/. It is wired
-// into vpnode behind the -debug-addr flag and deliberately stays off
-// the default ServeMux so importing it does not pollute global state
+// Prometheus-text /metrics, Go expvar under /debug/vars, the
+// net/http/pprof profiling handlers under /debug/pprof/, and a /healthz
+// readiness endpoint reporting the node's current view/VP state. It is
+// wired into vpnode behind the -debug-addr flag and deliberately stays
+// off the default ServeMux so importing it does not pollute global state
 // beyond what expvar and pprof themselves register.
 package debughttp
 
 import (
+	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
+	"time"
 
 	"github.com/virtualpartitions/vp/internal/metrics"
+	"github.com/virtualpartitions/vp/internal/model"
 )
 
-// Mux builds the debug handler tree over a registry.
-func Mux(reg *metrics.Registry) *http.ServeMux {
+// Health is a thread-safe holder for the node's readiness state, fed
+// from the node's event loop (via core.Node.Observer) and read by the
+// /healthz handler. The zero value reports "unknown" (not ready); a nil
+// *Health disables the endpoint's state (it reports 503 unknown).
+type Health struct {
+	mu       sync.Mutex
+	known    bool
+	assigned bool
+	vp       model.VPID
+	view     []model.ProcID
+	since    time.Time
+}
+
+// HealthState is the JSON body served by /healthz.
+type HealthState struct {
+	OK       bool           `json:"ok"`
+	Assigned bool           `json:"assigned"`
+	VPN      uint64         `json:"vpn"` // current virtual partition id (N, P)
+	VPP      model.ProcID   `json:"vpp"`
+	View     []model.ProcID `json:"view,omitempty"`
+	SinceMS  int64          `json:"since_ms"` // ms since the last state change
+}
+
+// Set records a state change: whether the node is assigned to a virtual
+// partition and, if so, which one with which view.
+func (h *Health) Set(assigned bool, vp model.VPID, view []model.ProcID) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.known = true
+	h.assigned = assigned
+	h.vp = vp
+	h.view = append(h.view[:0], view...)
+	h.since = time.Now()
+	h.mu.Unlock()
+}
+
+// State snapshots the current readiness state. OK is true only for an
+// assigned node: a processor between partitions (departed, mid-refresh
+// of a new view) is serving but should not be preferred by clients.
+func (h *Health) State() HealthState {
+	if h == nil {
+		return HealthState{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := HealthState{
+		OK:       h.known && h.assigned,
+		Assigned: h.assigned,
+		VPN:      h.vp.N,
+		VPP:      h.vp.P,
+		View:     append([]model.ProcID(nil), h.view...),
+	}
+	if h.known {
+		st.SinceMS = time.Since(h.since).Milliseconds()
+	}
+	return st
+}
+
+// Mux builds the debug handler tree over a registry. health may be nil,
+// in which case /healthz always reports 503 unknown.
+func Mux(reg *metrics.Registry, health *Health) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w) //nolint:errcheck // client gone mid-scrape
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		st := health.State()
+		w.Header().Set("Content-Type", "application/json")
+		if !st.OK {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(st) //nolint:errcheck // client gone mid-reply
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -35,12 +109,12 @@ func Mux(reg *metrics.Registry) *http.ServeMux {
 // returned server is closed. It returns once the listener is bound, so
 // callers can immediately scrape the reported address (Addr resolves
 // ":0" to the chosen port).
-func Serve(addr string, reg *metrics.Registry) (*http.Server, string, error) {
+func Serve(addr string, reg *metrics.Registry, health *Health) (*http.Server, string, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: Mux(reg)}
+	srv := &http.Server{Handler: Mux(reg, health)}
 	go srv.Serve(l) //nolint:errcheck // ErrServerClosed on shutdown
 	return srv, l.Addr().String(), nil
 }

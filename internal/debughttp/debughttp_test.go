@@ -1,12 +1,14 @@
 package debughttp
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"strings"
 	"testing"
 
 	"github.com/virtualpartitions/vp/internal/metrics"
+	"github.com/virtualpartitions/vp/internal/model"
 )
 
 func get(t *testing.T, url string) (int, string) {
@@ -27,7 +29,7 @@ func TestServeEndpoints(t *testing.T) {
 	reg := metrics.NewRegistry()
 	reg.Inc(metrics.CTxnCommit, 3)
 	reg.Inc(metrics.CMsgSent+".probe", 9)
-	srv, addr, err := Serve("127.0.0.1:0", reg)
+	srv, addr, err := Serve("127.0.0.1:0", reg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,5 +60,44 @@ func TestServeEndpoints(t *testing.T) {
 	}
 	if code, _ = get(t, "http://"+addr+"/debug/pprof/cmdline"); code != http.StatusOK {
 		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+
+	// With no Health holder the readiness endpoint reports not-ready.
+	if code, _ = get(t, "http://"+addr+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/healthz without holder: status %d, want 503", code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	reg := metrics.NewRegistry()
+	h := &Health{}
+	srv, addr, err := Serve("127.0.0.1:0", reg, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Unknown state: not ready.
+	if code, _ := get(t, "http://"+addr+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Errorf("unknown state: status %d, want 503", code)
+	}
+
+	h.Set(true, model.VPID{N: 3, P: 2}, []model.ProcID{1, 2, 3})
+	code, body := get(t, "http://"+addr+"/healthz")
+	if code != http.StatusOK {
+		t.Errorf("assigned: status %d, want 200", code)
+	}
+	var st HealthState
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("bad /healthz body %q: %v", body, err)
+	}
+	if !st.OK || st.VPN != 3 || st.VPP != 2 || len(st.View) != 3 {
+		t.Errorf("state = %+v", st)
+	}
+
+	// A departed node flips to not-ready.
+	h.Set(false, model.VPID{N: 3, P: 2}, nil)
+	if code, _ = get(t, "http://"+addr+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Errorf("departed: status %d, want 503", code)
 	}
 }

@@ -1,0 +1,226 @@
+package gateway
+
+import (
+	"time"
+
+	"github.com/virtualpartitions/vp/internal/metrics"
+	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/trace"
+	"github.com/virtualpartitions/vp/internal/wire"
+)
+
+// batcher implements group commit: concurrent single-object logical
+// writes are coalesced (wire.Batch) into ONE shared transaction round,
+// so one pass of locking and two-phase commit carries many logical
+// writes. Under contention this is the difference between N serialized
+// lock/2PC rounds (each txn waiting out or aborting its predecessors
+// under wait-die) and one round per conveyor slot.
+//
+// A single goroutine owns the open round, flushed conveyor-style (the
+// classic disk group-commit discipline): when NO round is in flight the
+// open round flushes immediately, so an uncontended write pays no
+// batching delay; while a round IS in flight, arrivals coalesce and
+// flush the moment it completes, so rounds size themselves to the
+// natural commit latency. The window is only an upper bound on how
+// long a coalescing round may wait (covering slow in-flight rounds),
+// and maxSize bounds how large one may grow.
+//
+// Entries the open round refuses (conflicting blind writes, see
+// wire.Batch.Add) wait for the NEXT round, preserving the
+// serial-equivalence argument.
+type batcher struct {
+	window  time.Duration
+	maxSize int
+	backend submitter
+	tags    *tagSource
+	timeout time.Duration // per-round submit deadline
+	reg     *metrics.Registry
+	tr      *trace.Recorder
+	clock   func() time.Duration
+
+	reqCh  chan batchReq
+	stopCh chan struct{}
+	doneCh chan struct{}
+}
+
+// batchReq is one logical write awaiting its round.
+type batchReq struct {
+	entry wire.BatchEntry
+	node  model.ProcID // session-preferred node of the FIRST constituent routes the round
+	reply chan batchReply
+}
+
+type batchReply struct {
+	res  wire.ClientResult
+	node model.ProcID // node that served the shared round
+	err  error
+}
+
+func newBatcher(window time.Duration, maxSize int, backend submitter, tags *tagSource,
+	timeout time.Duration, reg *metrics.Registry, tr *trace.Recorder, clock func() time.Duration) *batcher {
+	if window <= 0 {
+		window = 2 * time.Millisecond
+	}
+	if maxSize <= 0 {
+		maxSize = 64
+	}
+	b := &batcher{
+		window: window, maxSize: maxSize, backend: backend, tags: tags,
+		timeout: timeout, reg: reg, tr: tr, clock: clock,
+		reqCh:  make(chan batchReq),
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// submit hands one batchable logical write to the batcher and waits for
+// its individual result out of the shared round, reporting which node
+// served it.
+func (b *batcher) submit(e wire.BatchEntry, node model.ProcID) (wire.ClientResult, model.ProcID, error) {
+	req := batchReq{entry: e, node: node, reply: make(chan batchReply, 1)}
+	select {
+	case b.reqCh <- req:
+	case <-b.stopCh:
+		return wire.ClientResult{}, model.NoProc, errGatewayClosed
+	}
+	select {
+	case rep := <-req.reply:
+		return rep.res, rep.node, rep.err
+	case <-b.stopCh:
+		return wire.ClientResult{}, model.NoProc, errGatewayClosed
+	}
+}
+
+// round is one accumulating group-commit round.
+type round struct {
+	batch   *wire.Batch
+	replies []chan batchReply
+	node    model.ProcID
+}
+
+// run is the batcher's single goroutine: accumulate into the open
+// round, flush conveyor-style (immediately while idle, on completion of
+// the in-flight round otherwise, on window expiry or size at the
+// latest); deferred (refused) entries seed the next round in arrival
+// order.
+func (b *batcher) run() {
+	defer close(b.doneCh)
+	var (
+		cur       *round
+		deferred  []batchReq
+		inFlight  int
+		flushDone = make(chan struct{})
+		timer     = time.NewTimer(time.Hour)
+	)
+	timer.Stop()
+
+	start := func(req batchReq) *round {
+		r := &round{batch: wire.NewBatch(b.tags.next()), node: req.node}
+		if !r.batch.Add(req.entry) { // first entry always fits an empty round
+			panic("gateway: unbatchable entry reached the batcher")
+		}
+		r.replies = append(r.replies, req.reply)
+		return r
+	}
+	add := func(r *round, req batchReq) bool {
+		if r == nil || !r.batch.Add(req.entry) {
+			return false
+		}
+		r.replies = append(r.replies, req.reply)
+		return true
+	}
+	flush := func() {
+		r := cur
+		cur = nil
+		timer.Stop()
+		inFlight++
+		go func() {
+			b.flush(r)
+			select {
+			case flushDone <- struct{}{}:
+			case <-b.stopCh:
+			}
+		}()
+		// Seed the next round with what the flushed one refused; entries
+		// it refuses in turn keep waiting (the new round's window timer
+		// guarantees another flush).
+		q := deferred
+		deferred = nil
+		for _, req := range q {
+			if cur == nil {
+				cur = start(req)
+				timer.Reset(b.window)
+			} else if !add(cur, req) {
+				deferred = append(deferred, req)
+			}
+		}
+	}
+
+	for {
+		select {
+		case <-b.stopCh:
+			if cur != nil {
+				go b.flush(cur)
+			}
+			return
+		case <-flushDone:
+			inFlight--
+			if cur != nil && inFlight == 0 {
+				flush() // conveyor: the next round rides out immediately
+			}
+		case <-timer.C:
+			if cur != nil {
+				flush()
+			}
+		case req := <-b.reqCh:
+			switch {
+			case cur == nil:
+				cur = start(req)
+				if inFlight == 0 {
+					flush() // idle: no batching delay
+				} else {
+					timer.Reset(b.window)
+				}
+			case add(cur, req):
+				if cur.batch.Len() >= b.maxSize {
+					flush()
+				}
+			default:
+				// Conflicts with the open round; ride the next one.
+				deferred = append(deferred, req)
+			}
+		}
+	}
+}
+
+// flush submits one round's shared transaction and fans the result back
+// to every constituent.
+func (b *batcher) flush(r *round) {
+	n := r.batch.Len()
+	b.reg.Inc(metrics.CGwBatchRounds, 1)
+	b.reg.Inc(metrics.CGwBatchedWrites, int64(n))
+	b.reg.Inc(metrics.CGwWriteTxns, 1) // the round is ONE backend 2PC pass
+	b.reg.Observe(metrics.SGwBatchSize, float64(n))
+	if b.tr.Enabled() {
+		b.tr.Record(trace.Event{At: b.clock(), Kind: trace.EvGwBatch, Aux: int64(n)})
+	}
+	res, node, err := b.backend.Submit(r.batch.Txn(), r.node, time.Now().Add(b.timeout))
+	if err != nil {
+		for _, ch := range r.replies {
+			ch <- batchReply{err: err}
+		}
+		return
+	}
+	for i, cres := range r.batch.Results(res) {
+		r.replies[i] <- batchReply{res: cres, node: node}
+	}
+}
+
+// close drains the batcher: the open round is flushed, waiters on
+// stopCh fail fast.
+func (b *batcher) close() {
+	close(b.stopCh)
+	<-b.doneCh
+}

@@ -1,0 +1,395 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	stdnet "net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/virtualpartitions/vp/internal/core"
+	"github.com/virtualpartitions/vp/internal/metrics"
+	"github.com/virtualpartitions/vp/internal/model"
+	vnet "github.com/virtualpartitions/vp/internal/net"
+	"github.com/virtualpartitions/vp/internal/node"
+	"github.com/virtualpartitions/vp/internal/onecopy"
+	"github.com/virtualpartitions/vp/internal/wire"
+)
+
+// fakeBackend lets tests script the cluster's behavior.
+type fakeBackend struct {
+	fn func(t wire.ClientTxn, preferred model.ProcID) (wire.ClientResult, model.ProcID, error)
+}
+
+func (f *fakeBackend) Submit(t wire.ClientTxn, preferred model.ProcID, _ time.Time) (wire.ClientResult, model.ProcID, error) {
+	return f.fn(t, preferred)
+}
+
+func doJSON(t *testing.T, client *http.Client, method, url, session string, body any) (*http.Response, TxnResponse) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if session != "" {
+		req.Header.Set(SessionHeader, session)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tr TxnResponse
+	raw, _ := io.ReadAll(resp.Body)
+	json.Unmarshal(raw, &tr) //nolint:errcheck // error bodies have another shape
+	return resp, tr
+}
+
+func TestAdmissionShedsUnderOverload(t *testing.T) {
+	release := make(chan struct{})
+	backend := &fakeBackend{fn: func(txn wire.ClientTxn, _ model.ProcID) (wire.ClientResult, model.ProcID, error) {
+		<-release
+		return wire.ClientResult{Tag: txn.Tag, Committed: true}, 1, nil
+	}}
+	reg := metrics.NewRegistry()
+	g := newWithBackend(Config{MaxInflight: 1, MaxQueue: 1, Deadline: 2 * time.Second, Metrics: reg}, backend)
+	defer g.Close()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	incr := TxnRequest{Ops: []TxnOp{{Kind: "incr", Obj: "x", Delta: 1}}}
+	var wg sync.WaitGroup
+	codes := make(chan int, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, _ := doJSON(t, srv.Client(), "POST", srv.URL+"/txn", "", incr)
+			codes <- resp.StatusCode
+		}()
+	}
+	// Give the requests time to pile up against the blocked backend, then
+	// let them through.
+	time.Sleep(300 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	close(codes)
+
+	shed, served := 0, 0
+	for c := range codes {
+		switch c {
+		case http.StatusServiceUnavailable:
+			shed++
+		case http.StatusOK:
+			served++
+		default:
+			t.Errorf("unexpected status %d", c)
+		}
+	}
+	// 1 in flight + 1 queued admit eventually; the rest must be shed fast.
+	if shed == 0 {
+		t.Error("no requests shed at MaxInflight=1 MaxQueue=1 under 8-way load")
+	}
+	if served == 0 {
+		t.Error("no requests served")
+	}
+	if got := reg.Get(metrics.CGwShed); got != int64(shed) {
+		t.Errorf("%s = %d, want %d", metrics.CGwShed, got, shed)
+	}
+}
+
+func TestReadRetriesUntilSessionFresh(t *testing.T) {
+	// The backend serves a stale version of x twice (as if from a replica
+	// that missed the session's write), then the fresh one.
+	var calls atomic.Int64
+	backend := &fakeBackend{fn: func(txn wire.ClientTxn, _ model.ProcID) (wire.ClientResult, model.ProcID, error) {
+		n := calls.Add(1)
+		v := ver(1, 1, 3) // pre-session
+		val := model.Value(10)
+		if n >= 3 {
+			v = ver(1, 1, 8) // the session's own write
+			val = 42
+		}
+		return wire.ClientResult{Tag: txn.Tag, Committed: true,
+			Reads: []wire.ObjVal{{Obj: "x", Val: val, Ver: v}}}, 1, nil
+	}}
+	reg := metrics.NewRegistry()
+	g := newWithBackend(Config{Deadline: 5 * time.Second, Metrics: reg}, backend)
+	defer g.Close()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	sess := NewSession(0)
+	sess.Observe("x", ver(1, 1, 8)) // the session committed ctr 8
+	resp, tr := doJSON(t, srv.Client(), "GET", srv.URL+"/read?obj=x", sess.Token(), nil)
+	if resp.StatusCode != http.StatusOK || !tr.Committed {
+		t.Fatalf("read: status %d, %+v", resp.StatusCode, tr)
+	}
+	if len(tr.Reads) != 1 || tr.Reads[0].Value != 42 || tr.Reads[0].Version.Ctr != 8 {
+		t.Errorf("served a stale read: %+v", tr.Reads)
+	}
+	if got := reg.Get(metrics.CGwStaleRetries); got != 2 {
+		t.Errorf("%s = %d, want 2", metrics.CGwStaleRetries, got)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("backend calls = %d, want 3", calls.Load())
+	}
+}
+
+func TestBatchingCoalescesConcurrentIncrements(t *testing.T) {
+	// A slow backend forces concurrent increments to pile into rounds;
+	// every round must carry the summed delta of its constituents.
+	var mu sync.Mutex
+	total := int64(0)
+	ctr := uint64(0)
+	var txns []wire.ClientTxn
+	backend := &fakeBackend{fn: func(txn wire.ClientTxn, _ model.ProcID) (wire.ClientResult, model.ProcID, error) {
+		time.Sleep(20 * time.Millisecond)
+		mu.Lock()
+		defer mu.Unlock()
+		txns = append(txns, txn)
+		for _, op := range txn.Ops {
+			if op.Kind == wire.OpWrite {
+				total += op.Const
+			}
+		}
+		ctr++
+		return wire.ClientResult{Tag: txn.Tag, Committed: true,
+			Writes: []wire.ObjVal{{Obj: "x", Val: model.Value(total), Ver: ver(1, 1, ctr)}}}, 1, nil
+	}}
+	reg := metrics.NewRegistry()
+	g := newWithBackend(Config{Batching: true, BatchWindow: 5 * time.Millisecond,
+		Deadline: 5 * time.Second, Metrics: reg}, backend)
+	defer g.Close()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	const n = 24
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, tr := doJSON(t, srv.Client(), "POST", srv.URL+"/txn", "",
+				TxnRequest{Ops: []TxnOp{{Kind: "incr", Obj: "x", Delta: 1}}})
+			if resp.StatusCode != http.StatusOK || !tr.Committed {
+				t.Errorf("incr: status %d %+v", resp.StatusCode, tr)
+			}
+			if len(tr.Writes) != 1 {
+				t.Errorf("constituent result missing its write: %+v", tr)
+			}
+		}()
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if total != n {
+		t.Errorf("backend saw summed delta %d, want %d", total, n)
+	}
+	if len(txns) >= n {
+		t.Errorf("batching sent %d rounds for %d writes — no coalescing", len(txns), n)
+	}
+	if reg.Get(metrics.CGwWriteTxns) != int64(len(txns)) {
+		t.Errorf("%s = %d, want %d", metrics.CGwWriteTxns, reg.Get(metrics.CGwWriteTxns), len(txns))
+	}
+	if reg.Get(metrics.CGwWriteCommitted) != n {
+		t.Errorf("%s = %d, want %d", metrics.CGwWriteCommitted, reg.Get(metrics.CGwWriteCommitted), n)
+	}
+}
+
+// --- live cluster tests ---
+
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	out := make([]string, n)
+	for i := range out {
+		l, err := stdnet.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = l.Addr().String()
+		l.Close()
+	}
+	return out
+}
+
+// bootCluster starts a 3-node virtual-partition cluster over real TCP
+// with a shared one-copy history checker, returning the client address
+// map and a stop func.
+func bootCluster(t *testing.T, objs ...model.ObjectID) (map[model.ProcID]string, *onecopy.History, func()) {
+	t.Helper()
+	const n = 3
+	ports := freePorts(t, n)
+	addrs := map[model.ProcID]string{}
+	for i := 0; i < n; i++ {
+		addrs[model.ProcID(i+1)] = ports[i]
+	}
+	cat := model.FullyReplicated(n, objs...)
+	hist := onecopy.NewHistory()
+	cfg := core.Config{Config: node.Config{Delta: 20 * time.Millisecond, LogCap: 256}}
+	var nodes []*vnet.TCPNode
+	for id := model.ProcID(1); id <= n; id++ {
+		tcp := vnet.NewTCPNode(id, addrs, core.New(id, cfg, cat, hist))
+		if err := tcp.Run(); err != nil {
+			t.Fatalf("node %v: %v", id, err)
+		}
+		nodes = append(nodes, tcp)
+	}
+	stop := func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	}
+	return addrs, hist, stop
+}
+
+// TestGatewayReadYourWrites is the acceptance test: under concurrent
+// load against a live 3-node cluster, a sessioned read NEVER returns a
+// value older than the session's own last committed write.
+func TestGatewayReadYourWrites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster test")
+	}
+	addrs, hist, stop := bootCluster(t, "x", "y", "z")
+	defer stop()
+
+	g := New(Config{Cluster: addrs, Batching: true, BatchWindow: 2 * time.Millisecond,
+		PerTry: time.Second, Deadline: 15 * time.Second})
+	defer g.Close()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	objs := []model.ObjectID{"x", "y", "z"}
+	const clients = 8
+	const roundsPer = 10
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sess := "" // each client is one session
+			obj := objs[c%len(objs)]
+			hc := srv.Client()
+			for i := 0; i < roundsPer; i++ {
+				// Write: increment the object, remember the committed value
+				// and version.
+				resp, tr := doJSON(t, hc, "POST", srv.URL+"/txn", sess,
+					TxnRequest{Ops: []TxnOp{{Kind: "incr", Obj: string(obj), Delta: 1}}})
+				if resp.StatusCode != http.StatusOK || !tr.Committed || len(tr.Writes) != 1 {
+					errCh <- fmt.Errorf("client %d write %d: status %d %+v", c, i, resp.StatusCode, tr)
+					return
+				}
+				sess = resp.Header.Get(SessionHeader)
+				wrote := tr.Writes[0]
+
+				// Read it back under the session: must observe at least the
+				// committed write.
+				resp, tr = doJSON(t, hc, "GET", srv.URL+"/read?obj="+string(obj), sess, nil)
+				if resp.StatusCode != http.StatusOK || !tr.Committed || len(tr.Reads) != 1 {
+					errCh <- fmt.Errorf("client %d read %d: status %d %+v", c, i, resp.StatusCode, tr)
+					return
+				}
+				sess = resp.Header.Get(SessionHeader)
+				got := tr.Reads[0]
+				wver := model.Version{Date: model.VPID{N: wrote.Version.VPN, P: wrote.Version.VPP}, Ctr: wrote.Version.Ctr}
+				rver := model.Version{Date: model.VPID{N: got.Version.VPN, P: got.Version.VPP}, Ctr: got.Version.Ctr}
+				if rver.Less(wver) {
+					errCh <- fmt.Errorf("client %d: read of %s returned %v older than own write %v", c, obj, rver, wver)
+					return
+				}
+				if got.Value < wrote.Value {
+					errCh <- fmt.Errorf("client %d: read of %s saw %d < own committed %d", c, obj, got.Value, wrote.Value)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	if r := onecopy.CheckGraph(hist); !r.OK {
+		t.Errorf("history not one-copy serializable: %s", r.Reason)
+	}
+}
+
+// TestGatewayBatchingAblation runs the same contended increment load
+// with batching off and on against live clusters and asserts the
+// measurable claim: batching uses fewer 2PC rounds per logical write.
+func TestGatewayBatchingAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster test")
+	}
+	run := func(batching bool) (rounds, committed int64, sum int64) {
+		addrs, _, stop := bootCluster(t, "x")
+		defer stop()
+		reg := metrics.NewRegistry()
+		g := New(Config{Cluster: addrs, Batching: batching, BatchWindow: 5 * time.Millisecond,
+			PerTry: time.Second, Deadline: 15 * time.Second, Metrics: reg})
+		defer g.Close()
+		srv := httptest.NewServer(g.Handler())
+		defer srv.Close()
+
+		const clients, per = 8, 6
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					resp, tr := doJSON(t, srv.Client(), "POST", srv.URL+"/txn", "",
+						TxnRequest{Ops: []TxnOp{{Kind: "incr", Obj: "x", Delta: 1}}})
+					if resp.StatusCode != http.StatusOK || !tr.Committed {
+						t.Errorf("incr: status %d %+v", resp.StatusCode, tr)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+
+		// Read the final value through the gateway (retries handle any
+		// in-flight view activity).
+		resp, tr := doJSON(t, srv.Client(), "GET", srv.URL+"/read?obj=x", "", nil)
+		if resp.StatusCode != http.StatusOK || len(tr.Reads) != 1 {
+			t.Fatalf("final read: status %d %+v", resp.StatusCode, tr)
+		}
+		return reg.Get(metrics.CGwWriteTxns), reg.Get(metrics.CGwWriteCommitted), int64(tr.Reads[0].Value)
+	}
+
+	offRounds, offCommitted, offSum := run(false)
+	onRounds, onCommitted, onSum := run(true)
+	const want = 8 * 6
+	if offCommitted != want || onCommitted != want {
+		t.Fatalf("committed writes: off=%d on=%d, want %d", offCommitted, onCommitted, want)
+	}
+	if offSum != want || onSum != want {
+		t.Fatalf("lost updates: final value off=%d on=%d, want %d", offSum, onSum, want)
+	}
+	if offRounds < want {
+		t.Errorf("batching off: %d rounds for %d writes (expected >= one round each)", offRounds, want)
+	}
+	if onRounds >= offRounds {
+		t.Errorf("batching on used %d rounds vs %d off — no amortization", onRounds, offRounds)
+	}
+	t.Logf("2PC rounds per logical write: off %.2f, on %.2f",
+		float64(offRounds)/float64(offCommitted), float64(onRounds)/float64(onCommitted))
+}

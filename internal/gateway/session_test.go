@@ -1,0 +1,93 @@
+package gateway
+
+import (
+	"testing"
+
+	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/wire"
+)
+
+func ver(n uint64, p model.ProcID, ctr uint64) model.Version {
+	return model.Version{Date: model.VPID{N: n, P: p}, Ctr: ctr}
+}
+
+func TestSessionTokenRoundTrip(t *testing.T) {
+	s := NewSession(8)
+	s.Node = 2
+	s.Observe("x", ver(3, 1, 7))
+	s.Observe("y", ver(3, 1, 9))
+
+	s2, err := ParseSession(s.Token(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Node != 2 {
+		t.Errorf("Node = %v, want 2", s2.Node)
+	}
+	if !s2.Stale("x", ver(3, 1, 6)) || s2.Stale("x", ver(3, 1, 7)) || s2.Stale("x", ver(3, 1, 8)) {
+		t.Error("x mark did not survive the round trip")
+	}
+	if !s2.Stale("y", ver(2, 3, 99)) { // older epoch, higher ctr: still stale
+		t.Error("y mark ignores the VP date component")
+	}
+
+	// Empty and garbage tokens.
+	if s3, err := ParseSession("", 8); err != nil || len(s3.Marks) != 0 {
+		t.Errorf("empty token: %v, %+v", err, s3)
+	}
+	if _, err := ParseSession("!!not-base64!!", 8); err == nil {
+		t.Error("garbage token accepted")
+	}
+}
+
+func TestSessionMarkRatchetAndLRU(t *testing.T) {
+	s := NewSession(2)
+	s.Observe("a", ver(1, 1, 5))
+	s.Observe("a", ver(1, 1, 3)) // older: must not regress the mark
+	if s.Stale("a", ver(1, 1, 4)) == false {
+		t.Error("mark regressed on older observation")
+	}
+
+	s.Observe("b", ver(1, 1, 1))
+	s.Observe("c", ver(1, 1, 1)) // evicts the least recently touched: a
+	if len(s.Marks) != 2 {
+		t.Fatalf("marks = %d, want 2", len(s.Marks))
+	}
+	if s.Stale("a", ver(0, 0, 0)) {
+		t.Error("evicted mark still consulted")
+	}
+	if !s.Stale("b", ver(1, 1, 0)) || !s.Stale("c", ver(1, 1, 0)) {
+		t.Error("retained marks lost")
+	}
+}
+
+func TestSessionObserveResult(t *testing.T) {
+	s := NewSession(8)
+	s.ObserveResult(3, wire.ClientResult{
+		Committed: true,
+		Writes:    []wire.ObjVal{{Obj: "x", Val: 10, Ver: ver(2, 1, 4)}},
+		Reads:     []wire.ObjVal{{Obj: "y", Val: 7, Ver: ver(2, 1, 2)}},
+	})
+	if s.Node != 3 {
+		t.Errorf("Node = %v, want 3", s.Node)
+	}
+	if !s.Stale("x", ver(2, 1, 3)) || !s.Stale("y", ver(2, 1, 1)) {
+		t.Error("writes/reads not observed")
+	}
+
+	// Aborted results leave the session untouched.
+	before := s.Token()
+	s.ObserveResult(1, wire.ClientResult{Committed: false,
+		Writes: []wire.ObjVal{{Obj: "z", Val: 1, Ver: ver(9, 9, 9)}}})
+	if s.Token() != before {
+		t.Error("aborted result mutated the session")
+	}
+
+	stale := s.StaleReads(wire.ClientResult{Committed: true, Reads: []wire.ObjVal{
+		{Obj: "x", Ver: ver(2, 1, 3)}, // stale
+		{Obj: "y", Ver: ver(2, 1, 2)}, // fresh (equal)
+	}})
+	if len(stale) != 1 || stale[0] != "x" {
+		t.Errorf("StaleReads = %v, want [x]", stale)
+	}
+}

@@ -219,6 +219,21 @@ const (
 	CPeerDown      = "net.peer.down"
 	CPeerUp        = "net.peer.up"
 	CPeerReconnect = "net.peer.reconnect"
+	// Client gateway: admission control, group-commit batching and
+	// session freshness. "Logical writes/reads" count client operations
+	// acknowledged committed; "backend write txns" counts ClientTxn
+	// submissions carrying writes (each is one locking + 2PC round, so
+	// rounds-per-write = backend.write.txns / write.committed).
+	CGwAdmitted       = "gateway.admitted"
+	CGwShed           = "gateway.shed"
+	CGwFailed         = "gateway.failed"
+	CGwBatchRounds    = "gateway.batch.rounds"
+	CGwBatchedWrites  = "gateway.batch.writes"
+	CGwWriteTxns      = "gateway.backend.write.txns"
+	CGwWriteCommitted = "gateway.write.committed"
+	CGwReadCommitted  = "gateway.read.committed"
+	CGwStaleRetries   = "gateway.session.stale"
+	CGwNodeDown       = "gateway.pool.node.down"
 )
 
 // Well-known sample (distribution) names.
@@ -226,4 +241,10 @@ const (
 	// SViewChange is the time from a processor departing its virtual
 	// partition to joining the next one, in milliseconds.
 	SViewChange = "vp.viewchange.ms"
+	// SGwLatency is the gateway's per-request service time in
+	// milliseconds (admission to response, shed requests excluded).
+	SGwLatency = "gateway.request.ms"
+	// SGwBatchSize is the number of logical writes coalesced per
+	// group-commit round.
+	SGwBatchSize = "gateway.batch.size"
 )

@@ -1,0 +1,167 @@
+package net
+
+import (
+	"errors"
+	"fmt"
+	stdnet "net"
+	"sync"
+	"time"
+
+	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/wire"
+)
+
+// ErrClientClosed is returned by Client.Submit after Close.
+var ErrClientClosed = errors.New("net: client closed")
+
+// Client is a persistent client connection to one node: it dials lazily,
+// multiplexes concurrent ClientTxn submissions over the single
+// connection (results are matched back by tag, which the server supports
+// natively), and re-dials transparently on the next Submit after a
+// connection loss. It replaces SubmitTCP's dial-per-request for callers
+// that talk to the same node repeatedly — the gateway's pool in
+// particular — paying the dial and gob type-descriptor handshake once
+// per connection instead of once per transaction.
+//
+// A connection loss fails every in-flight Submit on it; the transport
+// keeps its omission-failure contract (a submission whose result was
+// lost may or may not have executed — callers retry under the same
+// at-least-once rules as SubmitTCPRetry).
+type Client struct {
+	addr        string
+	dialTimeout time.Duration
+
+	mu      sync.Mutex
+	conn    stdnet.Conn
+	enc     *wire.StreamEncoder
+	pending map[uint64]chan wire.ClientResult
+	closed  bool
+}
+
+// NewClient returns an unconnected client for the node at addr. The
+// first Submit dials. dialTimeout <= 0 selects 2s.
+func NewClient(addr string, dialTimeout time.Duration) *Client {
+	if dialTimeout <= 0 {
+		dialTimeout = 2 * time.Second
+	}
+	return &Client{addr: addr, dialTimeout: dialTimeout}
+}
+
+// Addr returns the node address this client dials.
+func (c *Client) Addr() string { return c.addr }
+
+// Submit sends one transaction and waits up to timeout for its result.
+// Concurrent submissions share the connection; each caller's tag must be
+// unique among the in-flight set.
+func (c *Client) Submit(t wire.ClientTxn, timeout time.Duration) (wire.ClientResult, error) {
+	ch := make(chan wire.ClientResult, 1)
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return wire.ClientResult{}, ErrClientClosed
+	}
+	if c.conn == nil {
+		conn, err := stdnet.DialTimeout("tcp", c.addr, c.dialTimeout)
+		if err != nil {
+			c.mu.Unlock()
+			return wire.ClientResult{}, err
+		}
+		c.conn = conn
+		c.enc = wire.NewStreamEncoder()
+		c.pending = make(map[uint64]chan wire.ClientResult)
+		go c.readLoop(conn)
+	}
+	if _, dup := c.pending[t.Tag]; dup {
+		c.mu.Unlock()
+		return wire.ClientResult{}, fmt.Errorf("net: client tag %d already in flight", t.Tag)
+	}
+	c.pending[t.Tag] = ch
+	frame, err := c.enc.EncodeFrame(&wire.Envelope{From: model.NoProc, To: model.NoProc, Msg: t})
+	if err != nil {
+		delete(c.pending, t.Tag)
+		c.mu.Unlock()
+		return wire.ClientResult{}, err
+	}
+	c.conn.SetWriteDeadline(time.Now().Add(timeout)) //nolint:errcheck
+	if _, err := c.conn.Write(frame); err != nil {
+		c.teardownLocked()
+		c.mu.Unlock()
+		return wire.ClientResult{}, err
+	}
+	c.mu.Unlock()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case res, ok := <-ch:
+		if !ok {
+			return wire.ClientResult{}, fmt.Errorf("net: connection to %s lost awaiting result", c.addr)
+		}
+		return res, nil
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.pending, t.Tag)
+		c.mu.Unlock()
+		return wire.ClientResult{}, fmt.Errorf("net: submit to %s timed out after %v", c.addr, timeout)
+	}
+}
+
+// readLoop owns the connection's decoder, dispatching each result to the
+// Submit waiting on its tag. Any read error tears the connection down,
+// failing all in-flight submissions; the next Submit re-dials.
+func (c *Client) readLoop(conn stdnet.Conn) {
+	dec := wire.NewStreamDecoder()
+	fb := frameScratch.Get().(*frameBuf)
+	defer frameScratch.Put(fb)
+	for {
+		frame, err := readFrame(conn, fb)
+		if err != nil {
+			break
+		}
+		env, err := dec.Decode(frame)
+		if err != nil {
+			break
+		}
+		res, ok := env.Msg.(wire.ClientResult)
+		if !ok {
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[res.Tag]
+		delete(c.pending, res.Tag)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- res
+		}
+	}
+	c.mu.Lock()
+	if c.conn == conn {
+		c.teardownLocked()
+	} else {
+		conn.Close()
+	}
+	c.mu.Unlock()
+}
+
+// teardownLocked closes the live connection and fails every in-flight
+// submission. Callers hold c.mu.
+func (c *Client) teardownLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.enc = nil
+	for tag, ch := range c.pending {
+		close(ch)
+		delete(c.pending, tag)
+	}
+}
+
+// Close tears the connection down; subsequent Submits fail.
+func (c *Client) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.teardownLocked()
+	c.mu.Unlock()
+}

@@ -580,18 +580,25 @@ func (b *Base) finish(rt net.Runtime, t *txn, committed bool, reason string) {
 		}
 		b.Hist.Record(rec)
 	}
-	var reads []wire.ObjVal
+	var reads, writes []wire.ObjVal
 	if committed {
 		objs := model.NewObjSet()
 		for o := range t.regs {
 			objs.Add(o)
 		}
 		for _, o := range objs.Sorted() {
-			reads = append(reads, wire.ObjVal{Obj: o, Val: t.regs[o]})
+			reads = append(reads, wire.ObjVal{Obj: o, Val: t.regs[o], Ver: t.readVers[o]})
+		}
+		wobjs := model.NewObjSet()
+		for o := range t.writes {
+			wobjs.Add(o)
+		}
+		for _, o := range wobjs.Sorted() {
+			writes = append(writes, wire.ObjVal{Obj: o, Val: t.writes[o], Ver: t.writeVers[o]})
 		}
 	}
 	rt.Send(model.NoProc, wire.ClientResult{
-		Tag: t.tag, Txn: t.id, Committed: committed, Reason: reason, Reads: reads,
+		Tag: t.tag, Txn: t.id, Committed: committed, Reason: reason, Reads: reads, Writes: writes,
 	})
 	if t.phase == phaseDone {
 		delete(b.active, t.id)

@@ -70,6 +70,12 @@ const (
 	EvPeerUp    // a connection to Peer was established; Aux = dial attempts
 	EvReconnect // a connection to Peer was re-established after a loss; Aux = attempts
 
+	// --- client gateway ---
+	EvGwAdmit // gateway admitted a client request; Aux = in-flight count
+	EvGwShed  // gateway shed a request at admission; Aux = queue depth
+	EvGwBatch // gateway flushed a group-commit round; Aux = constituent writes
+	EvGwStale // a sessioned read observed pre-session state; Obj, Aux = attempt
+
 	numKinds // sentinel
 )
 
@@ -100,6 +106,10 @@ var kindNames = [numKinds]string{
 	EvPeerDown:     "peer-down",
 	EvPeerUp:       "peer-up",
 	EvReconnect:    "reconnect",
+	EvGwAdmit:      "gw-admit",
+	EvGwShed:       "gw-shed",
+	EvGwBatch:      "gw-batch",
+	EvGwStale:      "gw-stale",
 }
 
 func (k EventKind) String() string {

@@ -1,0 +1,158 @@
+package wire
+
+import "github.com/virtualpartitions/vp/internal/model"
+
+// This file defines the group-commit batch envelope used by the client
+// gateway: several clients' concurrent single-object logical writes are
+// coalesced into ONE shared ClientTxn, so one round of locking and
+// two-phase commit carries many logical writes. The coalescing rules are
+// chosen so the shared transaction is semantically equivalent to SOME
+// serial execution of its constituents in arrival order:
+//
+//   - increments on the same object merge by summing their deltas
+//     (read o; write o := o + Σδ executes all of them back to back);
+//   - blind writes to distinct objects ride in the same transaction;
+//   - a second blind write to an object already written in the round, or
+//     a mix of blind write and increment on one object, is NOT merged —
+//     Add refuses it and the caller defers it to the next round, because
+//     collapsing it would erase a state the constituents could observe.
+//
+// The batch owns the mapping back from the shared ClientResult to the
+// per-constituent results each submitter is waiting for.
+
+// BatchEntry is one constituent of a group-commit round: a single
+// client's logical write, with the tag its submitter expects echoed in
+// its individual result.
+type BatchEntry struct {
+	Tag uint64
+	Ops []Op
+}
+
+// classifyWrite recognizes the two batchable shapes: a read-modify-write
+// increment ([read o; write o := o + δ]) and a single blind write
+// ([write o := v]).
+func classifyWrite(ops []Op) (obj model.ObjectID, val int64, incr, ok bool) {
+	switch len(ops) {
+	case 1:
+		w := ops[0]
+		if w.Kind == OpWrite && !w.UseSrc && w.Obj != "" {
+			return w.Obj, w.Const, false, true
+		}
+	case 2:
+		r, w := ops[0], ops[1]
+		if r.Kind == OpRead && w.Kind == OpWrite && w.UseSrc &&
+			r.Obj != "" && r.Obj == w.Obj && w.Src == w.Obj {
+			return w.Obj, w.Const, true, true
+		}
+	}
+	return "", 0, false, false
+}
+
+// Batchable reports whether ops form a single-object logical write that
+// Batch.Add can coalesce into a shared transaction round.
+func Batchable(ops []Op) bool {
+	_, _, _, ok := classifyWrite(ops)
+	return ok
+}
+
+// Batch accumulates one group-commit round.
+type Batch struct {
+	tag     uint64
+	entries []BatchEntry
+	objOf   []model.ObjectID         // per entry: the object it wrote
+	incr    map[model.ObjectID]int64 // summed increment deltas
+	blind   map[model.ObjectID]int64 // blind-written value
+	order   []model.ObjectID         // first-touch order of objects
+}
+
+// NewBatch starts an empty round whose shared transaction will carry tag.
+func NewBatch(tag uint64) *Batch {
+	return &Batch{
+		tag:   tag,
+		incr:  make(map[model.ObjectID]int64),
+		blind: make(map[model.ObjectID]int64),
+	}
+}
+
+// Add coalesces one constituent into the round. It returns false — and
+// leaves the round unchanged — when the entry is not a batchable
+// single-object write, or when merging it would not be serializable with
+// the round's existing writes (see the package comment); the caller then
+// submits it alone or defers it to the next round.
+func (b *Batch) Add(e BatchEntry) bool {
+	obj, val, incr, ok := classifyWrite(e.Ops)
+	if !ok {
+		return false
+	}
+	_, hasIncr := b.incr[obj]
+	_, hasBlind := b.blind[obj]
+	if incr {
+		if hasBlind {
+			return false
+		}
+		if !hasIncr {
+			b.order = append(b.order, obj)
+		}
+		b.incr[obj] += val
+	} else {
+		if hasBlind || hasIncr {
+			return false
+		}
+		b.order = append(b.order, obj)
+		b.blind[obj] = val
+	}
+	b.entries = append(b.entries, e)
+	b.objOf = append(b.objOf, obj)
+	return true
+}
+
+// Len returns the number of coalesced constituents.
+func (b *Batch) Len() int { return len(b.entries) }
+
+// Objects returns how many distinct objects the round writes.
+func (b *Batch) Objects() int { return len(b.order) }
+
+// Txn builds the shared transaction for the round. Objects appear in
+// first-touch order; each contributes one read+write (merged increments)
+// or one blind write.
+func (b *Batch) Txn() ClientTxn {
+	ops := make([]Op, 0, 2*len(b.order))
+	for _, obj := range b.order {
+		if delta, ok := b.incr[obj]; ok {
+			ops = append(ops, ReadOp(obj),
+				Op{Kind: OpWrite, Obj: obj, Src: obj, Const: delta, UseSrc: true})
+		} else {
+			ops = append(ops, WriteOp(obj, b.blind[obj]))
+		}
+	}
+	return ClientTxn{Tag: b.tag, Ops: ops}
+}
+
+// Results maps the shared transaction's result back onto the
+// constituents: every entry receives the round's fate under its own tag,
+// and — on commit — the committed value and version of the object it
+// wrote, which is exactly the high-water mark its submitter's session
+// needs for read-your-writes.
+func (b *Batch) Results(res ClientResult) []ClientResult {
+	byObj := make(map[model.ObjectID]ObjVal, len(res.Writes))
+	for _, w := range res.Writes {
+		byObj[w.Obj] = w
+	}
+	out := make([]ClientResult, len(b.entries))
+	for i, e := range b.entries {
+		r := ClientResult{
+			Tag:       e.Tag,
+			Txn:       res.Txn,
+			Committed: res.Committed,
+			Denied:    res.Denied,
+			Reason:    res.Reason,
+		}
+		if res.Committed {
+			if w, ok := byObj[b.objOf[i]]; ok {
+				r.Writes = []ObjVal{w}
+			}
+		}
+		out[i] = r
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"testing"
+
+	"github.com/virtualpartitions/vp/internal/model"
+)
+
+func TestBatchableShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		ops  []Op
+		want bool
+	}{
+		{"increment", IncrementOps("x", 1), true},
+		{"blind write", []Op{WriteOp("x", 5)}, true},
+		{"read", []Op{ReadOp("x")}, false},
+		{"transfer", TransferOps("a", "b", 1), false},
+		{"two-object", []Op{WriteOp("a", 1), WriteOp("b", 2)}, false},
+		{"rmw different objects", []Op{ReadOp("a"), {Kind: OpWrite, Obj: "b", Src: "a", Const: 1, UseSrc: true}}, false},
+		{"empty", nil, false},
+	}
+	for _, c := range cases {
+		if got := Batchable(c.ops); got != c.want {
+			t.Errorf("%s: Batchable = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBatchMergesIncrements(t *testing.T) {
+	b := NewBatch(99)
+	for i := 0; i < 5; i++ {
+		if !b.Add(BatchEntry{Tag: uint64(i + 1), Ops: IncrementOps("x", int64(i+1))}) {
+			t.Fatalf("increment %d refused", i)
+		}
+	}
+	if b.Len() != 5 || b.Objects() != 1 {
+		t.Fatalf("Len=%d Objects=%d", b.Len(), b.Objects())
+	}
+	txn := b.Txn()
+	if txn.Tag != 99 || len(txn.Ops) != 2 {
+		t.Fatalf("merged txn = %+v", txn)
+	}
+	if txn.Ops[0].Kind != OpRead || txn.Ops[0].Obj != "x" {
+		t.Fatalf("op0 = %+v", txn.Ops[0])
+	}
+	w := txn.Ops[1]
+	if w.Kind != OpWrite || !w.UseSrc || w.Src != "x" || w.Const != 1+2+3+4+5 {
+		t.Fatalf("merged write = %+v, want summed delta 15", w)
+	}
+}
+
+func TestBatchMixesObjects(t *testing.T) {
+	b := NewBatch(1)
+	if !b.Add(BatchEntry{Tag: 1, Ops: IncrementOps("x", 1)}) ||
+		!b.Add(BatchEntry{Tag: 2, Ops: []Op{WriteOp("y", 7)}}) ||
+		!b.Add(BatchEntry{Tag: 3, Ops: IncrementOps("x", 2)}) {
+		t.Fatal("compatible entries refused")
+	}
+	txn := b.Txn()
+	if len(txn.Ops) != 3 { // read x, write x, write y
+		t.Fatalf("ops = %+v", txn.Ops)
+	}
+}
+
+func TestBatchRefusesConflicts(t *testing.T) {
+	b := NewBatch(1)
+	if !b.Add(BatchEntry{Tag: 1, Ops: []Op{WriteOp("x", 5)}}) {
+		t.Fatal("first blind write refused")
+	}
+	if b.Add(BatchEntry{Tag: 2, Ops: []Op{WriteOp("x", 9)}}) {
+		t.Fatal("second blind write to x must be deferred")
+	}
+	if b.Add(BatchEntry{Tag: 3, Ops: IncrementOps("x", 1)}) {
+		t.Fatal("increment over a blind write must be deferred")
+	}
+	// Blind write onto an object already incremented is also deferred.
+	if !b.Add(BatchEntry{Tag: 4, Ops: IncrementOps("y", 1)}) {
+		t.Fatal("increment of y refused")
+	}
+	if b.Add(BatchEntry{Tag: 5, Ops: []Op{WriteOp("y", 2)}}) {
+		t.Fatal("blind write over an increment must be deferred")
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+}
+
+func TestBatchResults(t *testing.T) {
+	b := NewBatch(7)
+	b.Add(BatchEntry{Tag: 10, Ops: IncrementOps("x", 1)})
+	b.Add(BatchEntry{Tag: 11, Ops: IncrementOps("x", 2)})
+	b.Add(BatchEntry{Tag: 12, Ops: []Op{WriteOp("y", 5)}})
+
+	ver := model.Version{Date: model.VPID{N: 3, P: 1}, Ctr: 9}
+	shared := ClientResult{
+		Tag: 7, Txn: model.TxnID{Start: 1, P: 1, Seq: 4}, Committed: true,
+		Writes: []ObjVal{{Obj: "x", Val: 3, Ver: ver}, {Obj: "y", Val: 5, Ver: ver}},
+	}
+	out := b.Results(shared)
+	if len(out) != 3 {
+		t.Fatalf("results = %d", len(out))
+	}
+	for i, want := range []uint64{10, 11, 12} {
+		if out[i].Tag != want || !out[i].Committed || out[i].Txn != shared.Txn {
+			t.Fatalf("result %d = %+v", i, out[i])
+		}
+	}
+	if len(out[0].Writes) != 1 || out[0].Writes[0].Obj != "x" || out[0].Writes[0].Ver != ver {
+		t.Fatalf("constituent write mark = %+v", out[0].Writes)
+	}
+	if out[2].Writes[0].Obj != "y" {
+		t.Fatalf("constituent 2 mark = %+v", out[2].Writes)
+	}
+
+	// An aborted round fails every constituent.
+	out = b.Results(ClientResult{Tag: 7, Committed: false, Reason: "lock denied (wait-die)"})
+	for _, r := range out {
+		if r.Committed || r.Reason == "" || len(r.Writes) != 0 {
+			t.Fatalf("aborted constituent = %+v", r)
+		}
+	}
+}

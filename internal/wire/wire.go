@@ -311,10 +311,14 @@ type ClientTxn struct {
 	Ops []Op
 }
 
-// ObjVal pairs an object with the value a transaction read for it.
+// ObjVal pairs an object with the value a transaction read or wrote for
+// it, stamped with the version that carried the value. The version lets
+// a client (or the gateway's session layer) order what it observed
+// against what it previously committed — the basis of read-your-writes.
 type ObjVal struct {
 	Obj model.ObjectID
 	Val model.Value
+	Ver model.Version
 }
 
 // ClientResult reports a transaction's fate to the submitter.
@@ -328,6 +332,10 @@ type ClientResult struct {
 	Denied bool
 	Reason string
 	Reads  []ObjVal
+	// Writes reports, for a committed transaction, the value and version
+	// committed per written object. Session layers use the versions as
+	// high-water marks for read-your-writes routing.
+	Writes []ObjVal
 }
 
 // Kind returns a short stable name for a message's type, for metrics.

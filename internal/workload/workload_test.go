@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"math"
+	"reflect"
 	"testing"
 	"time"
 
@@ -59,8 +61,8 @@ func TestZipfSkew(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	mk := func() []Txn {
-		g := NewGenerator(42, Objects(5), []model.ProcID{1, 2}, Mix{ReadFraction: 0.5}, 0.5)
-		out := make([]Txn, 50)
+		g := NewGenerator(42, Objects(5), []model.ProcID{1, 2}, Mix{ReadFraction: 0.5, TransferFraction: 0.3}, 0.5)
+		out := make([]Txn, 200)
 		for i := range out {
 			out[i] = g.Next()
 		}
@@ -68,8 +70,65 @@ func TestDeterminism(t *testing.T) {
 	}
 	a, b := mk(), mk()
 	for i := range a {
-		if a[i].Coordinator != b[i].Coordinator || len(a[i].Request.Ops) != len(b[i].Request.Ops) {
-			t.Fatalf("generation not deterministic at %d", i)
+		if !reflect.DeepEqual(a[i], b[i]) {
+			t.Fatalf("generation not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// A different seed must give a different stream (otherwise the test
+	// above proves nothing).
+	g := NewGenerator(43, Objects(5), []model.ProcID{1, 2}, Mix{ReadFraction: 0.5, TransferFraction: 0.3}, 0.5)
+	diff := false
+	for i := 0; i < 200 && !diff; i++ {
+		diff = !reflect.DeepEqual(a[i], g.Next())
+	}
+	if !diff {
+		t.Fatal("streams identical across different seeds")
+	}
+}
+
+func TestScheduleDeterminism(t *testing.T) {
+	mk := func() []ScheduledTxn {
+		g := NewGenerator(11, Objects(6), []model.ProcID{1, 2, 3}, Mix{ReadFraction: 0.4}, 1.0)
+		return g.Schedule(50*time.Millisecond, 5*time.Millisecond, 100)
+	}
+	a, b := mk(), mk()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Schedule not deterministic under a fixed seed")
+	}
+}
+
+// TestZipfDistribution checks the SHAPE of the popularity skew, not just
+// that skew exists: with exponent s over n objects, object i should be
+// hit in proportion to 1/(i+1)^s.
+func TestZipfDistribution(t *testing.T) {
+	const (
+		s       = 1.0
+		n       = 8
+		samples = 40000
+	)
+	g := NewGenerator(17, Objects(n), []model.ProcID{1}, Mix{ReadFraction: 1}, s)
+	hits := map[model.ObjectID]int{}
+	for i := 0; i < samples; i++ {
+		hits[g.Next().Request.Ops[0].Obj]++
+	}
+	total := 0.0
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = 1.0 / math.Pow(float64(i+1), s)
+		total += want[i]
+	}
+	for i := range want {
+		want[i] /= total
+		got := float64(hits[Objects(n)[i]]) / samples
+		if got < want[i]*0.85 || got > want[i]*1.15 {
+			t.Fatalf("object %d frequency %.4f, want ≈%.4f (zipf s=%v)", i, got, want[i], s)
+		}
+	}
+	// Monotone decreasing popularity by index.
+	for i := 1; i < n; i++ {
+		if hits[Objects(n)[i]] > hits[Objects(n)[i-1]] {
+			t.Fatalf("popularity not monotone: o%d=%d > o%d=%d",
+				i, hits[Objects(n)[i]], i-1, hits[Objects(n)[i-1]])
 		}
 	}
 }
