@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-hotpath bench-observability trace-check chaos loadtest bench-gateway golden
+.PHONY: check build vet test race bench bench-wire bench-hotpath bench-observability trace-check chaos loadtest bench-gateway golden
 
 check: build vet test
 
@@ -20,19 +20,34 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/net/... ./internal/nemesis/... ./internal/bench/... ./internal/gateway/... ./cmd/vpchaos/...
+	$(GO) test -race -count=1 ./internal/net/... ./internal/nemesis/... ./internal/bench/... ./internal/gateway/... ./internal/locks/... ./internal/store/... ./internal/durable/... ./cmd/vpchaos/...
 
 # Run every benchmark in the repository.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
+# Smoke-run the wire/locks/store microbenchmarks: -benchtime=100x keeps
+# it to seconds, there are no thresholds — the point is that every bench
+# still compiles and runs, with the output kept as a CI artifact. The
+# contended lock/store benches run at -cpu 4 (striping only pays off
+# with parallel callers).
+BENCH_WIRE_OUT ?= bench-wire.txt
+bench-wire:
+	( $(GO) test -run '^$$' -bench 'WireRoundTrip' -benchmem -benchtime=100x -count=1 ./internal/wire ; \
+	  $(GO) test -run '^$$' -bench 'LocksContended|StoreContended' -benchmem -benchtime=100x -count=1 -cpu 4 ./internal/locks ./internal/store ) \
+		| tee $(BENCH_WIRE_OUT)
+
 # Regenerate BENCH_hotpath.json from the hot-path microbenchmarks (see
 # EXPERIMENTS.md for the format). Benchmarks run sequentially so numbers
-# are not skewed by each other.
+# are not skewed by each other. The contended lock/store benches run at
+# -cpu 4. benchjson refuses to overwrite numbers recorded on different
+# hardware; pass BENCHJSON_FLAGS=-force after an intentional host change.
 bench-hotpath:
-	$(GO) test -run '^$$' -bench 'EngineSchedule|EngineCancel|WireRoundTrip|RunnerGrid' \
-		-benchmem -count=1 ./internal/sim ./internal/wire ./internal/bench \
-		| $(GO) run ./cmd/benchjson > BENCH_hotpath.json
+	( $(GO) test -run '^$$' -bench 'EngineSchedule|EngineCancel|WireRoundTrip|RunnerGrid' \
+		-benchmem -count=1 ./internal/sim ./internal/wire ./internal/bench ; \
+	  $(GO) test -run '^$$' -bench 'LocksContended|StoreContended' \
+		-benchmem -count=1 -cpu 4 ./internal/locks ./internal/store ) \
+		| $(GO) run ./cmd/benchjson -out BENCH_hotpath.json $(BENCHJSON_FLAGS)
 	@cat BENCH_hotpath.json
 
 # Capture the structured event trace of the deterministic seed-1
@@ -65,13 +80,14 @@ LOAD_SEED ?= 1
 loadtest:
 	$(GO) run ./cmd/vpload -local 3 -smoke -clients 8 -duration 3s -seed $(LOAD_SEED)
 
-# Regenerate BENCH_gateway.json: the group-commit ablation (batching
-# off vs on) at a paced 1500 writes/sec against one contended object on
-# a local 3-node cluster, with coordinated-omission-corrected latency
-# (see EXPERIMENTS.md).
+# Regenerate BENCH_gateway.json: two ablations over the same paced
+# 1500 writes/sec load against one contended object on a local 3-node
+# cluster, with coordinated-omission-corrected latency (see
+# EXPERIMENTS.md). group_commit is batching off vs on; codec is the gob
+# wire codec vs the binary one (batching on in both).
 bench-gateway:
-	$(GO) run ./cmd/vpload -local 3 -compare -clients 32 -rate 1500 -duration 8s \
-		-read-fraction 0 -objects 1 -out BENCH_gateway.json
+	$(GO) run ./cmd/vpload -local 3 -compare -codec-compare -clients 32 -rate 1500 \
+		-duration 8s -read-fraction 0 -objects 1 -out BENCH_gateway.json
 	@cat BENCH_gateway.json
 
 # Regenerate BENCH_observability.json from the tracing hot-path

@@ -1,13 +1,23 @@
 // Command benchjson converts `go test -bench -benchmem` output on stdin
 // into the machine-readable BENCH_hotpath.json format documented in
 // EXPERIMENTS.md. It keeps the recorded numbers reproducible: run it via
-// `make bench-hotpath` so the benchmark set stays fixed.
+// `make bench-hotpath` so the benchmark set stays fixed, and every
+// report is stamped with the host baseline (CPU model, GOMAXPROCS, go
+// version) it was measured on.
+//
+// With -out FILE the report is written to FILE instead of stdout — and
+// if FILE already holds a report from a *different* baseline, benchjson
+// refuses to overwrite it unless -force is given. Checked-in benchmark
+// numbers silently regenerated on different hardware are worse than
+// stale ones: they look comparable and are not.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -23,21 +33,53 @@ type benchmark struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// baseline identifies the host a report was measured on. Two reports
+// are comparable only when their baselines match.
+type baseline struct {
+	GoVersion  string `json:"go"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CPU        string `json:"cpu,omitempty"`
+}
+
+func (b baseline) String() string {
+	return fmt.Sprintf("%s %s/%s gomaxprocs=%d cpu=%q", b.GoVersion, b.GOOS, b.GOARCH, b.GOMAXPROCS, b.CPU)
+}
+
 type report struct {
-	GoVersion  string      `json:"go"`
-	GOOS       string      `json:"goos"`
-	GOARCH     string      `json:"goarch"`
-	GOMAXPROCS int         `json:"gomaxprocs"`
-	CPU        string      `json:"cpu,omitempty"`
+	baseline
 	Benchmarks []benchmark `json:"benchmarks"`
 }
 
+// hostCPU names the CPU model: the `cpu:` line of the benchmark output
+// when present, else the first model name in /proc/cpuinfo (go test
+// omits the line on hosts it cannot identify).
+func hostCPU() string {
+	raw, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
+}
+
 func main() {
+	out := flag.String("out", "", "write the report here instead of stdout; refuses a cross-baseline overwrite without -force")
+	force := flag.Bool("force", false, "overwrite -out even if its recorded baseline differs from this host")
+	flag.Parse()
+
 	rep := report{
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		baseline: baseline{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
 		Benchmarks: []benchmark{},
 	}
 	pkg := ""
@@ -57,15 +99,59 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	enc := json.NewEncoder(os.Stdout)
+	if rep.CPU == "" {
+		rep.CPU = hostCPU()
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		if err := checkBaseline(*out, rep.baseline, *force); err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+}
+
+// checkBaseline refuses to clobber an existing report measured on a
+// different host unless forced. A file that exists but does not parse
+// as a report is also protected: whatever it is, it was not measured
+// here.
+func checkBaseline(path string, cur baseline, force bool) error {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if force {
+		return nil
+	}
+	var old report
+	if err := json.Unmarshal(raw, &old); err != nil {
+		return fmt.Errorf("%s exists but is not a benchjson report (%v); use -force to overwrite", path, err)
+	}
+	if old.baseline != cur {
+		return fmt.Errorf("%s was measured on a different baseline:\n  recorded: %s\n  this host: %s\nnumbers would not be comparable; use -force to overwrite anyway", path, old.baseline, cur)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
 }
 
 // parseLine reads one benchmark result line, e.g.

@@ -33,6 +33,7 @@ import (
 
 	"github.com/virtualpartitions/vp/internal/gateway"
 	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/wire"
 )
 
 // options is the parsed command line, separated from main so flag
@@ -56,8 +57,13 @@ func parseArgs(args []string) (*options, error) {
 		perTry      = fs.Duration("per-try", 500*time.Millisecond, "per-node attempt timeout")
 		deadline    = fs.Duration("deadline", 5*time.Second, "end-to-end budget per client request")
 		marks       = fs.Int("session-marks", gateway.DefaultSessionMarks, "per-session object version marks retained")
+		codec       = fs.String("codec", "binary", "outbound wire codec for node connections: binary or gob")
 	)
 	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	codecID, err := wire.ParseCodec(*codec)
+	if err != nil {
 		return nil, err
 	}
 	addrs, err := parseNodeMap(*cluster, "-cluster")
@@ -80,6 +86,7 @@ func parseArgs(args []string) (*options, error) {
 			Batching: *batching, BatchWindow: *batchWindow, BatchMax: *batchMax,
 			MaxInflight: *maxInflight, MaxQueue: *maxQueue,
 			PerTry: *perTry, Deadline: *deadline, SessionMarks: *marks,
+			Codec: codecID,
 		},
 	}, nil
 }

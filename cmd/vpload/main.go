@@ -17,6 +17,8 @@
 //	vpload -local 3 -compare -out BENCH_gateway.json
 //	                                             # run the same load with batching off and
 //	                                             # on; write the ablation comparison
+//	vpload -local 3 -codec-compare               # run the same load with the gob codec and
+//	                                             # the binary codec (batching on in both)
 package main
 
 import (
@@ -39,6 +41,7 @@ import (
 	vnet "github.com/virtualpartitions/vp/internal/net"
 	"github.com/virtualpartitions/vp/internal/node"
 	"github.com/virtualpartitions/vp/internal/onecopy"
+	"github.com/virtualpartitions/vp/internal/wire"
 	"github.com/virtualpartitions/vp/internal/workload"
 )
 
@@ -59,6 +62,8 @@ type options struct {
 	batchWindow  time.Duration
 	smoke        bool
 	compare      bool
+	codec        wire.CodecID
+	codecCompare bool
 	out          string
 	delta        time.Duration
 }
@@ -80,6 +85,8 @@ func parseArgs(args []string) (*options, error) {
 		batchWindow  = fs.Duration("batch-window", 2*time.Millisecond, "-local only: batching window")
 		smoke        = fs.Bool("smoke", false, "assert non-zero committed throughput and zero violations; exit 1 otherwise")
 		compare      = fs.Bool("compare", false, "-local only: run batching off then on and report both")
+		codec        = fs.String("codec", "binary", "-local only: wire codec for node and gateway connections (binary or gob)")
+		codecCompare = fs.Bool("codec-compare", false, "-local only: run the gob codec then the binary codec closed-loop (saturation; -rate is ignored for these runs) and report both")
 		out          = fs.String("out", "", "write the JSON report here instead of stdout")
 		delta        = fs.Duration("delta", 20*time.Millisecond, "-local only: cluster message delay bound δ")
 	)
@@ -89,8 +96,12 @@ func parseArgs(args []string) (*options, error) {
 	if (*addr == "") == (*local == 0) {
 		return nil, fmt.Errorf("exactly one of -addr or -local is required")
 	}
-	if *compare && *local == 0 {
-		return nil, fmt.Errorf("-compare needs -local (it reboots the cluster between runs)")
+	if (*compare || *codecCompare) && *local == 0 {
+		return nil, fmt.Errorf("-compare/-codec-compare need -local (they reboot the cluster between runs)")
+	}
+	codecID, err := wire.ParseCodec(*codec)
+	if err != nil {
+		return nil, err
 	}
 	if *local != 0 && *local < 3 {
 		return nil, fmt.Errorf("-local must be >= 3 (a majority must survive nothing here, but the protocol wants peers)")
@@ -114,7 +125,9 @@ func parseArgs(args []string) (*options, error) {
 		duration: *duration, ramp: *ramp,
 		readFraction: *readFraction, objects: *objects, zipf: *zipf, seed: *seed,
 		batch: *batch, batchWindow: *batchWindow,
-		smoke: *smoke, compare: *compare, out: *out, delta: *delta,
+		smoke: *smoke, compare: *compare,
+		codec: codecID, codecCompare: *codecCompare,
+		out: *out, delta: *delta,
 	}, nil
 }
 
@@ -129,6 +142,7 @@ type report struct {
 		Zipf         float64 `json:"zipf"`
 		Seed         int64   `json:"seed"`
 		Batching     bool    `json:"batching"`
+		Codec        string  `json:"codec,omitempty"`
 	} `json:"config"`
 	ElapsedMS     int64   `json:"elapsed_ms"`
 	Committed     int64   `json:"committed"`
@@ -298,8 +312,10 @@ func (s *runStats) add(f func(*runStats)) {
 	s.mu.Unlock()
 }
 
-// runLoad drives the closed loop against a gateway base URL.
-func runLoad(opt *options, url string, batching bool) (*report, error) {
+// runLoad drives the closed loop against a gateway base URL. codec is
+// reporting-only (the cluster was booted with it); empty for external
+// targets whose codec vpload cannot know.
+func runLoad(opt *options, url string, batching bool, codec string) (*report, error) {
 	objs := workload.Objects(opt.objects)
 	mix := workload.Mix{ReadFraction: opt.readFraction}
 	reg := metrics.NewRegistry()
@@ -360,6 +376,7 @@ func runLoad(opt *options, url string, batching bool) (*report, error) {
 	rep.Config.Zipf = opt.zipf
 	rep.Config.Seed = opt.seed
 	rep.Config.Batching = batching
+	rep.Config.Codec = codec
 	rep.ElapsedMS = elapsed.Milliseconds()
 	rep.Committed = stats.committed
 	rep.CommittedTPS = float64(stats.committed) / elapsed.Seconds()
@@ -406,8 +423,9 @@ type localCluster struct {
 	gwCfg gateway.Config
 }
 
-// bootLocal starts n vpnode cores over real sockets and one gateway.
-func bootLocal(opt *options, batching bool) (*localCluster, error) {
+// bootLocal starts n vpnode cores over real sockets and one gateway,
+// all writing with the given codec.
+func bootLocal(opt *options, batching bool, codec wire.CodecID) (*localCluster, error) {
 	n := opt.local
 	addrs := map[model.ProcID]string{}
 	for i := 0; i < n; i++ {
@@ -423,7 +441,7 @@ func bootLocal(opt *options, batching bool) (*localCluster, error) {
 	cfg := core.Config{Config: node.Config{Delta: opt.delta, LogCap: 256}}
 	var nodes []*vnet.TCPNode
 	for id := model.ProcID(1); id <= model.ProcID(n); id++ {
-		tcp := vnet.NewTCPNode(id, addrs, core.New(id, cfg, cat, hist))
+		tcp := vnet.NewTCPNodeConfig(id, addrs, core.New(id, cfg, cat, hist), vnet.TCPConfig{Codec: codec})
 		if err := tcp.Run(); err != nil {
 			for _, nd := range nodes {
 				nd.Stop()
@@ -434,7 +452,7 @@ func bootLocal(opt *options, batching bool) (*localCluster, error) {
 	}
 	gwCfg := gateway.Config{
 		Cluster: addrs, Batching: batching, BatchWindow: opt.batchWindow,
-		PerTry: time.Second, Deadline: 20 * time.Second,
+		PerTry: time.Second, Deadline: 20 * time.Second, Codec: codec,
 	}
 	g := gateway.New(gwCfg)
 	srv, addr, err := g.Serve("127.0.0.1:0")
@@ -453,6 +471,17 @@ func bootLocal(opt *options, batching bool) (*localCluster, error) {
 		}
 	}
 	return &localCluster{url: "http://" + addr, hist: hist, stop: stop, gwCfg: gwCfg}, nil
+}
+
+// codecCompareReport is the -codec-compare output: the same load under
+// the gob codec and the binary codec.
+type codecCompareReport struct {
+	Bench          string  `json:"bench"`
+	Gob            *report `json:"codec_gob"`
+	Binary         *report `json:"codec_binary"`
+	P50RatioBinary float64 `json:"p50_binary_over_gob"`
+	TPSRatioBinary float64 `json:"tps_binary_over_gob"`
+	Description    string  `json:"description"`
 }
 
 // compareReport is the BENCH_gateway.json shape: the same load with
@@ -490,7 +519,7 @@ func run(opt *options, w io.Writer) error {
 	}
 
 	if opt.local == 0 {
-		rep, err := runLoad(opt, opt.addr, opt.batch)
+		rep, err := runLoad(opt, opt.addr, opt.batch, "")
 		if err != nil {
 			return err
 		}
@@ -500,13 +529,13 @@ func run(opt *options, w io.Writer) error {
 		return smokeCheck(rep)
 	}
 
-	runOnce := func(batching bool) (*report, error) {
-		lc, err := bootLocal(opt, batching)
+	runOnce := func(o *options, batching bool, codec wire.CodecID) (*report, error) {
+		lc, err := bootLocal(o, batching, codec)
 		if err != nil {
 			return nil, err
 		}
 		defer lc.stop()
-		rep, err := runLoad(opt, lc.url, batching)
+		rep, err := runLoad(o, lc.url, batching, codec.String())
 		if err != nil {
 			return nil, err
 		}
@@ -517,49 +546,118 @@ func run(opt *options, w io.Writer) error {
 		return rep, nil
 	}
 
-	if !opt.compare {
-		rep, err := runOnce(opt.batch)
+	runCodecCompare := func() (*codecCompareReport, []*report, error) {
+		// Saturation, not paced load: at an offered rate both codecs can
+		// sustain, their curves are indistinguishable. Closed loop asks
+		// the only question that separates them — how many requests the
+		// whole stack completes when serialization is on the critical
+		// path.
+		sat := *opt
+		sat.rate = 0
+		gob, err := runOnce(&sat, opt.batch, wire.CodecGob)
+		if err != nil {
+			return nil, nil, err
+		}
+		bin, err := runOnce(&sat, opt.batch, wire.CodecBinary)
+		if err != nil {
+			return nil, nil, err
+		}
+		cmp := &codecCompareReport{
+			Bench: "wire codec ablation",
+			Gob:   gob, Binary: bin,
+			Description: "identical closed-loop (saturation) load against a fresh local cluster, gob " +
+				"codec vs binary codec (batching per -batch in both runs; -rate ignored here); " +
+				"end-to-end client throughput and latency, so the delta bounds what serialization " +
+				"alone contributes to whole-stack cost",
+		}
+		if gob.LatencyMS.P50 > 0 {
+			cmp.P50RatioBinary = bin.LatencyMS.P50 / gob.LatencyMS.P50
+		}
+		if gob.CommittedTPS > 0 {
+			cmp.TPSRatioBinary = bin.CommittedTPS / gob.CommittedTPS
+		}
+		return cmp, []*report{gob, bin}, nil
+	}
+
+	runBatchCompare := func() (*compareReport, []*report, error) {
+		off, err := runOnce(opt, false, opt.codec)
+		if err != nil {
+			return nil, nil, err
+		}
+		on, err := runOnce(opt, true, opt.codec)
+		if err != nil {
+			return nil, nil, err
+		}
+		cmp := &compareReport{
+			Bench: "gateway group-commit ablation",
+			Off:   off, On: on,
+			Description: "identical load against a fresh local cluster, batching off vs on; " +
+				"rounds_per_write is backend 2PC rounds per committed logical write; with -rate, " +
+				"latency is measured from each request's scheduled send time (coordinated-omission " +
+				"corrected), so a side that cannot sustain the offered rate shows its backlog as latency",
+		}
+		if off.Gateway != nil {
+			cmp.RoundsOff = off.Gateway.RoundsPerWrite
+		}
+		if on.Gateway != nil {
+			cmp.RoundsOn = on.Gateway.RoundsPerWrite
+		}
+		if off.LatencyMS.P50 > 0 {
+			cmp.P50RatioOn = on.LatencyMS.P50 / off.LatencyMS.P50
+		}
+		if off.CommittedTPS > 0 {
+			cmp.TPSRatioOn = on.CommittedTPS / off.CommittedTPS
+		}
+		return cmp, []*report{off, on}, nil
+	}
+
+	switch {
+	case opt.compare && opt.codecCompare:
+		// The full BENCH_gateway.json: both ablations over the same load.
+		batch, reps1, err := runBatchCompare()
 		if err != nil {
 			return err
 		}
-		if err := emit(rep); err != nil {
+		codec, reps2, err := runCodecCompare()
+		if err != nil {
 			return err
 		}
-		return smokeCheck(rep)
+		combined := &struct {
+			GroupCommit *compareReport      `json:"group_commit"`
+			Codec       *codecCompareReport `json:"codec"`
+		}{GroupCommit: batch, Codec: codec}
+		if err := emit(combined); err != nil {
+			return err
+		}
+		return smokeCheck(append(reps1, reps2...)...)
+	case opt.codecCompare:
+		cmp, reps, err := runCodecCompare()
+		if err != nil {
+			return err
+		}
+		if err := emit(cmp); err != nil {
+			return err
+		}
+		return smokeCheck(reps...)
+	case opt.compare:
+		cmp, reps, err := runBatchCompare()
+		if err != nil {
+			return err
+		}
+		if err := emit(cmp); err != nil {
+			return err
+		}
+		return smokeCheck(reps...)
 	}
 
-	off, err := runOnce(false)
+	rep, err := runOnce(opt, opt.batch, opt.codec)
 	if err != nil {
 		return err
 	}
-	on, err := runOnce(true)
-	if err != nil {
+	if err := emit(rep); err != nil {
 		return err
 	}
-	cmp := &compareReport{
-		Bench: "gateway group-commit ablation",
-		Off:   off, On: on,
-		Description: "identical load against a fresh local cluster, batching off vs on; " +
-			"rounds_per_write is backend 2PC rounds per committed logical write; with -rate, " +
-			"latency is measured from each request's scheduled send time (coordinated-omission " +
-			"corrected), so a side that cannot sustain the offered rate shows its backlog as latency",
-	}
-	if off.Gateway != nil {
-		cmp.RoundsOff = off.Gateway.RoundsPerWrite
-	}
-	if on.Gateway != nil {
-		cmp.RoundsOn = on.Gateway.RoundsPerWrite
-	}
-	if off.LatencyMS.P50 > 0 {
-		cmp.P50RatioOn = on.LatencyMS.P50 / off.LatencyMS.P50
-	}
-	if off.CommittedTPS > 0 {
-		cmp.TPSRatioOn = on.CommittedTPS / off.CommittedTPS
-	}
-	if err := emit(cmp); err != nil {
-		return err
-	}
-	return smokeCheck(off, on)
+	return smokeCheck(rep)
 }
 
 func main() {

@@ -39,6 +39,7 @@ import (
 	"github.com/virtualpartitions/vp/internal/net"
 	"github.com/virtualpartitions/vp/internal/node"
 	"github.com/virtualpartitions/vp/internal/trace"
+	"github.com/virtualpartitions/vp/internal/wire"
 )
 
 // options is the parsed command line, separated from main so flag
@@ -75,8 +76,13 @@ func parseArgs(args []string) (*options, error) {
 		reconMin  = fs.Duration("reconnect-min", 0, "initial peer redial backoff (default 50ms)")
 		reconMax  = fs.Duration("reconnect-max", 0, "maximum peer redial backoff (default 2s)")
 		queueLen  = fs.Int("peer-queue", 0, "bounded per-peer outbound queue length (default 1024)")
+		codec     = fs.String("codec", "binary", "outbound wire codec: binary or gob (reads auto-detect)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	codecID, err := wire.ParseCodec(*codec)
+	if err != nil {
 		return nil, err
 	}
 	addrs, err := parseCluster(*cluster)
@@ -100,7 +106,7 @@ func parseArgs(args []string) (*options, error) {
 		dataDir: *dataDir, fsync: *fsync, verbose: *verbose,
 		debugAddr: *debugAddr, traceOut: *traceOut,
 		tcp: net.TCPConfig{DialTimeout: *dialTO, ReconnectMin: *reconMin,
-			ReconnectMax: *reconMax, QueueLen: *queueLen},
+			ReconnectMax: *reconMax, QueueLen: *queueLen, Codec: codecID},
 	}, nil
 }
 

@@ -32,6 +32,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"github.com/virtualpartitions/vp/internal/model"
 )
@@ -68,8 +69,9 @@ func NewState() *State {
 }
 
 // Journal receives every durable state change. Implementations must be
-// usable from a single goroutine (the node's event loop). A nil Journal
-// is valid everywhere and means "not durable".
+// safe for concurrent use: the sharded store (internal/store) journals
+// committed writes from whichever stripe applies them. A nil Journal is
+// valid everywhere and means "not durable".
 type Journal interface {
 	// MaxID records a new high-water virtual partition identifier.
 	MaxID(v model.VPID)
@@ -150,9 +152,12 @@ func (s *State) apply(r *record) {
 	}
 }
 
-// FileJournal is a gob append log with snapshot compaction.
+// FileJournal is a gob append log with snapshot compaction. Writes are
+// serialized by an internal mutex (the gob encoder and the file offset
+// are shared state).
 type FileJournal struct {
 	path string
+	mu   sync.Mutex
 	f    *os.File
 	enc  *gob.Encoder
 	// SyncEveryWrite forces an fsync per record (safest, slowest).
@@ -213,6 +218,8 @@ func Open(dir string) (*State, *FileJournal, error) {
 }
 
 func (j *FileJournal) write(r *record) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.err != nil {
 		return
 	}
@@ -227,10 +234,16 @@ func (j *FileJournal) write(r *record) {
 
 // Err reports the first write error (the journal stops recording after
 // one; the caller should treat the processor as crashed).
-func (j *FileJournal) Err() error { return j.err }
+func (j *FileJournal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
 
 // Close syncs and closes the file.
 func (j *FileJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.f == nil {
 		return nil
 	}
@@ -270,38 +283,46 @@ func (j *FileJournal) DecideDone(txn model.TxnID) { j.write(&record{DoneTxn: &tx
 var _ Journal = (*FileJournal)(nil)
 
 // MemJournal is an in-memory Journal for tests: it maintains a State
-// directly, so "restart" is simply reading State.
+// directly, so "restart" is simply reading State. Safe for concurrent
+// use like any Journal.
 type MemJournal struct {
+	mu sync.Mutex
 	St *State
 }
 
 // NewMemJournal returns an empty in-memory journal.
 func NewMemJournal() *MemJournal { return &MemJournal{St: NewState()} }
 
+func (m *MemJournal) apply(r *record) {
+	m.mu.Lock()
+	m.St.apply(r)
+	m.mu.Unlock()
+}
+
 // MaxID implements Journal.
-func (m *MemJournal) MaxID(v model.VPID) { m.St.apply(&record{SetMaxID: &v}) }
+func (m *MemJournal) MaxID(v model.VPID) { m.apply(&record{SetMaxID: &v}) }
 
 // Apply implements Journal.
 func (m *MemJournal) Apply(obj model.ObjectID, val model.Value, ver model.Version) {
-	m.St.apply(&record{ApplyObj: obj, ApplyVal: val, ApplyVer: &ver})
+	m.apply(&record{ApplyObj: obj, ApplyVal: val, ApplyVer: &ver})
 }
 
 // Stage implements Journal.
 func (m *MemJournal) Stage(txn model.TxnID, obj model.ObjectID, w StagedWrite) {
-	m.St.apply(&record{StageTxn: &txn, StageObj: obj, StageW: &w})
+	m.apply(&record{StageTxn: &txn, StageObj: obj, StageW: &w})
 }
 
 // DropStage implements Journal.
 func (m *MemJournal) DropStage(txn model.TxnID, obj model.ObjectID) {
-	m.St.apply(&record{DropTxn: &txn, DropObj: obj})
+	m.apply(&record{DropTxn: &txn, DropObj: obj})
 }
 
 // Decide implements Journal.
 func (m *MemJournal) Decide(txn model.TxnID, commit bool, pending []model.ProcID) {
-	m.St.apply(&record{DecideTxn: &txn, DecideCommit: commit, DecidePending: pending})
+	m.apply(&record{DecideTxn: &txn, DecideCommit: commit, DecidePending: pending})
 }
 
 // DecideDone implements Journal.
-func (m *MemJournal) DecideDone(txn model.TxnID) { m.St.apply(&record{DoneTxn: &txn}) }
+func (m *MemJournal) DecideDone(txn model.TxnID) { m.apply(&record{DoneTxn: &txn}) }
 
 var _ Journal = (*MemJournal)(nil)

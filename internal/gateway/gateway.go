@@ -49,6 +49,10 @@ type Config struct {
 	// SessionMarks bounds per-session version marks (default 32).
 	SessionMarks int
 
+	// Codec selects the wire encoding the pool's node connections use
+	// (default wire.CodecBinary; nodes auto-detect per frame either way).
+	Codec wire.CodecID
+
 	// Metrics and Tracer receive the gateway's counters and events;
 	// both default to fresh/disabled instances when nil.
 	Metrics *metrics.Registry
@@ -109,7 +113,7 @@ type Gateway struct {
 func New(cfg Config) *Gateway {
 	cfg.fill()
 	g := newWithBackend(cfg, nil)
-	g.pool = newPool(cfg.Cluster, cfg.Health, cfg.PerTry, cfg.Metrics)
+	g.pool = newPool(cfg.Cluster, cfg.Health, cfg.PerTry, cfg.Codec, cfg.Metrics)
 	g.backend = g.pool
 	g.batch = newBatcher(cfg.BatchWindow, cfg.BatchMax, g.pool, g.tags,
 		cfg.Deadline, g.reg, g.tr, g.clock)

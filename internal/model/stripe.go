@@ -1,0 +1,47 @@
+package model
+
+import "runtime"
+
+// Striping helpers shared by the sharded lock table (internal/locks) and
+// replica store (internal/store). Both split their maps into a fixed
+// power-of-two number of stripes so that concurrent operations on
+// different objects take different mutexes.
+
+// StripeCount returns the stripe count for a new sharded map: a power of
+// two scaled from GOMAXPROCS at call time, clamped to [8, 256]. Fixed at
+// construction — resizing a live table is not worth the complexity for a
+// bounded object namespace.
+func StripeCount() int {
+	n := runtime.GOMAXPROCS(0) * 4
+	if n < 8 {
+		n = 8
+	}
+	if n > 256 {
+		n = 256
+	}
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// FNVObj hashes an object id with FNV-1a (32-bit). Inlined rather than
+// hash/fnv so the hot path pays no interface or allocation cost.
+func FNVObj(obj ObjectID) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(obj); i++ {
+		h ^= uint32(obj[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// HashTxn mixes a transaction id into a stripe hash. Transaction ids are
+// dense small integers per field, so a multiplicative mix spreads them
+// better than FNV over raw bytes would.
+func HashTxn(t TxnID) uint32 {
+	h := uint64(t.Start)*0x9e3779b97f4a7c15 ^ uint64(t.P)*0xbf58476d1ce4e5b9 ^ t.Seq*0x94d049bb133111eb
+	h ^= h >> 32
+	return uint32(h)
+}

@@ -20,31 +20,49 @@ var ErrClientClosed = errors.New("net: client closed")
 // natively), and re-dials transparently on the next Submit after a
 // connection loss. It replaces SubmitTCP's dial-per-request for callers
 // that talk to the same node repeatedly — the gateway's pool in
-// particular — paying the dial and gob type-descriptor handshake once
-// per connection instead of once per transaction.
+// particular — paying the dial once per connection instead of once per
+// transaction.
 //
-// A connection loss fails every in-flight Submit on it; the transport
-// keeps its omission-failure contract (a submission whose result was
-// lost may or may not have executed — callers retry under the same
-// at-least-once rules as SubmitTCPRetry).
+// Writes are combined: Submit only encodes its frame (under the lock)
+// and enqueues it; a per-connection flusher drains everything queued and
+// writes the batch with one vectored write (net.Buffers / writev).
+// Concurrent submitters therefore share syscalls instead of serializing
+// on conn.Write. A write failure surfaces as a connection teardown,
+// which fails every in-flight Submit — the same omission-failure
+// contract as before (a submission whose result was lost may or may not
+// have executed; callers retry under the same at-least-once rules as
+// SubmitTCPRetry).
 type Client struct {
 	addr        string
 	dialTimeout time.Duration
 
 	mu      sync.Mutex
+	codec   wire.CodecID
 	conn    stdnet.Conn
-	enc     *wire.StreamEncoder
+	enc     wire.FrameEncoder
+	wq      stdnet.Buffers // frames awaiting flush
+	wheld   []*frameBuf    // pooled backing buffers for wq
+	wsig    chan struct{}  // flush doorbell; closed on teardown
 	pending map[uint64]chan wire.ClientResult
 	closed  bool
 }
 
-// NewClient returns an unconnected client for the node at addr. The
-// first Submit dials. dialTimeout <= 0 selects 2s.
+// NewClient returns an unconnected client for the node at addr, encoding
+// with the default binary codec. The first Submit dials. dialTimeout <=
+// 0 selects 2s.
 func NewClient(addr string, dialTimeout time.Duration) *Client {
 	if dialTimeout <= 0 {
 		dialTimeout = 2 * time.Second
 	}
 	return &Client{addr: addr, dialTimeout: dialTimeout}
+}
+
+// SetCodec selects the outbound wire codec. Call before the first
+// Submit; the receive side always auto-detects.
+func (c *Client) SetCodec(id wire.CodecID) {
+	c.mu.Lock()
+	c.codec = id
+	c.mu.Unlock()
 }
 
 // Addr returns the node address this client dials.
@@ -68,26 +86,32 @@ func (c *Client) Submit(t wire.ClientTxn, timeout time.Duration) (wire.ClientRes
 			return wire.ClientResult{}, err
 		}
 		c.conn = conn
-		c.enc = wire.NewStreamEncoder()
+		c.enc = wire.NewFrameEncoder(c.codec)
+		c.wsig = make(chan struct{}, 1)
 		c.pending = make(map[uint64]chan wire.ClientResult)
 		go c.readLoop(conn)
+		go c.writeLoop(conn, c.wsig)
 	}
 	if _, dup := c.pending[t.Tag]; dup {
 		c.mu.Unlock()
 		return wire.ClientResult{}, fmt.Errorf("net: client tag %d already in flight", t.Tag)
 	}
-	c.pending[t.Tag] = ch
-	frame, err := c.enc.EncodeFrame(&wire.Envelope{From: model.NoProc, To: model.NoProc, Msg: t})
+	fb := frameScratch.Get().(*frameBuf)
+	b, err := c.enc.AppendFrame(fb.b[:0], &wire.Envelope{From: model.NoProc, To: model.NoProc, Msg: t})
 	if err != nil {
-		delete(c.pending, t.Tag)
+		frameScratch.Put(fb)
 		c.mu.Unlock()
 		return wire.ClientResult{}, err
 	}
-	c.conn.SetWriteDeadline(time.Now().Add(timeout)) //nolint:errcheck
-	if _, err := c.conn.Write(frame); err != nil {
-		c.teardownLocked()
-		c.mu.Unlock()
-		return wire.ClientResult{}, err
+	fb.b = b
+	c.pending[t.Tag] = ch
+	c.wq = append(c.wq, b)
+	c.wheld = append(c.wheld, fb)
+	// Ring the flusher's doorbell (it drains everything queued per wake,
+	// so one pending signal covers any number of enqueues).
+	select {
+	case c.wsig <- struct{}{}:
+	default:
 	}
 	c.mu.Unlock()
 
@@ -107,11 +131,40 @@ func (c *Client) Submit(t wire.ClientTxn, timeout time.Duration) (wire.ClientRes
 	}
 }
 
+// writeLoop flushes queued frames in batches: each doorbell ring drains
+// the whole queue into one vectored write. It exits when the doorbell
+// channel is closed (teardown). A stalled flush is bounded by the dial
+// timeout and tears the connection down like any other write failure.
+func (c *Client) writeLoop(conn stdnet.Conn, sig chan struct{}) {
+	for range sig {
+		c.mu.Lock()
+		vec, held := c.wq, c.wheld
+		c.wq, c.wheld = nil, nil
+		c.mu.Unlock()
+		if len(vec) == 0 {
+			continue
+		}
+		conn.SetWriteDeadline(time.Now().Add(c.dialTimeout)) //nolint:errcheck
+		_, err := vec.WriteTo(conn)
+		for _, fb := range held {
+			frameScratch.Put(fb)
+		}
+		if err != nil {
+			c.mu.Lock()
+			if c.conn == conn {
+				c.teardownLocked()
+			}
+			c.mu.Unlock()
+			// teardown closed sig; keep ranging to drain it and exit.
+		}
+	}
+}
+
 // readLoop owns the connection's decoder, dispatching each result to the
 // Submit waiting on its tag. Any read error tears the connection down,
 // failing all in-flight submissions; the next Submit re-dials.
 func (c *Client) readLoop(conn stdnet.Conn) {
-	dec := wire.NewStreamDecoder()
+	dec := wire.NewDecoder()
 	fb := frameScratch.Get().(*frameBuf)
 	defer frameScratch.Put(fb)
 	for {
@@ -144,14 +197,23 @@ func (c *Client) readLoop(conn stdnet.Conn) {
 	c.mu.Unlock()
 }
 
-// teardownLocked closes the live connection and fails every in-flight
-// submission. Callers hold c.mu.
+// teardownLocked closes the live connection, stops its flusher, recycles
+// any unflushed frames, and fails every in-flight submission. Callers
+// hold c.mu.
 func (c *Client) teardownLocked() {
 	if c.conn != nil {
 		c.conn.Close()
 		c.conn = nil
 	}
 	c.enc = nil
+	if c.wsig != nil {
+		close(c.wsig)
+		c.wsig = nil
+	}
+	for _, fb := range c.wheld {
+		frameScratch.Put(fb)
+	}
+	c.wq, c.wheld = nil, nil
 	for tag, ch := range c.pending {
 		close(ch)
 		delete(c.pending, tag)

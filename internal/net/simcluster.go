@@ -36,6 +36,15 @@ type SimCluster struct {
 	// are lost — the adversarial interpretation of a partition.
 	DropInFlight bool
 
+	// Transcode, when set, is applied to every remote message at send
+	// time and its result is what gets delivered. The cross-codec
+	// equivalence test uses it to route the deterministic scenarios
+	// through a real wire codec round-trip: if an encode/decode pair
+	// alters any message, the divergence shows up in the run's results.
+	// Self-sends are exempt (they are local procedure calls and never
+	// touch a wire).
+	Transcode func(wire.Envelope) wire.Envelope
+
 	// TraceEnabled turns Runtime.Logf into engine trace output.
 	TraceEnabled bool
 	TraceSink    func(string)
@@ -135,6 +144,9 @@ func (c *SimCluster) deliver(from, to model.ProcID, m wire.Message) {
 			})
 		}
 		return
+	}
+	if c.Transcode != nil {
+		m = c.Transcode(wire.Envelope{From: from, To: to, Msg: m}).Msg
 	}
 	kind := wire.Kind(m)
 	c.Reg.Inc(metrics.CMsgSent, 1)

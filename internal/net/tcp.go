@@ -32,6 +32,12 @@ type TCPConfig struct {
 	// beyond it are dropped and accounted — backpressure is a performance
 	// failure the protocol tolerates, never a blocked sender.
 	QueueLen int
+	// Codec selects the wire encoding for outbound frames. The zero
+	// value is wire.CodecBinary (the hand-rolled zero-copy codec);
+	// wire.CodecGob selects the PR-1 streaming gob codec. Inbound frames
+	// are always auto-detected per frame, so the two ends of a
+	// connection may be configured differently.
+	Codec wire.CodecID
 }
 
 func (c TCPConfig) withDefaults() TCPConfig {
@@ -54,7 +60,7 @@ func (c TCPConfig) withDefaults() TCPConfig {
 }
 
 // TCPNode hosts one Handler in its own process and exchanges
-// length-prefixed gob envelopes with its peers over TCP. Message loss on
+// length-prefixed envelopes with its peers over TCP. Message loss on
 // broken connections is simply an omission failure, which the protocol
 // tolerates by design — the transport never retries a message on behalf
 // of the protocol. It does, however, keep trying to restore the
@@ -62,10 +68,14 @@ func (c TCPConfig) withDefaults() TCPConfig {
 // exponential backoff and jitter, so a transient blip degrades to a
 // bounded burst of omissions instead of permanently severing the link.
 //
-// Every connection carries one persistent gob stream per direction
-// (wire.StreamEncoder on the writer, wire.StreamDecoder on the reader),
-// so type descriptors are handshaken once per connection instead of being
-// re-encoded on every message. A reconnect starts a fresh codec pair.
+// Every connection carries one persistent encoder per direction
+// (wire.FrameEncoder on the writer, selected by TCPConfig.Codec) and one
+// auto-detecting wire.Decoder on the reader, so mixed-codec clusters
+// interoperate frame by frame. Outbound envelopes are coalesced: the
+// write loop drains everything queued for a peer and flushes the batch
+// with a single vectored write (net.Buffers / writev), so a protocol
+// round's burst to one peer costs one syscall. A reconnect starts a
+// fresh codec pair.
 //
 // Clients connect to the same port, send a wire.ClientTxn envelope (From
 // = model.NoProc) and receive wire.ClientResult envelopes back on the
@@ -104,7 +114,7 @@ type TCPNode struct {
 // peerConn is the persistent outbound state for one peer: a bounded
 // envelope queue drained by the peer's reconnect loop, plus the live
 // connection (nil while the peer is unreachable). The loop owns the
-// connection's StreamEncoder, so Send never blocks on the network or the
+// connection's encoder, so Send never blocks on the network or the
 // encoder.
 type peerConn struct {
 	out chan wire.Envelope
@@ -130,12 +140,12 @@ func (pc *peerConn) closeConn() {
 }
 
 // acceptedConn is an inbound connection. The read loop owns its
-// StreamDecoder; the encoder side (used for client results) is guarded by
+// decoder; the encoder side (used for client results) is guarded by
 // mu because results for different tags may share the connection.
 type acceptedConn struct {
 	conn stdnet.Conn
 	mu   sync.Mutex
-	enc  *wire.StreamEncoder
+	enc  wire.FrameEncoder
 }
 
 // NewTCPNode creates a node with default transport tuning. See
@@ -238,7 +248,7 @@ func (n *TCPNode) acceptLoop() {
 		if err != nil {
 			return
 		}
-		ac := &acceptedConn{conn: conn, enc: wire.NewStreamEncoder()}
+		ac := &acceptedConn{conn: conn, enc: wire.NewFrameEncoder(n.cfg.Codec)}
 		n.connMu.Lock()
 		n.accepted[ac] = struct{}{}
 		n.connMu.Unlock()
@@ -255,9 +265,13 @@ func (n *TCPNode) readLoop(ac *acceptedConn) {
 		delete(n.accepted, ac)
 		n.connMu.Unlock()
 	}()
-	// One persistent decoder per connection: the peer's encoder sends
-	// each type descriptor once, on the type's first message.
-	dec := wire.NewStreamDecoder()
+	// One persistent decoder per connection, auto-detecting the codec
+	// per frame (binary frames set the payload high bit; everything else
+	// belongs to the connection's gob stream). Decoded messages are
+	// fully owned: the mailbox is asynchronous and handlers retain
+	// message slices past delivery, so borrowed decoding is not safe
+	// here.
+	dec := wire.NewDecoder()
 	fb := frameScratch.Get().(*frameBuf)
 	defer frameScratch.Put(fb)
 	for {
@@ -431,29 +445,81 @@ func (n *TCPNode) peerLoop(to model.ProcID, addr string, pc *peerConn) {
 	}
 }
 
+// maxWriteBatch bounds how many queued envelopes one flush coalesces.
+// 64 comfortably covers a protocol round's burst to one peer while
+// keeping the iovec far below the kernel's writev limit (IOV_MAX 1024).
+const maxWriteBatch = 64
+
 // writeLoop drains the peer's queue onto conn until the connection
 // breaks (returns true: redial) or the node stops (returns false).
+//
+// Queued envelopes are coalesced: after blocking for the first one, the
+// loop non-blockingly drains whatever else is waiting (up to
+// maxWriteBatch), encodes each frame into its own pooled buffer, and
+// flushes the batch with one vectored write — a round's fan-in of
+// messages to one peer costs one writev instead of one syscall per
+// message.
 func (n *TCPNode) writeLoop(to model.ProcID, pc *peerConn, conn stdnet.Conn) bool {
-	// The loop owns this connection's encoder: envelopes are gob-encoded
-	// here, once, onto the persistent stream, and each frame goes out in
-	// a single Write. A reconnect starts a fresh codec pair, so the type
-	// descriptors are re-handshaken.
-	enc := wire.NewStreamEncoder()
+	// The loop owns this connection's encoder. A reconnect starts a
+	// fresh pair (which for the gob fallback re-handshakes the type
+	// descriptors; the binary codec is stateless per frame).
+	enc := wire.NewFrameEncoder(n.cfg.Codec)
+	held := make([]*frameBuf, 0, maxWriteBatch)
+	bufs := make(stdnet.Buffers, 0, maxWriteBatch)
+	kinds := make([]string, 0, maxWriteBatch)
+	encode := func(env *wire.Envelope) bool {
+		fb := frameScratch.Get().(*frameBuf)
+		b, err := enc.AppendFrame(fb.b[:0], env)
+		if err != nil {
+			frameScratch.Put(fb)
+			n.drop(to, wire.Kind(env.Msg))
+			return false
+		}
+		fb.b = b
+		held = append(held, fb)
+		bufs = append(bufs, b)
+		kinds = append(kinds, wire.Kind(env.Msg))
+		return true
+	}
 	for {
 		select {
 		case <-n.stopped:
 			return false
 		case env := <-pc.out:
-			frame, err := enc.EncodeFrame(&env)
-			if err != nil {
-				// Encoder stream is now suspect; lose this message and
-				// reconnect with fresh codecs.
-				n.drop(to, wire.Kind(env.Msg))
+			ok := encode(&env)
+		drain:
+			for ok && len(bufs) < maxWriteBatch {
+				select {
+				case env = <-pc.out:
+					ok = encode(&env)
+				default:
+					break drain
+				}
+			}
+			// WriteTo consumes its receiver (advancing the slice and
+			// nilling written entries), so it gets a scratch copy; held
+			// keeps the pooled buffers reachable until recycled below.
+			vec := bufs
+			_, werr := vec.WriteTo(conn)
+			for _, fb := range held {
+				frameScratch.Put(fb)
+			}
+			if werr != nil {
+				// Possibly half-written: the whole batch is lost
+				// (omission) and accounted as dropped.
+				for _, k := range kinds {
+					n.drop(to, k)
+				}
+			}
+			held, bufs, kinds = held[:0], bufs[:0], kinds[:0]
+			if !ok {
+				// Encoder failure: the stream is suspect (a gob encoder
+				// may have half-written state); that message is lost and
+				// the connection reconnects with fresh codecs. Frames
+				// encoded before the failure were still flushed above.
 				return true
 			}
-			if _, err := conn.Write(frame); err != nil {
-				// Possibly half-written: the message is lost (omission).
-				n.drop(to, wire.Kind(env.Msg))
+			if werr != nil {
 				return true
 			}
 		}
@@ -617,13 +683,15 @@ func (n *TCPNode) Logf(format string, args ...any) {
 
 // SubmitTCP sends a transaction to a node at addr and waits for its
 // result. It is the client side of the TCP transport, used by vpctl.
+// Requests go out in the binary codec (servers auto-detect per frame,
+// so this is always safe regardless of the node's configured codec).
 func SubmitTCP(addr string, t wire.ClientTxn, timeout time.Duration) (wire.ClientResult, error) {
 	conn, err := stdnet.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return wire.ClientResult{}, err
 	}
 	defer conn.Close()
-	enc := wire.NewStreamEncoder()
+	enc := wire.NewBinaryEncoder()
 	frame, err := enc.EncodeFrame(&wire.Envelope{From: model.NoProc, To: model.NoProc, Msg: t})
 	if err != nil {
 		return wire.ClientResult{}, err
@@ -634,7 +702,7 @@ func SubmitTCP(addr string, t wire.ClientTxn, timeout time.Duration) (wire.Clien
 	if _, err := conn.Write(frame); err != nil {
 		return wire.ClientResult{}, err
 	}
-	dec := wire.NewStreamDecoder()
+	dec := wire.NewDecoder()
 	fb := frameScratch.Get().(*frameBuf)
 	defer frameScratch.Put(fb)
 	for {

@@ -103,6 +103,101 @@ func TestTCPClientSubmit(t *testing.T) {
 	}
 }
 
+// TestTCPMixedCodecPeers runs one node on the gob fallback and one on
+// the binary codec: reads auto-detect per frame, so traffic must flow in
+// both directions regardless of the writers' configs.
+func TestTCPMixedCodecPeers(t *testing.T) {
+	ports := freePorts(t, 2)
+	addrs := map[model.ProcID]string{1: ports[0], 2: ports[1]}
+	p := &tcpPinger{acked: make(chan struct{})}
+	n1 := NewTCPNodeConfig(1, addrs, p, TCPConfig{Codec: wire.CodecGob})
+	n2 := NewTCPNodeConfig(2, addrs, tcpEcho{}, TCPConfig{Codec: wire.CodecBinary})
+	if err := n2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Stop()
+	if err := n1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Stop()
+	select {
+	case <-p.acked:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no ack across mixed-codec peers")
+	}
+}
+
+// TestTCPGobFallbackSubmit submits to a gob-configured node both via the
+// binary one-shot path (SubmitTCP) and via a gob-configured Client.
+func TestTCPGobFallbackSubmit(t *testing.T) {
+	ports := freePorts(t, 1)
+	addrs := map[model.ProcID]string{1: ports[0]}
+	n := NewTCPNodeConfig(1, addrs, tcpEcho{}, TCPConfig{Codec: wire.CodecGob})
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	res, err := SubmitTCP(ports[0], wire.ClientTxn{Tag: 3, Ops: wire.IncrementOps("x", 1)}, 5*time.Second)
+	if err != nil || !res.Committed || res.Tag != 3 {
+		t.Fatalf("binary submit to gob node: res=%+v err=%v", res, err)
+	}
+	c := NewClient(ports[0], time.Second)
+	c.SetCodec(wire.CodecGob)
+	defer c.Close()
+	res, err = c.Submit(wire.ClientTxn{Tag: 4, Ops: wire.IncrementOps("x", 1)}, 5*time.Second)
+	if err != nil || !res.Committed || res.Tag != 4 {
+		t.Fatalf("gob client submit: res=%+v err=%v", res, err)
+	}
+}
+
+// tcpCounter counts probes and reports when the expected total arrived.
+type tcpCounter struct {
+	want int
+	got  int
+	done chan struct{}
+}
+
+func (c *tcpCounter) Init(rt Runtime) {}
+func (c *tcpCounter) OnMessage(rt Runtime, from model.ProcID, m wire.Message) {
+	if _, ok := m.(wire.Probe); ok {
+		c.got++
+		if c.got == c.want {
+			close(c.done)
+		}
+	}
+}
+func (c *tcpCounter) OnTimer(rt Runtime, key any) {}
+
+// TestTCPBurstDelivery floods one peer with a burst far larger than
+// maxWriteBatch. The messages queue while the connection comes up and
+// are then flushed in vectored batches; with the connection healthy,
+// every single one must arrive (batching must not drop or reorder into
+// omissions).
+func TestTCPBurstDelivery(t *testing.T) {
+	ports := freePorts(t, 2)
+	addrs := map[model.ProcID]string{1: ports[0], 2: ports[1]}
+	const burst = 500
+	ctr := &tcpCounter{want: burst, done: make(chan struct{})}
+	n1 := NewTCPNode(1, addrs, tcpEcho{})
+	n2 := NewTCPNode(2, addrs, ctr)
+	if err := n2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Stop()
+	if err := n1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Stop()
+	for i := 0; i < burst; i++ {
+		n1.Send(2, wire.Probe{From: 1, Seq: uint64(i + 1)})
+	}
+	select {
+	case <-ctr.done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("burst incomplete: got %d of %d", ctr.got, burst)
+	}
+}
+
 func TestTCPSendToDeadPeerIsOmission(t *testing.T) {
 	ports := freePorts(t, 2)
 	addrs := map[model.ProcID]string{1: ports[0], 2: ports[1]}

@@ -4,12 +4,18 @@
 // staged (prepared) transactional writes, and a bounded write log that
 // supports the §6 log-based catch-up optimization.
 //
-// The store is purely local state manipulated from a node's event
-// handlers; it performs no I/O and needs no synchronization.
+// The store performs no I/O beyond the optional journal. Its object map
+// is sharded into a fixed power-of-two number of stripes (FNV-1a on the
+// object id), each behind its own mutex, so concurrent operations on
+// different objects proceed in parallel. Every exported method is safe
+// for concurrent use; single-object operations are atomic, and compound
+// operations spanning objects (DropAllStagedBy, UnlockAllRecovery,
+// Restore) sweep the stripes one at a time.
 package store
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/virtualpartitions/vp/internal/durable"
 	"github.com/virtualpartitions/vp/internal/model"
@@ -53,10 +59,18 @@ type Comp struct {
 	Total model.Value
 }
 
+// stripe is one shard of the object map.
+type stripe struct {
+	mu      sync.Mutex
+	objects map[model.ObjectID]*objectState
+	_       [24]byte // pad toward a cache line; stripes are written hot
+}
+
 // Store holds the physical copies residing at one processor.
 type Store struct {
 	owner   model.ProcID
-	objects map[model.ObjectID]*objectState
+	mask    uint32
+	stripes []stripe
 	// LogCap bounds each object's write log; 0 disables logging. A
 	// truncated log forces full-value recovery, mirroring real systems.
 	logCap  int
@@ -73,14 +87,10 @@ func (s *Store) SetJournal(j durable.Journal) { s.journal = j }
 // by the catalog, all initialized to initVal with the zero version (the
 // paper's "suitably initialized" value/date functions).
 func New(p model.ProcID, cat *model.Catalog, initVal model.Value, logCap int) *Store {
-	s := &Store{
-		owner:   p,
-		objects: make(map[model.ObjectID]*objectState),
-		logCap:  logCap,
-		initVal: initVal,
-	}
+	s := newStore(p, initVal, logCap, model.StripeCount())
 	for obj := range cat.Local(p) {
-		s.objects[obj] = &objectState{
+		sp := s.stripe(obj)
+		sp.objects[obj] = &objectState{
 			copyVal: model.Copy{Val: initVal},
 			missing: model.NewProcSet(),
 		}
@@ -88,39 +98,91 @@ func New(p model.ProcID, cat *model.Catalog, initVal model.Value, logCap int) *S
 	return s
 }
 
+// newStore builds the shell with an explicit stripe count; stripes=1
+// degenerates to a single global mutex, the contended benchmarks'
+// baseline.
+func newStore(p model.ProcID, initVal model.Value, logCap, stripes int) *Store {
+	s := &Store{
+		owner:   p,
+		mask:    uint32(stripes - 1),
+		stripes: make([]stripe, stripes),
+		logCap:  logCap,
+		initVal: initVal,
+	}
+	for i := range s.stripes {
+		s.stripes[i].objects = make(map[model.ObjectID]*objectState)
+	}
+	return s
+}
+
+func (s *Store) stripe(obj model.ObjectID) *stripe {
+	return &s.stripes[model.FNVObj(obj)&s.mask]
+}
+
 // Owner returns the processor this store belongs to.
 func (s *Store) Owner() model.ProcID { return s.owner }
 
 // Has reports whether a copy of obj resides here.
 func (s *Store) Has(obj model.ObjectID) bool {
-	_, ok := s.objects[obj]
+	sp := s.stripe(obj)
+	sp.mu.Lock()
+	_, ok := sp.objects[obj]
+	sp.mu.Unlock()
 	return ok
 }
 
 // Objects returns the objects stored here, sorted.
 func (s *Store) Objects() []model.ObjectID {
 	set := model.NewObjSet()
-	for o := range s.objects {
-		set.Add(o)
+	for i := range s.stripes {
+		sp := &s.stripes[i]
+		sp.mu.Lock()
+		for o := range sp.objects {
+			set.Add(o)
+		}
+		sp.mu.Unlock()
 	}
 	return set.Sorted()
 }
 
-func (s *Store) must(obj model.ObjectID) *objectState {
-	st, ok := s.objects[obj]
+// lock locks obj's stripe and returns its state; the caller must unlock
+// the returned stripe. Panics if no copy of obj resides here — every
+// caller sits behind catalog routing, so a miss is a programming error.
+func (s *Store) lock(obj model.ObjectID) (*stripe, *objectState) {
+	sp := s.stripe(obj)
+	sp.mu.Lock()
+	st, ok := sp.objects[obj]
 	if !ok {
+		sp.mu.Unlock()
 		panic(fmt.Sprintf("store: %v holds no copy of %q", s.owner, obj))
 	}
-	return st
+	return sp, st
+}
+
+// tryLock is lock for the paths that tolerate a missing copy.
+func (s *Store) tryLock(obj model.ObjectID) (*stripe, *objectState, bool) {
+	sp := s.stripe(obj)
+	sp.mu.Lock()
+	st, ok := sp.objects[obj]
+	if !ok {
+		sp.mu.Unlock()
+		return nil, nil, false
+	}
+	return sp, st, true
 }
 
 // Get returns the current committed copy.
-func (s *Store) Get(obj model.ObjectID) model.Copy { return s.must(obj).copyVal }
+func (s *Store) Get(obj model.ObjectID) model.Copy {
+	sp, st := s.lock(obj)
+	c := st.copyVal
+	sp.mu.Unlock()
+	return c
+}
 
-// Apply installs a committed write: value(obj) ← val, date(obj) ← ver's
-// date (Figure 12, lines 11). The write is appended to the object log.
-func (s *Store) Apply(obj model.ObjectID, val model.Value, ver model.Version) {
-	st := s.must(obj)
+// applyLocked installs a committed write with the object's stripe held:
+// value(obj) ← val, date(obj) ← ver's date (Figure 12, lines 11). The
+// write is appended to the object log.
+func (s *Store) applyLocked(st *objectState, obj model.ObjectID, val model.Value, ver model.Version) {
 	st.copyVal = model.Copy{Val: val, Ver: ver}
 	if s.journal != nil {
 		s.journal.Apply(obj, val, ver)
@@ -136,22 +198,31 @@ func (s *Store) Apply(obj model.ObjectID, val model.Value, ver model.Version) {
 	}
 }
 
+// Apply installs a committed write.
+func (s *Store) Apply(obj model.ObjectID, val model.Value, ver model.Version) {
+	sp, st := s.lock(obj)
+	s.applyLocked(st, obj, val, ver)
+	sp.mu.Unlock()
+}
+
 // Restore seeds the store from durable state: committed copy values and
 // staged (prepared) writes. It must run before the node starts and does
 // not journal (the journal already holds these records).
 func (s *Store) Restore(copies map[model.ObjectID]model.Copy,
 	staged map[model.TxnID]map[model.ObjectID]durable.StagedWrite) {
 	for obj, c := range copies {
-		if st, ok := s.objects[obj]; ok {
+		if sp, st, ok := s.tryLock(obj); ok {
 			st.copyVal = c
+			sp.mu.Unlock()
 		}
 	}
 	for txn, objs := range staged {
 		for obj, w := range objs {
-			if st, ok := s.objects[obj]; ok {
+			if sp, st, ok := s.tryLock(obj); ok {
 				st.staged = &LoggedWrite{Val: w.Val, Ver: w.Ver}
 				st.stagedBy = txn
 				st.stagedDelta = w.Delta
+				sp.mu.Unlock()
 			}
 		}
 	}
@@ -166,40 +237,57 @@ func (s *Store) Restore(copies map[model.ObjectID]model.Copy,
 // ignored, matching "l ∈ local" in the paper.
 func (s *Store) LockForRecovery(objs []model.ObjectID) {
 	for _, obj := range objs {
-		if st, ok := s.objects[obj]; ok {
+		if sp, st, ok := s.tryLock(obj); ok {
 			st.locked = true
+			sp.mu.Unlock()
 		}
 	}
 }
 
 // UnlockRecovered removes obj from the locked set (Figure 9 line 17).
 func (s *Store) UnlockRecovered(obj model.ObjectID) {
-	if st, ok := s.objects[obj]; ok {
+	if sp, st, ok := s.tryLock(obj); ok {
 		st.locked = false
+		sp.mu.Unlock()
 	}
 }
 
 // UnlockAllRecovery clears the locked set, used when a node abandons an
 // in-progress refresh because it departed to yet another partition.
 func (s *Store) UnlockAllRecovery() {
-	for _, st := range s.objects {
-		st.locked = false
+	for i := range s.stripes {
+		sp := &s.stripes[i]
+		sp.mu.Lock()
+		for _, st := range sp.objects {
+			st.locked = false
+		}
+		sp.mu.Unlock()
 	}
 }
 
 // RecoveryLocked reports whether obj is in the locked set.
 func (s *Store) RecoveryLocked(obj model.ObjectID) bool {
-	st, ok := s.objects[obj]
-	return ok && st.locked
+	sp, st, ok := s.tryLock(obj)
+	if !ok {
+		return false
+	}
+	locked := st.locked
+	sp.mu.Unlock()
+	return locked
 }
 
 // LockedObjects returns the objects currently under recovery, sorted.
 func (s *Store) LockedObjects() []model.ObjectID {
 	set := model.NewObjSet()
-	for o, st := range s.objects {
-		if st.locked {
-			set.Add(o)
+	for i := range s.stripes {
+		sp := &s.stripes[i]
+		sp.mu.Lock()
+		for o, st := range sp.objects {
+			if st.locked {
+				set.Add(o)
+			}
 		}
+		sp.mu.Unlock()
 	}
 	return set.Sorted()
 }
@@ -211,23 +299,29 @@ func (s *Store) LockedObjects() []model.ObjectID {
 // Stage records a prepared write for a transaction. It replaces any write
 // the same transaction staged earlier for the object.
 func (s *Store) Stage(obj model.ObjectID, txn model.TxnID, val model.Value, ver model.Version) {
-	st := s.must(obj)
+	sp, st := s.lock(obj)
 	st.staged = &LoggedWrite{Val: val, Ver: ver}
 	st.stagedBy = txn
+	sp.mu.Unlock()
 }
 
 // StageDelta records a prepared component increment (mergeable mode).
 func (s *Store) StageDelta(obj model.ObjectID, txn model.TxnID, delta model.Value, ver model.Version) {
-	st := s.must(obj)
+	sp, st := s.lock(obj)
 	st.staged = &LoggedWrite{Val: delta, Ver: ver}
 	st.stagedBy = txn
 	st.stagedDelta = true
+	sp.mu.Unlock()
 }
 
 // StagedBy returns the transaction with a prepared write on obj, if any.
 func (s *Store) StagedBy(obj model.ObjectID) (model.TxnID, bool) {
-	st, ok := s.objects[obj]
-	if !ok || st.staged == nil {
+	sp, st, ok := s.tryLock(obj)
+	if !ok {
+		return model.TxnID{}, false
+	}
+	defer sp.mu.Unlock()
+	if st.staged == nil {
 		return model.TxnID{}, false
 	}
 	return st.stagedBy, true
@@ -237,8 +331,12 @@ func (s *Store) StagedBy(obj model.ObjectID) (model.TxnID, bool) {
 // no matching staged write exists (e.g. a duplicate Decide after a
 // retransmission).
 func (s *Store) CommitStaged(obj model.ObjectID, txn model.TxnID) bool {
-	st, ok := s.objects[obj]
-	if !ok || st.staged == nil || st.stagedBy != txn {
+	sp, st, ok := s.tryLock(obj)
+	if !ok {
+		return false
+	}
+	if st.staged == nil || st.stagedBy != txn {
+		sp.mu.Unlock()
 		return false
 	}
 	w := *st.staged
@@ -247,10 +345,11 @@ func (s *Store) CommitStaged(obj model.ObjectID, txn model.TxnID) bool {
 	st.stagedBy = model.TxnID{}
 	st.stagedDelta = false
 	if isDelta {
-		s.ApplyDelta(obj, txn.P, w.Val, w.Ver)
+		s.applyDeltaLocked(st, obj, txn.P, w.Val, w.Ver)
 	} else {
-		s.Apply(obj, w.Val, w.Ver)
+		s.applyLocked(st, obj, w.Val, w.Ver)
 	}
+	sp.mu.Unlock()
 	return true
 }
 
@@ -258,11 +357,11 @@ func (s *Store) CommitStaged(obj model.ObjectID, txn model.TxnID) bool {
 // Mergeable counter components (§7 integration; see core/mergeable.go)
 // ---------------------------------------------------------------------------
 
-// ApplyDelta commits a component increment by writer p: the writer's
-// running total grows by delta and its component version advances. The
-// copy's scalar value tracks initVal plus the sum of all components.
-func (s *Store) ApplyDelta(obj model.ObjectID, p model.ProcID, delta model.Value, ver model.Version) {
-	st := s.must(obj)
+// applyDeltaLocked commits a component increment by writer p with the
+// object's stripe held: the writer's running total grows by delta and
+// its component version advances. The copy's scalar value tracks initVal
+// plus the sum of all components.
+func (s *Store) applyDeltaLocked(st *objectState, obj model.ObjectID, p model.ProcID, delta model.Value, ver model.Version) {
 	if st.comps == nil {
 		st.comps = make(map[model.ProcID]Comp)
 	}
@@ -271,7 +370,14 @@ func (s *Store) ApplyDelta(obj model.ObjectID, p model.ProcID, delta model.Value
 		return // duplicate or stale apply (retransmitted decide)
 	}
 	st.comps[p] = Comp{Ver: ver, Total: c.Total + delta}
-	s.Apply(obj, s.sumComps(st), ver)
+	s.applyLocked(st, obj, s.sumComps(st), ver)
+}
+
+// ApplyDelta commits a component increment by writer p.
+func (s *Store) ApplyDelta(obj model.ObjectID, p model.ProcID, delta model.Value, ver model.Version) {
+	sp, st := s.lock(obj)
+	s.applyDeltaLocked(st, obj, p, delta, ver)
+	sp.mu.Unlock()
 }
 
 func (s *Store) sumComps(st *objectState) model.Value {
@@ -284,11 +390,12 @@ func (s *Store) sumComps(st *objectState) model.Value {
 
 // Comps returns a copy of the object's components.
 func (s *Store) Comps(obj model.ObjectID) map[model.ProcID]Comp {
-	st := s.must(obj)
+	sp, st := s.lock(obj)
 	out := make(map[model.ProcID]Comp, len(st.comps))
 	for p, c := range st.comps {
 		out[p] = c
 	}
+	sp.mu.Unlock()
 	return out
 }
 
@@ -298,7 +405,7 @@ func (s *Store) Comps(obj model.ObjectID) map[model.ProcID]Comp {
 // The scalar value is recomputed; ver stamps the copy. It reports
 // whether anything changed.
 func (s *Store) MergeComps(obj model.ObjectID, remote map[model.ProcID]Comp, ver model.Version) bool {
-	st := s.must(obj)
+	sp, st := s.lock(obj)
 	if st.comps == nil {
 		st.comps = make(map[model.ProcID]Comp)
 	}
@@ -310,27 +417,35 @@ func (s *Store) MergeComps(obj model.ObjectID, remote map[model.ProcID]Comp, ver
 		}
 	}
 	if changed {
-		s.Apply(obj, s.sumComps(st), ver)
+		s.applyLocked(st, obj, s.sumComps(st), ver)
 	}
+	sp.mu.Unlock()
 	return changed
 }
 
 // DropStaged discards the staged write of txn on obj (abort path).
 func (s *Store) DropStaged(obj model.ObjectID, txn model.TxnID) {
-	st, ok := s.objects[obj]
-	if ok && st.staged != nil && st.stagedBy == txn {
-		st.staged = nil
-		st.stagedBy = model.TxnID{}
+	if sp, st, ok := s.tryLock(obj); ok {
+		if st.staged != nil && st.stagedBy == txn {
+			st.staged = nil
+			st.stagedBy = model.TxnID{}
+		}
+		sp.mu.Unlock()
 	}
 }
 
 // DropAllStagedBy discards every staged write of txn.
 func (s *Store) DropAllStagedBy(txn model.TxnID) {
-	for _, st := range s.objects {
-		if st.staged != nil && st.stagedBy == txn {
-			st.staged = nil
-			st.stagedBy = model.TxnID{}
+	for i := range s.stripes {
+		sp := &s.stripes[i]
+		sp.mu.Lock()
+		for _, st := range sp.objects {
+			if st.staged != nil && st.stagedBy == txn {
+				st.staged = nil
+				st.stagedBy = model.TxnID{}
+			}
 		}
+		sp.mu.Unlock()
 	}
 }
 
@@ -341,22 +456,29 @@ func (s *Store) DropAllStagedBy(txn model.TxnID) {
 // MarkMissing records that the copies at the given processors missed a
 // write of obj.
 func (s *Store) MarkMissing(obj model.ObjectID, procs []model.ProcID) {
-	st := s.must(obj)
+	sp, st := s.lock(obj)
 	for _, p := range procs {
 		st.missing.Add(p)
 	}
+	sp.mu.Unlock()
 }
 
 // HasMissing reports whether obj carries any missing-write marks here.
 func (s *Store) HasMissing(obj model.ObjectID) bool {
-	st, ok := s.objects[obj]
-	return ok && st.missing.Len() > 0
+	sp, st, ok := s.tryLock(obj)
+	if !ok {
+		return false
+	}
+	missing := st.missing.Len() > 0
+	sp.mu.Unlock()
+	return missing
 }
 
 // ClearMissing removes all missing-write marks of obj.
 func (s *Store) ClearMissing(obj model.ObjectID) {
-	if st, ok := s.objects[obj]; ok {
+	if sp, st, ok := s.tryLock(obj); ok {
 		st.missing = model.NewProcSet()
+		sp.mu.Unlock()
 	}
 }
 
@@ -369,7 +491,8 @@ func (s *Store) ClearMissing(obj model.ObjectID) {
 // missing such writes (it was truncated past `since`), in which case the
 // caller must fall back to full-value recovery.
 func (s *Store) LogSince(obj model.ObjectID, since model.Version) (entries []LoggedWrite, complete bool) {
-	st := s.must(obj)
+	sp, st := s.lock(obj)
+	defer sp.mu.Unlock()
 	if !since.Less(st.copyVal.Ver) {
 		// Requester is already as recent as this copy: nothing missed.
 		return nil, true
@@ -389,16 +512,22 @@ func (s *Store) LogSince(obj model.ObjectID, since model.Version) (entries []Log
 // ApplyLog replays missed writes onto the local copy, skipping entries
 // not newer than the current version. It returns the number applied.
 func (s *Store) ApplyLog(obj model.ObjectID, entries []LoggedWrite) int {
-	st := s.must(obj)
+	sp, st := s.lock(obj)
 	n := 0
 	for _, e := range entries {
 		if st.copyVal.Ver.Less(e.Ver) {
-			s.Apply(obj, e.Val, e.Ver)
+			s.applyLocked(st, obj, e.Val, e.Ver)
 			n++
 		}
 	}
+	sp.mu.Unlock()
 	return n
 }
 
 // LogLen returns the current length of obj's write log.
-func (s *Store) LogLen(obj model.ObjectID) int { return len(s.must(obj).log) }
+func (s *Store) LogLen(obj model.ObjectID) int {
+	sp, st := s.lock(obj)
+	n := len(st.log)
+	sp.mu.Unlock()
+	return n
+}

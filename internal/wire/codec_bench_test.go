@@ -15,10 +15,61 @@ func benchEnvelope() Envelope {
 	}}
 }
 
-// BenchmarkWireRoundTrip measures an envelope encode+decode on a warm
-// connection: persistent streaming codecs, so gob type descriptors are
-// paid once at connection setup, not per message.
+// BenchmarkWireRoundTrip is the headline hot-path number: a warm
+// binary-codec round-trip (encode + borrowed decode) of a one-write
+// Prepare. Borrowed mode reuses the decoder's scratch backings, so the
+// only allocation left is boxing the decoded message into the envelope's
+// interface field.
 func BenchmarkWireRoundTrip(b *testing.B) {
+	env := benchEnvelope()
+	enc := NewBinaryEncoder()
+	dec := NewBinaryDecoder()
+	var out Envelope
+	frame, err := enc.Encode(&env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := dec.DecodeBorrowed(frame, &out); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame, err := enc.Encode(&env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dec.DecodeBorrowed(frame, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireRoundTripOwned is the transports' decode mode: fresh
+// slice backings and interned strings, safe to enqueue. The delta vs the
+// borrowed benchmark prices the ownership guarantee.
+func BenchmarkWireRoundTripOwned(b *testing.B) {
+	env := benchEnvelope()
+	enc := NewBinaryEncoder()
+	dec := NewBinaryDecoder()
+	var out Envelope
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame, err := enc.Encode(&env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dec.DecodeInto(frame, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireRoundTripGob measures the fallback streaming gob codec on
+// a warm connection: persistent codecs, type descriptors paid once at
+// connection setup, not per message.
+func BenchmarkWireRoundTripGob(b *testing.B) {
 	env := benchEnvelope()
 	enc := NewStreamEncoder()
 	dec := NewStreamDecoder()
