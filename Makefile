@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-wire bench-hotpath bench-observability trace-check chaos loadtest bench-gateway golden
+.PHONY: check build vet test race bench bench-wire bench-hotpath bench-observability trace-check chaos loadtest bench-gateway golden campaign-smoke campaign campaign-live
 
 check: build vet test
 
@@ -20,7 +20,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/net/... ./internal/nemesis/... ./internal/bench/... ./internal/gateway/... ./internal/locks/... ./internal/store/... ./internal/durable/... ./cmd/vpchaos/...
+	$(GO) test -race -count=1 ./internal/net/... ./internal/nemesis/... ./internal/bench/... ./internal/gateway/... ./internal/locks/... ./internal/store/... ./internal/durable/... ./internal/campaign/... ./cmd/vpchaos/... ./cmd/vpcampaign/...
 
 # Run every benchmark in the repository.
 bench:
@@ -96,6 +96,29 @@ bench-observability:
 	$(GO) test -run '^$$' -bench 'TraceRecord' -benchmem -count=1 ./internal/trace \
 		| $(GO) run ./cmd/benchjson > BENCH_observability.json
 	@cat BENCH_observability.json
+
+# Campaign smoke gate: expand the 4-cell sim matrix in
+# specs/campaign-smoke.json, run every cell through the campaign engine
+# (warm-up → ramp → steady → fault → heal, gated on 1SR, S1–S3/R2/R3
+# replay and post-heal liveness), and append the results to the
+# host-baseline-stamped BENCH_trajectory.json. Any failing cell exits
+# non-zero, failing the target. Used by CI with CAMPAIGN_FLAGS=-force
+# (the checked-in trajectory was recorded on a different host; CI
+# regenerates it and uploads the artifact instead of appending).
+campaign-smoke:
+	$(GO) run ./cmd/vpcampaign -spec specs/campaign-smoke.json -parallel 4 \
+		-out BENCH_trajectory.json $(CAMPAIGN_FLAGS)
+	@cat BENCH_trajectory.json
+
+# Wider pre-merge matrix: 16 cells across the sim and in-process
+# backends (adds zipf skew). A few tens of seconds.
+campaign:
+	$(GO) run ./cmd/vpcampaign -spec specs/campaign-default.json -parallel 4 -v
+
+# Full-stack matrix: TCP nodes + durable journals + gateway per cell,
+# group-commit × codec under a mixed nemesis. Minutes, not for CI.
+campaign-live:
+	$(GO) run ./cmd/vpcampaign -spec specs/campaign-live.json -v
 
 # Regenerate the golden determinism trace after an intentional output
 # change (see internal/bench/golden_test.go).

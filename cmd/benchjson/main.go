@@ -3,7 +3,7 @@
 // EXPERIMENTS.md. It keeps the recorded numbers reproducible: run it via
 // `make bench-hotpath` so the benchmark set stays fixed, and every
 // report is stamped with the host baseline (CPU model, GOMAXPROCS, go
-// version) it was measured on.
+// version) it was measured on (see internal/benchstamp).
 //
 // With -out FILE the report is written to FILE instead of stdout — and
 // if FILE already holds a report from a *different* baseline, benchjson
@@ -19,9 +19,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"strconv"
 	"strings"
+
+	"github.com/virtualpartitions/vp/internal/benchstamp"
 )
 
 type benchmark struct {
@@ -33,57 +34,18 @@ type benchmark struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// baseline identifies the host a report was measured on. Two reports
-// are comparable only when their baselines match.
-type baseline struct {
-	GoVersion  string `json:"go"`
-	GOOS       string `json:"goos"`
-	GOARCH     string `json:"goarch"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	CPU        string `json:"cpu,omitempty"`
-}
-
-func (b baseline) String() string {
-	return fmt.Sprintf("%s %s/%s gomaxprocs=%d cpu=%q", b.GoVersion, b.GOOS, b.GOARCH, b.GOMAXPROCS, b.CPU)
-}
-
 type report struct {
-	baseline
+	benchstamp.Baseline
 	Benchmarks []benchmark `json:"benchmarks"`
 }
 
-// hostCPU names the CPU model: the `cpu:` line of the benchmark output
-// when present, else the first model name in /proc/cpuinfo (go test
-// omits the line on hosts it cannot identify).
-func hostCPU() string {
-	raw, err := os.ReadFile("/proc/cpuinfo")
-	if err != nil {
-		return ""
-	}
-	for _, line := range strings.Split(string(raw), "\n") {
-		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
-			return strings.TrimSpace(v)
-		}
-	}
-	return ""
-}
-
-func main() {
-	out := flag.String("out", "", "write the report here instead of stdout; refuses a cross-baseline overwrite without -force")
-	force := flag.Bool("force", false, "overwrite -out even if its recorded baseline differs from this host")
-	flag.Parse()
-
-	rep := report{
-		baseline: baseline{
-			GoVersion:  runtime.Version(),
-			GOOS:       runtime.GOOS,
-			GOARCH:     runtime.GOARCH,
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
-		},
-		Benchmarks: []benchmark{},
-	}
+// convert reads benchmark output and builds the stamped report. The CPU
+// model comes from the `cpu:` line when go test emits one, else from the
+// host (go test omits the line on hosts it cannot identify).
+func convert(in io.Reader, base benchstamp.Baseline) (report, error) {
+	rep := report{Baseline: base, Benchmarks: []benchmark{}}
 	pkg := ""
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
@@ -99,15 +61,29 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fatal(err)
+		return rep, err
 	}
 	if rep.CPU == "" {
-		rep.CPU = hostCPU()
+		rep.CPU = benchstamp.HostCPU()
+	}
+	return rep, nil
+}
+
+func main() {
+	out := flag.String("out", "", "write the report here instead of stdout; refuses a cross-baseline overwrite without -force")
+	force := flag.Bool("force", false, "overwrite -out even if its recorded baseline differs from this host")
+	flag.Parse()
+
+	base := benchstamp.Host()
+	base.CPU = "" // convert fills it from the bench output or the host
+	rep, err := convert(os.Stdin, base)
+	if err != nil {
+		fatal(err)
 	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
-		if err := checkBaseline(*out, rep.baseline, *force); err != nil {
+		if err := benchstamp.Guard(*out, rep.Baseline, *force); err != nil {
 			fatal(err)
 		}
 		f, err := os.Create(*out)
@@ -122,31 +98,6 @@ func main() {
 	if err := enc.Encode(rep); err != nil {
 		fatal(err)
 	}
-}
-
-// checkBaseline refuses to clobber an existing report measured on a
-// different host unless forced. A file that exists but does not parse
-// as a report is also protected: whatever it is, it was not measured
-// here.
-func checkBaseline(path string, cur baseline, force bool) error {
-	raw, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return nil
-	}
-	if err != nil {
-		return err
-	}
-	if force {
-		return nil
-	}
-	var old report
-	if err := json.Unmarshal(raw, &old); err != nil {
-		return fmt.Errorf("%s exists but is not a benchjson report (%v); use -force to overwrite", path, err)
-	}
-	if old.baseline != cur {
-		return fmt.Errorf("%s was measured on a different baseline:\n  recorded: %s\n  this host: %s\nnumbers would not be comparable; use -force to overwrite anyway", path, old.baseline, cur)
-	}
-	return nil
 }
 
 func fatal(err error) {

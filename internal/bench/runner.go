@@ -219,6 +219,27 @@ func (r *Runner) NaiveNode(p model.ProcID) *naive.Node { return r.naiveNodes[p] 
 // transaction is still pending).
 func (r *Runner) ResultFor(tag uint64) wire.ClientResult { return r.results[tag] }
 
+// Results returns a copy of every client result received so far, keyed
+// by tag. Safe to mutate; call between Run calls (the simulation is
+// single-threaded).
+func (r *Runner) Results() map[uint64]wire.ClientResult {
+	out := make(map[uint64]wire.ClientResult, len(r.results))
+	for k, v := range r.results {
+		out[k] = v
+	}
+	return out
+}
+
+// Latencies returns a copy of the commit latency per committed tag,
+// measured in virtual time from the transaction's submission.
+func (r *Runner) Latencies() map[uint64]time.Duration {
+	out := make(map[uint64]time.Duration, len(r.latencies))
+	for k, v := range r.latencies {
+		out[k] = v
+	}
+	return out
+}
+
 // WarmUp runs the cluster until views have formed: the liveness bound
 // plus one probe period, or a fixed small interval for view-free
 // protocols.

@@ -1,0 +1,96 @@
+// Package benchstamp identifies the host a benchmark artifact was
+// measured on and guards checked-in artifacts against being silently
+// regenerated on different hardware. Two artifacts are comparable only
+// when their baselines match; numbers recorded elsewhere look comparable
+// and are not, which is worse than stale data. cmd/benchjson stamps
+// BENCH_*.json reports with it and cmd/vpcampaign stamps the
+// BENCH_trajectory.json campaign trajectory.
+package benchstamp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// Baseline identifies the host an artifact was measured on. It marshals
+// to the flat `go`/`goos`/`goarch`/`gomaxprocs`/`cpu` keys used by every
+// BENCH_*.json since PR 6, so embedding it keeps those schemas stable.
+type Baseline struct {
+	GoVersion  string `json:"go"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CPU        string `json:"cpu,omitempty"`
+}
+
+func (b Baseline) String() string {
+	return fmt.Sprintf("%s %s/%s gomaxprocs=%d cpu=%q", b.GoVersion, b.GOOS, b.GOARCH, b.GOMAXPROCS, b.CPU)
+}
+
+// Host returns this host's baseline: toolchain identity from the runtime
+// and the CPU model from /proc/cpuinfo (empty on hosts without one).
+func Host() Baseline {
+	return Baseline{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPU:        HostCPU(),
+	}
+}
+
+// HostCPU names the CPU model from /proc/cpuinfo, or "" when the file is
+// absent or carries no model name (callers may prefer the `cpu:` line of
+// `go test -bench` output when they have one).
+func HostCPU() string {
+	raw, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
+}
+
+// FromJSON extracts the baseline stamped on an artifact, which embeds the
+// Baseline fields at its top level. An artifact that does not parse as
+// JSON returns the error; absent keys simply leave zero fields (a zero
+// baseline never equals a real one).
+func FromJSON(raw []byte) (Baseline, error) {
+	var probe struct{ Baseline }
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return Baseline{}, err
+	}
+	return probe.Baseline, nil
+}
+
+// Guard refuses to clobber an existing artifact measured on a different
+// host unless forced. A missing file is fine (nothing to protect); a file
+// that exists but does not parse is also protected — whatever it is, it
+// was not measured here. The returned error says how to override.
+func Guard(path string, cur Baseline, force bool) error {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if force {
+		return nil
+	}
+	old, err := FromJSON(raw)
+	if err != nil {
+		return fmt.Errorf("%s exists but is not a baseline-stamped artifact (%v); use -force to overwrite", path, err)
+	}
+	if old != cur {
+		return fmt.Errorf("%s was measured on a different baseline:\n  recorded: %s\n  this host: %s\nnumbers would not be comparable; use -force to overwrite anyway", path, old, cur)
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package benchstamp
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestHostMatchesRuntime(t *testing.T) {
+	b := Host()
+	if b.GoVersion != runtime.Version() || b.GOOS != runtime.GOOS || b.GOARCH != runtime.GOARCH {
+		t.Fatalf("Host() = %+v does not match runtime identity", b)
+	}
+	if b.GOMAXPROCS < 1 {
+		t.Fatalf("Host() gomaxprocs = %d", b.GOMAXPROCS)
+	}
+	// Calling twice yields the same baseline: Host must be a pure probe.
+	if again := Host(); again != b {
+		t.Fatalf("Host() not stable: %+v then %+v", b, again)
+	}
+}
+
+func TestBaselineJSONKeys(t *testing.T) {
+	raw, err := json.Marshal(Baseline{GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 8, CPU: "test-cpu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// These flat keys are the stamped-artifact schema; renaming any of
+	// them silently breaks every checked-in BENCH_*.json.
+	for _, key := range []string{`"go"`, `"goos"`, `"goarch"`, `"gomaxprocs"`, `"cpu"`} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("marshaled baseline missing key %s: %s", key, raw)
+		}
+	}
+	// cpu is omitempty so hosts without /proc/cpuinfo stay clean.
+	raw, _ = json.Marshal(Baseline{GoVersion: "go1.22"})
+	if strings.Contains(string(raw), `"cpu"`) {
+		t.Errorf("empty cpu not omitted: %s", raw)
+	}
+}
+
+func TestFromJSON(t *testing.T) {
+	b := Baseline{GoVersion: "go1.22.1", GOOS: "linux", GOARCH: "arm64", GOMAXPROCS: 4, CPU: "m1"}
+	doc := struct {
+		Baseline
+		Extra string `json:"extra"`
+	}{Baseline: b, Extra: "payload"}
+	raw, _ := json.Marshal(doc)
+	got, err := FromJSON(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != b {
+		t.Fatalf("FromJSON = %+v, want %+v", got, b)
+	}
+
+	// Absent keys leave a zero baseline, not an error.
+	got, err = FromJSON([]byte(`{"benchmarks": []}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != (Baseline{}) {
+		t.Fatalf("FromJSON on unstamped doc = %+v, want zero", got)
+	}
+
+	if _, err := FromJSON([]byte("not json")); err == nil {
+		t.Fatal("FromJSON accepted garbage")
+	}
+}
+
+func TestGuard(t *testing.T) {
+	dir := t.TempDir()
+	cur := Baseline{GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 8}
+
+	// Missing file: nothing to protect.
+	if err := Guard(filepath.Join(dir, "absent.json"), cur, false); err != nil {
+		t.Fatalf("Guard on missing file: %v", err)
+	}
+
+	write := func(name string, v any) string {
+		path := filepath.Join(dir, name)
+		raw, _ := json.Marshal(v)
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	// Same baseline: overwrite allowed.
+	same := write("same.json", struct{ Baseline }{cur})
+	if err := Guard(same, cur, false); err != nil {
+		t.Fatalf("Guard on matching baseline: %v", err)
+	}
+
+	// Different baseline: refused, and the error says how to override.
+	other := cur
+	other.GOARCH = "arm64"
+	cross := write("cross.json", struct{ Baseline }{other})
+	err := Guard(cross, cur, false)
+	if err == nil {
+		t.Fatal("Guard allowed cross-baseline overwrite")
+	}
+	if !strings.Contains(err.Error(), "-force") || !strings.Contains(err.Error(), "different baseline") {
+		t.Errorf("cross-baseline error not actionable: %v", err)
+	}
+	// ...unless forced.
+	if err := Guard(cross, cur, true); err != nil {
+		t.Fatalf("Guard with force: %v", err)
+	}
+
+	// A file that is not JSON at all is protected too.
+	junk := filepath.Join(dir, "junk.json")
+	if err := os.WriteFile(junk, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Guard(junk, cur, false); err == nil {
+		t.Fatal("Guard allowed clobbering a non-JSON file")
+	} else if !strings.Contains(err.Error(), "-force") {
+		t.Errorf("non-JSON error not actionable: %v", err)
+	}
+	if err := Guard(junk, cur, true); err != nil {
+		t.Fatalf("Guard with force on non-JSON: %v", err)
+	}
+
+	// An unstamped JSON file has a zero baseline, which never matches.
+	unstamped := write("unstamped.json", map[string]any{"benchmarks": []int{}})
+	if err := Guard(unstamped, cur, false); err == nil {
+		t.Fatal("Guard allowed clobbering an unstamped artifact")
+	}
+}

@@ -1,0 +1,491 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/virtualpartitions/vp/internal/bench"
+	"github.com/virtualpartitions/vp/internal/metrics"
+	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/nemesis"
+	"github.com/virtualpartitions/vp/internal/onecopy"
+	"github.com/virtualpartitions/vp/internal/trace"
+	"github.com/virtualpartitions/vp/internal/wire"
+	"github.com/virtualpartitions/vp/internal/workload"
+)
+
+// probeTagBase is the reserved tag range for post-heal liveness probes,
+// far above any workload tag (the generator counts up from 1).
+const probeTagBase = uint64(1) << 62
+
+// probeCount is how many liveness probes the heal window carries; the
+// gate needs one commit, the spread tolerates individual wedged
+// coordinators.
+const probeCount = 6
+
+// BuildPlan expands a cell into its phased experiment plan. All times
+// are offsets from cluster start:
+//
+//	warm-up   [0, 84δ)            — no load, views form (3·(π+8δ), π=20δ)
+//	load-ramp [84δ, +ramp)        — inter-arrival shrinks 4·gap → gap
+//	steady    [+steady)           — fixed pacing, fault-free
+//	faults    [+fault)            — nemesis schedule, load continues
+//	heal      [+heal)             — no new load, probes must commit
+//
+// The plan is a pure function of the cell, so a deterministic backend
+// given the same cell twice runs the same experiment twice.
+func BuildPlan(c Cell) Plan {
+	warm := 3 * (20*c.Delta + 8*c.Delta)
+	rampStart := warm
+	steadyStart := rampStart + c.Phases.ramp()
+	faultStart := steadyStart + c.Phases.steady()
+	healStart := faultStart + c.Phases.fault()
+	end := healStart + c.Phases.heal()
+
+	procs := make([]model.ProcID, c.N)
+	for i := range procs {
+		procs[i] = model.ProcID(i + 1)
+	}
+	objs := workload.Objects(c.Objects)
+	gen := workload.NewGenerator(c.Seed, objs, procs,
+		workload.Mix{ReadFraction: c.ReadFraction}, c.Zipf)
+	gap := time.Duration(float64(time.Second) / c.Rate)
+
+	var txns []workload.ScheduledTxn
+	// Load-ramp: arrival gaps shrink linearly from 4·gap to gap. The
+	// interpolation is arithmetic, not sampled, so arrival times carry no
+	// generator state and the stream stays reproducible phase by phase.
+	ramp := c.Phases.ramp()
+	for at := rampStart; at < steadyStart; {
+		txns = append(txns, workload.ScheduledTxn{At: at, Txn: gen.Next()})
+		frac := float64(at-rampStart) / float64(ramp)
+		at += time.Duration((4 - 3*frac) * float64(gap))
+	}
+	// Steady state and fault window: fixed pacing. Load keeps flowing
+	// while faults are live — availability under faults is a metric, not
+	// a gate.
+	for at := steadyStart; at < healStart; at += gap {
+		txns = append(txns, workload.ScheduledTxn{At: at, Txn: gen.Next()})
+	}
+
+	faults := buildNemesis(c, faultStart, healStart)
+
+	// Heal window: liveness probes on rotating coordinators, each a
+	// blind increment with a reserved tag.
+	probes := make([]workload.ScheduledTxn, 0, probeCount)
+	heal := c.Phases.heal()
+	for i := 0; i < probeCount; i++ {
+		at := healStart + heal*time.Duration(i+1)/time.Duration(probeCount+2)
+		probes = append(probes, workload.ScheduledTxn{
+			At: at,
+			Txn: workload.Txn{
+				Coordinator: procs[i%len(procs)],
+				Request: wire.ClientTxn{
+					Tag: probeTagBase + uint64(i),
+					Ops: wire.IncrementOps(objs[0], 1),
+				},
+			},
+		})
+	}
+	return Plan{Txns: txns, Faults: faults, Probes: probes, End: end}
+}
+
+// buildNemesis derives the cell's fault schedule, confined to the fault
+// window [start, end). Profiles reuse the seeded generator and filter:
+// crash/restart pairs drop together, and a heal on a healthy network is
+// a no-op, so filtering never leaves a fault open.
+func buildNemesis(c Cell, start, end time.Duration) nemesis.Schedule {
+	if c.Nemesis == NemesisNone {
+		return nemesis.Schedule{End: start}
+	}
+	procs := make([]model.ProcID, c.N)
+	for i := range procs {
+		procs[i] = model.ProcID(i + 1)
+	}
+	window := end - start
+	opts := nemesis.Options{
+		Procs:    procs,
+		Start:    start,
+		MeanHold: window / 10,
+		MeanGap:  window / 10,
+	}
+	var drop map[nemesis.StepKind]bool
+	switch c.Nemesis {
+	case NemesisMixed:
+		opts.MinPartitions, opts.MinCrashes, opts.Flaky = 1, 1, true
+	case NemesisPartitions:
+		opts.MinPartitions, opts.MinCrashes = 2, 1
+		drop = map[nemesis.StepKind]bool{nemesis.StepCrash: true, nemesis.StepRestart: true}
+	case NemesisCrashes:
+		opts.MinPartitions, opts.MinCrashes = 1, 2
+		drop = map[nemesis.StepKind]bool{nemesis.StepPartition: true, nemesis.StepIsolateOne: true}
+	}
+	sched := nemesis.Generate(c.Seed, opts)
+	if drop != nil {
+		kept := sched.Steps[:0]
+		for _, st := range sched.Steps {
+			if !drop[st.Kind] {
+				kept = append(kept, st)
+			}
+		}
+		sched.Steps = kept
+	}
+	return confine(sched, start, end)
+}
+
+// confine linearly compresses a schedule that overruns its window back
+// into [start, end), preserving step order and relative spacing.
+func confine(s nemesis.Schedule, start, end time.Duration) nemesis.Schedule {
+	if len(s.Steps) == 0 || s.End <= end {
+		return s
+	}
+	span := float64(s.End - start)
+	target := float64(end - start)
+	for i := range s.Steps {
+		s.Steps[i].At = start + time.Duration(float64(s.Steps[i].At-start)*target/span)
+	}
+	s.End = end
+	return s
+}
+
+// Gates are the per-cell pass/fail verdicts on the paper's claims.
+type Gates struct {
+	// Progress: the workload committed something; a run that commits
+	// nothing proves nothing.
+	Progress bool `json:"progress"`
+	// OneSR: the committed history is one-copy serializable.
+	OneSR bool `json:"one_sr"`
+	// TraceInvariants: the trace replays with zero S1–S3/R2/R3
+	// violations.
+	TraceInvariants bool `json:"trace_invariants"`
+	// Liveness: a post-heal probe write committed within the heal
+	// window (the paper's Δ = π + 8δ recovery bound, with slack).
+	Liveness bool `json:"liveness"`
+}
+
+// OK reports whether every gate passed.
+func (g Gates) OK() bool {
+	return g.Progress && g.OneSR && g.TraceInvariants && g.Liveness
+}
+
+// CellResult is one cell's outcome: identity, throughput/latency
+// metrics, gate verdicts, and the run digest. Field order is the
+// BENCH_trajectory.json schema — append-only, tested.
+type CellResult struct {
+	ID           string  `json:"id"`
+	Backend      string  `json:"backend"`
+	N            int     `json:"n"`
+	Objects      int     `json:"objects"`
+	Zipf         float64 `json:"zipf"`
+	ReadFraction float64 `json:"read_fraction"`
+	GroupCommit  bool    `json:"group_commit"`
+	Codec        string  `json:"codec"`
+	Nemesis      string  `json:"nemesis"`
+	Seed         int64   `json:"seed"`
+
+	Submitted int `json:"submitted"`
+	Committed int `json:"committed"`
+	Aborted   int `json:"aborted"`
+	Denied    int `json:"denied"`
+	Pending   int `json:"pending"`
+
+	Availability  float64 `json:"availability"`
+	LatencyP50MS  float64 `json:"latency_p50_ms"`
+	LatencyP95MS  float64 `json:"latency_p95_ms"`
+	MsgsPerCommit float64 `json:"msgs_per_commit"`
+	ViewChanges   int     `json:"view_changes"`
+
+	Gates Gates `json:"gates"`
+	// Digest fingerprints the run (history + counters + trace). For the
+	// sim backend it is byte-deterministic per (cell, seed) — the
+	// determinism regression compares it across serial and parallel runs.
+	Digest string `json:"digest"`
+	// WallMS is how long the cell took to execute; informational, never
+	// part of the digest.
+	WallMS int64 `json:"wall_ms"`
+	// Failures lists gate diagnostics and platform errors; empty on a
+	// passing cell.
+	Failures []string `json:"failures,omitempty"`
+}
+
+// OK reports whether the cell passed (gates up, no platform failures).
+func (r CellResult) OK() bool { return r.Gates.OK() && len(r.Failures) == 0 }
+
+// RunCell executes one cell end to end: platform lifecycle, injection
+// hook, gates, metrics. Platform errors fail the cell, never panic the
+// campaign.
+func RunCell(c Cell) CellResult {
+	res := CellResult{
+		ID: c.ID, Backend: c.Backend, N: c.N, Objects: c.Objects,
+		Zipf: c.Zipf, ReadFraction: c.ReadFraction, GroupCommit: c.GroupCommit,
+		Codec: c.Codec, Nemesis: c.Nemesis, Seed: c.Seed,
+	}
+	began := time.Now()
+	defer func() { res.WallMS = time.Since(began).Milliseconds() }()
+
+	p, err := NewPlatform(c.Backend)
+	if err != nil {
+		res.Failures = append(res.Failures, err.Error())
+		return res
+	}
+	cfg := ClusterConfig{
+		N: c.N, Objects: c.Objects, Seed: c.Seed, Delta: c.Delta,
+		Codec: c.CodecID(), GroupCommit: c.GroupCommit,
+	}
+	if err := p.Start(cfg); err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("start: %v", err))
+		return res
+	}
+	defer p.Stop() //nolint:errcheck // best-effort teardown on early return
+	plan := BuildPlan(c)
+	if err := p.Drive(plan); err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("drive: %v", err))
+		return res
+	}
+	snap, err := p.Scrape()
+	if err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("scrape: %v", err))
+		return res
+	}
+	if err := p.Stop(); err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("stop: %v", err))
+		return res
+	}
+	injectViolation(c.Inject, snap)
+	evaluate(&res, plan, snap)
+	return res
+}
+
+// evaluate fills a cell result's metrics and gates from the scraped
+// snapshot.
+func evaluate(res *CellResult, plan Plan, snap *Snapshot) {
+	res.Submitted = len(plan.Txns)
+	var lats []float64
+	for _, s := range plan.Txns {
+		tag := s.Txn.Request.Tag
+		out, ok := snap.Results[tag]
+		switch {
+		case !ok:
+			res.Pending++
+		case out.Committed:
+			res.Committed++
+			if lat, ok := snap.Latency[tag]; ok {
+				lats = append(lats, float64(lat)/float64(time.Millisecond))
+			}
+		case out.Denied:
+			res.Denied++
+		default:
+			res.Aborted++
+		}
+	}
+	if res.Submitted > 0 {
+		res.Availability = float64(res.Committed) / float64(res.Submitted)
+	}
+	sort.Float64s(lats)
+	res.LatencyP50MS = percentile(lats, 0.50)
+	res.LatencyP95MS = percentile(lats, 0.95)
+	if res.Committed > 0 {
+		res.MsgsPerCommit = float64(snap.Counters[metrics.CMsgSent]) / float64(res.Committed)
+	}
+	for _, e := range snap.Events {
+		if e.Kind == trace.EvVPJoin {
+			res.ViewChanges++
+		}
+	}
+
+	res.Gates.Progress = res.Committed > 0
+	if !res.Gates.Progress {
+		res.Failures = append(res.Failures, "progress: workload committed nothing")
+	}
+	if sr := onecopy.CheckGraph(snap.Hist); sr.OK {
+		res.Gates.OneSR = true
+	} else {
+		res.Failures = append(res.Failures, "1SR: "+sr.Reason)
+	}
+	if rep := trace.Check(snap.Events); rep.OK() {
+		res.Gates.TraceInvariants = true
+	} else {
+		for i, v := range rep.Violations {
+			if i == 3 {
+				res.Failures = append(res.Failures,
+					fmt.Sprintf("trace: ... and %d more violations", len(rep.Violations)-i))
+				break
+			}
+			res.Failures = append(res.Failures, "trace: "+v.String())
+		}
+	}
+	for _, s := range plan.Probes {
+		if snap.Results[s.Txn.Request.Tag].Committed {
+			res.Gates.Liveness = true
+			break
+		}
+	}
+	if !res.Gates.Liveness {
+		res.Failures = append(res.Failures,
+			fmt.Sprintf("liveness: none of %d post-heal probes committed", len(plan.Probes)))
+	}
+	res.Digest = digest(snap)
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(p*float64(len(sorted)-1))]
+}
+
+// digest fingerprints a run: committed history, sorted counters, and the
+// trace as JSONL — the same material vpchaos compares for its sim replay.
+// Byte-deterministic whenever the platform is.
+func digest(snap *Snapshot) string {
+	h := sha256.New()
+	h.Write([]byte(snap.Hist.String()))
+	h.Write([]byte("\n---\n"))
+	keys := make([]string, 0, len(snap.Counters))
+	for k := range snap.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s=%d\n", k, snap.Counters[k])
+	}
+	h.Write([]byte("---\n"))
+	for _, e := range snap.Events {
+		fmt.Fprintf(h, "%+v\n", e)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// injectViolation is the seeded-violation hook behind Spec.Inject: it
+// corrupts the snapshot *after* the run so a healthy protocol plus a
+// known-bad observation must trip the corresponding gate. This is how
+// the campaign proves its gates have teeth.
+func injectViolation(kind string, snap *Snapshot) {
+	switch kind {
+	case InjectS2:
+		// A processor assigned to a view that omits it: a reflexivity
+		// (S2) violation by construction. The VP id is below any real one
+		// so the injected join cannot also confuse S3's per-proc order.
+		snap.Events = append(snap.Events, trace.Event{
+			Kind:  trace.EvVPJoin,
+			Proc:  1,
+			VP:    model.VPID{N: 0, P: 2},
+			Procs: []model.ProcID{2, 3},
+		})
+	case InjectHistory:
+		// A committed write-skew pair on two otherwise-untouched objects:
+		// each transaction reads the other's written object at its
+		// initial version, which puts a cycle (rw edges both ways) in the
+		// serialization graph.
+		t1 := model.TxnID{Start: 1 << 50, P: 98, Seq: 1}
+		t2 := model.TxnID{Start: 1 << 50, P: 99, Seq: 1}
+		epoch := model.VPID{N: 1, P: 1}
+		a, b := model.ObjectID("inject-a"), model.ObjectID("inject-b")
+		snap.Hist.Record(onecopy.TxnRecord{
+			ID: t1, Epoch: epoch, Committed: true,
+			Reads:  map[model.ObjectID]model.Version{a: {}},
+			Writes: map[model.ObjectID]model.Version{b: {Date: epoch, Ctr: 1, Writer: t1}},
+		})
+		snap.Hist.Record(onecopy.TxnRecord{
+			ID: t2, Epoch: epoch, Committed: true,
+			Reads:  map[model.ObjectID]model.Version{b: {}},
+			Writes: map[model.ObjectID]model.Version{a: {Date: epoch, Ctr: 1, Writer: t2}},
+		})
+	case InjectLiveness:
+		// Drop every probe outcome, as if the cluster never recovered.
+		for tag := range snap.Results {
+			if isProbeTag(tag) {
+				delete(snap.Results, tag)
+			}
+		}
+	}
+}
+
+// Result is a whole campaign's outcome.
+type Result struct {
+	Name  string
+	Seed  int64
+	Cells []CellResult
+}
+
+// Failed returns the ids of failing cells.
+func (r *Result) Failed() []string {
+	var out []string
+	for _, c := range r.Cells {
+		if !c.OK() {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}
+
+// OK reports whether every cell passed.
+func (r *Result) OK() bool { return len(r.Failed()) == 0 }
+
+// Run expands and executes a campaign. Deterministic (sim) cells run
+// through the bench worker pool with `workers` goroutines — each cell
+// owns a private simulation, so parallel execution cannot perturb
+// results, and the determinism regression enforces it stays that way.
+// Real-time cells run serially: they are wall-clock experiments and
+// co-scheduling them would contend for the clock. logf, when non-nil,
+// receives one line per completed cell.
+func Run(spec Spec, workers int, logf func(format string, args ...any)) (*Result, error) {
+	cells, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("campaign: spec %q expands to zero cells", spec.Name)
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	note := func(c CellResult) {
+		if logf == nil {
+			return
+		}
+		status := "ok"
+		if !c.OK() {
+			status = "FAIL " + strings.Join(c.Failures, "; ")
+		}
+		logf("cell %-40s committed=%d/%d p50=%.2fms views=%d %s",
+			c.ID, c.Committed, c.Submitted, c.LatencyP50MS, c.ViewChanges, status)
+	}
+
+	out := make([]CellResult, len(cells))
+	var detIdx []int
+	for i, c := range cells {
+		if c.Backend == BackendSim {
+			detIdx = append(detIdx, i)
+		}
+	}
+	if len(detIdx) > 0 {
+		detRes := bench.Parallel(len(detIdx), workers, func(i int) CellResult {
+			return RunCell(cells[detIdx[i]])
+		})
+		for i, r := range detRes {
+			out[detIdx[i]] = r
+			note(r)
+		}
+	}
+	for i, c := range cells {
+		if c.Backend == BackendSim {
+			continue
+		}
+		out[i] = RunCell(c)
+		note(out[i])
+	}
+	name := spec.Name
+	if name == "" {
+		name = "campaign"
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Result{Name: name, Seed: seed, Cells: out}, nil
+}

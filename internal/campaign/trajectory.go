@@ -1,0 +1,95 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/virtualpartitions/vp/internal/benchstamp"
+)
+
+// TrajectoryEntry is one campaign run appended to the trajectory: the
+// campaign identity (name, seed, a hash of the expanded spec so a silent
+// matrix change is visible in the diff) plus every cell result.
+type TrajectoryEntry struct {
+	Campaign string `json:"campaign"`
+	Seed     int64  `json:"seed"`
+	// SpecSHA256 hashes the spec JSON the entry ran from; two entries
+	// are comparable only when it matches.
+	SpecSHA256 string `json:"spec_sha256"`
+	// RecordedAt is informational (RFC3339); it never participates in
+	// comparisons or digests.
+	RecordedAt string       `json:"recorded_at,omitempty"`
+	Cells      []CellResult `json:"cells"`
+}
+
+// Trajectory is the BENCH_trajectory.json document: a host baseline at
+// the top level (same flat keys as every BENCH_*.json) and an
+// append-only list of campaign entries. Diffing the file across PRs
+// shows the perf and gate trajectory on one host.
+type Trajectory struct {
+	benchstamp.Baseline
+	Entries []TrajectoryEntry `json:"entries"`
+}
+
+// SpecDigest hashes the raw spec bytes for TrajectoryEntry.SpecSHA256.
+func SpecDigest(raw []byte) string {
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// AppendTrajectory appends one entry to the trajectory at path,
+// creating the file when absent. An existing file recorded on a
+// different baseline is refused unless force is set — forcing replaces
+// the whole file, since entries from another host are not comparable
+// with new ones. The write is atomic (temp file + rename) so a crashed
+// campaign never leaves a torn artifact. Returns the written document.
+func AppendTrajectory(path string, entry TrajectoryEntry, force bool) (*Trajectory, error) {
+	cur := benchstamp.Host()
+	if err := benchstamp.Guard(path, cur, force); err != nil {
+		return nil, err
+	}
+	doc := &Trajectory{Baseline: cur}
+	raw, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		// fresh file
+	case err != nil:
+		return nil, err
+	default:
+		var old Trajectory
+		if jsonErr := json.Unmarshal(raw, &old); jsonErr == nil && old.Baseline == cur {
+			doc.Entries = old.Entries
+		}
+		// Unparseable or cross-baseline content only gets here under
+		// force: start over with this host's baseline.
+	}
+	doc.Entries = append(doc.Entries, entry)
+
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".trajectory-*")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := tmp.Write(out); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return nil, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("campaign: replace %s: %w", path, err)
+	}
+	return doc, nil
+}

@@ -39,6 +39,7 @@ type RealCluster struct {
 	start   time.Time
 	nodes   map[model.ProcID]*realNode
 	stopped atomic.Bool
+	done    chan struct{}
 	wg      sync.WaitGroup
 }
 
@@ -69,6 +70,7 @@ func NewRealCluster(topo *Topology) *RealCluster {
 		Reg:   metrics.NewRegistry(),
 		nodes: make(map[model.ProcID]*realNode),
 		start: time.Now(),
+		done:  make(chan struct{}),
 	}
 }
 
@@ -98,14 +100,15 @@ func (c *RealCluster) Start() {
 	}
 }
 
-// Stop terminates all node loops and waits for them to exit.
+// Stop terminates all node loops and waits for them to exit. The
+// mailboxes are never closed: late sends from timer and delayed-delivery
+// goroutines select against the done channel instead, so a racing
+// enqueue is a silent drop rather than a send on a closed channel.
 func (c *RealCluster) Stop() {
 	if c.stopped.Swap(true) {
 		return
 	}
-	for _, n := range c.nodes {
-		close(n.mbox)
-	}
+	close(c.done)
 	c.wg.Wait()
 }
 
@@ -119,19 +122,24 @@ func (c *RealCluster) Submit(p model.ProcID, t wire.ClientTxn) {
 }
 
 func (n *realNode) enqueue(ev rtEvent) {
-	defer func() {
-		// A send on a closed mailbox after Stop is harmless.
-		recover() //nolint:errcheck
-	}()
 	if n.c.stopped.Load() {
 		return
 	}
-	n.mbox <- ev
+	select {
+	case n.mbox <- ev:
+	case <-n.c.done:
+	}
 }
 
 func (n *realNode) loop() {
 	defer n.c.wg.Done()
-	for ev := range n.mbox {
+	for {
+		var ev rtEvent
+		select {
+		case <-n.c.done:
+			return
+		case ev = <-n.mbox:
+		}
 		if ev.timer != nil {
 			n.tmu.Lock()
 			_, live := n.timers[ev.tid]

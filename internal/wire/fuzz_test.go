@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -32,6 +33,46 @@ func fuzzSeeds(tb testing.TB) [][]byte {
 	return seeds
 }
 
+// fuzzExtraSeeds extends the corpus with frames the basic per-kind seeds
+// miss: group-commit batches (Batch-built ClientTxn frames carry many
+// tags in one envelope) and the two frame shapes a nemesis era produces
+// on a real link — duplicated (self-concatenated) and truncated frames.
+// Extras are appended AFTER fuzzSeeds so existing seed-NN files keep
+// their indices.
+func fuzzExtraSeeds(tb testing.TB) [][]byte {
+	batch := NewBatch(77)
+	if !batch.Add(BatchEntry{Tag: 1, Ops: IncrementOps("x", 1)}) ||
+		!batch.Add(BatchEntry{Tag: 2, Ops: IncrementOps("y", -3)}) ||
+		!batch.Add(BatchEntry{Tag: 3, Ops: IncrementOps("x", 2)}) {
+		tb.Fatal("batch seed entries rejected")
+	}
+	env := Envelope{From: 4, To: 1, Msg: batch.Txn()}
+
+	bin, err := NewBinaryEncoder().Encode(&env)
+	if err != nil {
+		tb.Fatalf("batch binary seed: %v", err)
+	}
+	gob, err := NewStreamEncoder().Encode(&env)
+	if err != nil {
+		tb.Fatalf("batch gob seed: %v", err)
+	}
+	dup := append(append([]byte(nil), bin...), bin...)
+	var seeds [][]byte
+	seeds = append(seeds, append([]byte(nil), bin...))
+	seeds = append(seeds, append([]byte(nil), gob...))
+	seeds = append(seeds, dup)                                        // duplicate delivery
+	seeds = append(seeds, append([]byte(nil), bin[:len(bin)/2]...))   // truncated mid-payload
+	seeds = append(seeds, append([]byte(nil), bin[:FrameHeaderLen]...)) // header only
+	seeds = append(seeds, append([]byte(nil), gob[:len(gob)/2]...))   // truncated gob
+	return seeds
+}
+
+// allFuzzSeeds is the full seed set written to testdata and replayed by
+// the mutation test.
+func allFuzzSeeds(tb testing.TB) [][]byte {
+	return append(fuzzSeeds(tb), fuzzExtraSeeds(tb)...)
+}
+
 // FuzzCodecRoundTrip drives the auto-detecting Decoder with arbitrary
 // bytes. Properties: decoding never panics regardless of input; any
 // frame that decodes successfully re-encodes through the binary codec
@@ -40,7 +81,7 @@ func fuzzSeeds(tb testing.TB) [][]byte {
 // it arrived as (encode→decode→encode is the identity on canonical
 // frames).
 func FuzzCodecRoundTrip(f *testing.F) {
-	for _, s := range fuzzSeeds(f) {
+	for _, s := range allFuzzSeeds(f) {
 		f.Add(s)
 	}
 	f.Add([]byte{})
@@ -92,11 +133,86 @@ func TestWriteFuzzCorpus(t *testing.T) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	for i, s := range fuzzSeeds(t) {
+	for i, s := range allFuzzSeeds(t) {
 		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(s)))
 		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
 		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
 			t.Fatal(err)
+		}
+	}
+}
+
+// readCorpus loads the checked-in go-fuzz v1 seed files, so the mutation
+// test exercises exactly what is committed rather than what the current
+// generator produces.
+func readCorpus(t *testing.T) map[string][]byte {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", "FuzzCodecRoundTrip")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read corpus dir: %v", err)
+	}
+	corpus := map[string][]byte{}
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.SplitN(string(raw), "\n", 3)
+		if len(lines) < 2 || lines[0] != "go test fuzz v1" {
+			t.Fatalf("%s: not a go-fuzz v1 file", e.Name())
+		}
+		quoted := strings.TrimSuffix(strings.TrimPrefix(lines[1], "[]byte("), ")")
+		s, err := strconv.Unquote(quoted)
+		if err != nil {
+			t.Fatalf("%s: unquote: %v", e.Name(), err)
+		}
+		corpus[e.Name()] = []byte(s)
+	}
+	if len(corpus) == 0 {
+		t.Fatal("empty corpus")
+	}
+	return corpus
+}
+
+// decodeGracefully runs one Decode and converts a panic into a test
+// failure naming the offending mutation. A successful decode must also
+// re-encode: the decoder may not hand upper layers an envelope the codec
+// itself cannot represent.
+func decodeGracefully(t *testing.T, name string, data []byte) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: Decode panicked: %v (input %x)", name, r, data)
+		}
+	}()
+	env, err := NewDecoder().Decode(data)
+	if err != nil {
+		return
+	}
+	if _, err := NewBinaryEncoder().Encode(&env); err != nil {
+		t.Fatalf("%s: decoded envelope failed to re-encode: %v (%#v)", name, err, env)
+	}
+}
+
+// TestDecoderGracefulOnMutations replays every corpus seed through the
+// mutations a faulty nemesis-era link produces — truncation at every
+// prefix length, duplicate (self-concatenated) delivery, and single-bit
+// corruption at every position — and demands a graceful error, never a
+// panic, from the auto-detecting decoder.
+func TestDecoderGracefulOnMutations(t *testing.T) {
+	for name, seed := range readCorpus(t) {
+		decodeGracefully(t, name, seed)
+		for cut := 0; cut < len(seed); cut++ {
+			decodeGracefully(t, fmt.Sprintf("%s[:%d]", name, cut), seed[:cut])
+		}
+		decodeGracefully(t, name+"+dup", append(append([]byte(nil), seed...), seed...))
+		for i := 0; i < len(seed); i++ {
+			for bit := 0; bit < 8; bit++ {
+				m := append([]byte(nil), seed...)
+				m[i] ^= 1 << bit
+				decodeGracefully(t, fmt.Sprintf("%s^bit(%d,%d)", name, i, bit), m)
+			}
 		}
 	}
 }
