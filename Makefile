@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-wire bench-hotpath bench-observability trace-check chaos loadtest bench-gateway golden campaign-smoke campaign campaign-live
+.PHONY: check build vet test race bench bench-wire bench-hotpath bench-observability trace-check trace-e2e chaos loadtest bench-gateway golden campaign-smoke campaign campaign-live
 
 check: build vet test
 
@@ -20,7 +20,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/net/... ./internal/nemesis/... ./internal/bench/... ./internal/gateway/... ./internal/locks/... ./internal/store/... ./internal/durable/... ./internal/campaign/... ./cmd/vpchaos/... ./cmd/vpcampaign/...
+	$(GO) test -race -count=1 ./internal/net/... ./internal/nemesis/... ./internal/bench/... ./internal/gateway/... ./internal/locks/... ./internal/store/... ./internal/durable/... ./internal/campaign/... ./internal/trace/... ./cmd/vpchaos/... ./cmd/vpcampaign/...
 
 # Run every benchmark in the repository.
 bench:
@@ -61,6 +61,18 @@ trace-check:
 	$(GO) run ./cmd/vptrace check $(TRACE_FILE)
 	$(GO) run ./cmd/vptrace latency $(TRACE_FILE)
 
+# Causal-tracing end-to-end gate: one traced write through the full
+# vpload -local stack (HTTP gateway, binary codec over real sockets, 2PC
+# across three journaled nodes) must reassemble into a complete
+# gateway→2PC→journal span tree, survive a JSONL round trip, and yield a
+# critical path rooted at the gateway. Then a short traced load run
+# feeds `vptrace spans` for the human-facing path. Used by CI.
+TRACE_E2E_FILE ?= /tmp/vp_load_trace.jsonl
+trace-e2e:
+	$(GO) test -run 'TestTracedLocalWriteProducesSpanTree' -count=1 -v ./cmd/vpload
+	$(GO) run ./cmd/vpload -local 3 -smoke -clients 4 -duration 2s -trace $(TRACE_E2E_FILE) > /dev/null
+	$(GO) run ./cmd/vptrace spans -top 3 $(TRACE_E2E_FILE)
+
 # Seeded chaos run: a live 5-node TCP cluster under a nemesis schedule
 # with at least 3 partition/heal and 2 crash/restart episodes, verified
 # for 1SR, S1–S3/R2/R3 trace invariants and post-heal liveness, then the
@@ -91,9 +103,12 @@ bench-gateway:
 	@cat BENCH_gateway.json
 
 # Regenerate BENCH_observability.json from the tracing hot-path
-# microbenchmarks (enabled vs disabled vs nil recorder).
+# microbenchmarks: ring-recorder writes (enabled vs disabled vs nil
+# recorder) and wire context propagation (traced vs sampled-out vs
+# disabled, covering the zero-alloc disabled-path guarantee).
 bench-observability:
-	$(GO) test -run '^$$' -bench 'TraceRecord' -benchmem -count=1 ./internal/trace \
+	$(GO) test -run '^$$' -bench 'TraceRecord|CtxPropagation' -benchmem -count=1 \
+		./internal/trace ./internal/wire \
 		| $(GO) run ./cmd/benchjson > BENCH_observability.json
 	@cat BENCH_observability.json
 

@@ -61,6 +61,7 @@ type options struct {
 	skipLive   bool
 	skipSim    bool
 	verbose    bool
+	traceOut   string
 }
 
 func parseArgs(args []string) (*options, error) {
@@ -78,6 +79,7 @@ func parseArgs(args []string) (*options, error) {
 		skipLive   = fs.Bool("skip-live", false, "skip the live TCP chaos run")
 		skipSim    = fs.Bool("skip-sim", false, "skip the sim determinism replay")
 		verbose    = fs.Bool("v", false, "log every nemesis step and view change")
+		traceOut   = fs.String("trace-out", "", "write the live run's event trace (spans included) as JSONL here; feed to `vptrace spans` for per-phase latency and critical paths under faults")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -93,6 +95,7 @@ func parseArgs(args []string) (*options, error) {
 		partitions: *partitions, crashes: *crashes,
 		meanHold: *meanHold, meanGap: *meanGap,
 		skipLive: *skipLive, skipSim: *skipSim, verbose: *verbose,
+		traceOut: *traceOut,
 	}, nil
 }
 
@@ -366,6 +369,20 @@ func runLive(opt *options, sched nemesis.Schedule) error {
 	}
 	if rec.Dropped() > 0 {
 		fmt.Printf("  note: trace ring dropped %d events (checks ran on the retained window)\n", rec.Dropped())
+	}
+	if opt.traceOut != "" {
+		f, err := os.Create(opt.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  %d trace events -> %s\n", rec.Len(), opt.traceOut)
 	}
 
 	counts := sched.Counts()

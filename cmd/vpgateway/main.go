@@ -33,14 +33,16 @@ import (
 
 	"github.com/virtualpartitions/vp/internal/gateway"
 	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/trace"
 	"github.com/virtualpartitions/vp/internal/wire"
 )
 
 // options is the parsed command line, separated from main so flag
 // handling is testable without forking a process.
 type options struct {
-	listen string
-	cfg    gateway.Config
+	listen   string
+	traceOut string
+	cfg      gateway.Config
 }
 
 func parseArgs(args []string) (*options, error) {
@@ -58,6 +60,8 @@ func parseArgs(args []string) (*options, error) {
 		deadline    = fs.Duration("deadline", 5*time.Second, "end-to-end budget per client request")
 		marks       = fs.Int("session-marks", gateway.DefaultSessionMarks, "per-session object version marks retained")
 		codec       = fs.String("codec", "binary", "outbound wire codec for node connections: binary or gob")
+		traceSamp   = fs.Int("trace-sample", 0, "causally trace 1-in-N client requests end to end (0 disables)")
+		traceOut    = fs.String("trace", "", "write the gateway's trace (incl. spans) as JSONL here on shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -79,16 +83,23 @@ func parseArgs(args []string) (*options, error) {
 			return nil, err
 		}
 	}
-	return &options{
-		listen: *listen,
+	opt := &options{
+		listen:   *listen,
+		traceOut: *traceOut,
 		cfg: gateway.Config{
 			Cluster: addrs, Health: healthAddrs,
 			Batching: *batching, BatchWindow: *batchWindow, BatchMax: *batchMax,
 			MaxInflight: *maxInflight, MaxQueue: *maxQueue,
 			PerTry: *perTry, Deadline: *deadline, SessionMarks: *marks,
-			Codec: codecID,
+			Codec: codecID, TraceSample: *traceSamp,
 		},
-	}, nil
+	}
+	if opt.cfg.TraceSample > 0 || opt.traceOut != "" {
+		rec := trace.New(trace.DefaultCap)
+		rec.SetEnabled(true)
+		opt.cfg.Tracer = rec
+	}
+	return opt, nil
 }
 
 func parseNodeMap(s, flagName string) (map[model.ProcID]string, error) {
@@ -135,4 +146,17 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("vpgateway shutting down")
+	if opt.traceOut != "" && opt.cfg.Tracer != nil {
+		f, err := os.Create(opt.traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpgateway:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := opt.cfg.Tracer.WriteJSONL(f); err != nil {
+			fmt.Fprintln(os.Stderr, "vpgateway: write trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("vpgateway: %d trace events -> %s\n", opt.cfg.Tracer.Len(), opt.traceOut)
+	}
 }

@@ -19,6 +19,9 @@
 //	                                             # on; write the ablation comparison
 //	vpload -local 3 -codec-compare               # run the same load with the gob codec and
 //	                                             # the binary codec (batching on in both)
+//	vpload -local 3 -trace trace.jsonl           # causally trace sampled requests across the
+//	                                             # gateway and every node; write the merged
+//	                                             # capture for `vptrace spans`
 package main
 
 import (
@@ -35,12 +38,14 @@ import (
 	"time"
 
 	"github.com/virtualpartitions/vp/internal/core"
+	"github.com/virtualpartitions/vp/internal/durable"
 	"github.com/virtualpartitions/vp/internal/gateway"
 	"github.com/virtualpartitions/vp/internal/metrics"
 	"github.com/virtualpartitions/vp/internal/model"
 	vnet "github.com/virtualpartitions/vp/internal/net"
 	"github.com/virtualpartitions/vp/internal/node"
 	"github.com/virtualpartitions/vp/internal/onecopy"
+	"github.com/virtualpartitions/vp/internal/trace"
 	"github.com/virtualpartitions/vp/internal/wire"
 	"github.com/virtualpartitions/vp/internal/workload"
 )
@@ -66,6 +71,8 @@ type options struct {
 	codecCompare bool
 	out          string
 	delta        time.Duration
+	traceOut     string
+	traceSample  int
 }
 
 func parseArgs(args []string) (*options, error) {
@@ -89,6 +96,8 @@ func parseArgs(args []string) (*options, error) {
 		codecCompare = fs.Bool("codec-compare", false, "-local only: run the gob codec then the binary codec closed-loop (saturation; -rate is ignored for these runs) and report both")
 		out          = fs.String("out", "", "write the JSON report here instead of stdout")
 		delta        = fs.Duration("delta", 20*time.Millisecond, "-local only: cluster message delay bound δ")
+		traceOut     = fs.String("trace", "", "-local only: record causal traces on the gateway and every node; write the merged JSONL capture here on exit (feed to `vptrace spans`)")
+		traceSample  = fs.Int("trace-sample", 0, "-local only: trace 1-in-N gateway requests (0 with -trace means every request)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -98,6 +107,12 @@ func parseArgs(args []string) (*options, error) {
 	}
 	if (*compare || *codecCompare) && *local == 0 {
 		return nil, fmt.Errorf("-compare/-codec-compare need -local (they reboot the cluster between runs)")
+	}
+	if (*traceOut != "" || *traceSample != 0) && *local == 0 {
+		return nil, fmt.Errorf("-trace/-trace-sample need -local (an external gateway's recorder is not reachable)")
+	}
+	if *traceOut != "" && *traceSample == 0 {
+		*traceSample = 1
 	}
 	codecID, err := wire.ParseCodec(*codec)
 	if err != nil {
@@ -128,6 +143,7 @@ func parseArgs(args []string) (*options, error) {
 		smoke: *smoke, compare: *compare,
 		codec: codecID, codecCompare: *codecCompare,
 		out: *out, delta: *delta,
+		traceOut: *traceOut, traceSample: *traceSample,
 	}, nil
 }
 
@@ -421,10 +437,16 @@ type localCluster struct {
 	hist  *onecopy.History
 	stop  func()
 	gwCfg gateway.Config
+	// recs holds the live recorders when tracing is on: the gateway's
+	// first, then one per node. Merging their events reassembles the
+	// cross-process span trees.
+	recs []*trace.Recorder
 }
 
 // bootLocal starts n vpnode cores over real sockets and one gateway,
-// all writing with the given codec.
+// all writing with the given codec. With opt.traceSample > 0 every
+// process records causal spans, and the nodes run with an in-memory
+// journal so traces show the durable subsystem too.
 func bootLocal(opt *options, batching bool, codec wire.CodecID) (*localCluster, error) {
 	n := opt.local
 	addrs := map[model.ProcID]string{}
@@ -438,10 +460,32 @@ func bootLocal(opt *options, batching bool, codec wire.CodecID) (*localCluster, 
 	}
 	cat := model.FullyReplicated(n, workload.Objects(opt.objects)...)
 	hist := onecopy.NewHistory()
-	cfg := core.Config{Config: node.Config{Delta: opt.delta, LogCap: 256}}
-	var nodes []*vnet.TCPNode
+	cfg := core.Config{Config: node.Config{Delta: opt.delta, LogCap: 256, TraceSample: opt.traceSample}}
+	var (
+		nodes []*vnet.TCPNode
+		recs  []*trace.Recorder
+	)
+	newRec := func() *trace.Recorder {
+		if opt.traceSample <= 0 {
+			return nil
+		}
+		r := trace.New(trace.DefaultCap)
+		r.SetEnabled(true)
+		recs = append(recs, r)
+		return r
+	}
+	gwRec := newRec()
 	for id := model.ProcID(1); id <= model.ProcID(n); id++ {
-		tcp := vnet.NewTCPNodeConfig(id, addrs, core.New(id, cfg, cat, hist), vnet.TCPConfig{Codec: codec})
+		var nd *core.Node
+		if opt.traceSample > 0 {
+			nd = core.NewDurable(id, cfg, cat, hist, durable.NewMemJournal())
+		} else {
+			nd = core.New(id, cfg, cat, hist)
+		}
+		tcp := vnet.NewTCPNodeConfig(id, addrs, nd, vnet.TCPConfig{Codec: codec})
+		if rec := newRec(); rec != nil {
+			tcp.SetTracer(rec)
+		}
 		if err := tcp.Run(); err != nil {
 			for _, nd := range nodes {
 				nd.Stop()
@@ -453,6 +497,7 @@ func bootLocal(opt *options, batching bool, codec wire.CodecID) (*localCluster, 
 	gwCfg := gateway.Config{
 		Cluster: addrs, Batching: batching, BatchWindow: opt.batchWindow,
 		PerTry: time.Second, Deadline: 20 * time.Second, Codec: codec,
+		Tracer: gwRec, TraceSample: opt.traceSample,
 	}
 	g := gateway.New(gwCfg)
 	srv, addr, err := g.Serve("127.0.0.1:0")
@@ -470,7 +515,18 @@ func bootLocal(opt *options, batching bool, codec wire.CodecID) (*localCluster, 
 			nd.Stop()
 		}
 	}
-	return &localCluster{url: "http://" + addr, hist: hist, stop: stop, gwCfg: gwCfg}, nil
+	return &localCluster{url: "http://" + addr, hist: hist, stop: stop, gwCfg: gwCfg, recs: recs}, nil
+}
+
+// mergedEvents drains every live recorder into one stream, ready for
+// trace.BuildTrees or a JSONL dump. Cross-process span assembly needs
+// nothing more: contexts alone link the events.
+func (c *localCluster) mergedEvents() []trace.Event {
+	var events []trace.Event
+	for _, r := range c.recs {
+		events = append(events, r.Events()...)
+	}
+	return events
 }
 
 // codecCompareReport is the -codec-compare output: the same load under
@@ -542,6 +598,21 @@ func run(opt *options, w io.Writer) error {
 		if r := onecopy.CheckGraph(lc.hist); !r.OK {
 			rep.Violations++
 			fmt.Fprintf(os.Stderr, "vpload: history not one-copy serializable: %s\n", r.Reason)
+		}
+		if o.traceOut != "" && len(lc.recs) > 0 {
+			f, err := os.Create(o.traceOut)
+			if err != nil {
+				return nil, err
+			}
+			events := lc.mergedEvents()
+			if err := trace.WriteJSONL(f, events); err != nil {
+				f.Close()
+				return nil, err
+			}
+			if err := f.Close(); err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "vpload: %d trace events -> %s\n", len(events), o.traceOut)
 		}
 		return rep, nil
 	}

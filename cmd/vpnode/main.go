@@ -50,12 +50,13 @@ type options struct {
 	objects   []model.ObjectID
 	delta     time.Duration
 	pi        time.Duration
-	dataDir   string
-	fsync     bool
-	verbose   bool
-	debugAddr string
-	traceOut  string
-	tcp       net.TCPConfig
+	dataDir     string
+	fsync       bool
+	verbose     bool
+	debugAddr   string
+	traceOut    string
+	traceSample int
+	tcp         net.TCPConfig
 }
 
 // parseArgs parses argv (without the program name) into options.
@@ -72,6 +73,7 @@ func parseArgs(args []string) (*options, error) {
 		verbose   = fs.Bool("v", false, "log view changes")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 		traceOut  = fs.String("trace", "", "record the structured event trace; write JSONL here on shutdown")
+		traceSamp = fs.Int("trace-sample", 1, "with -trace: causally trace 1-in-N locally-coordinated transactions (<=0 traces none)")
 		dialTO    = fs.Duration("dial-timeout", 0, "TCP dial timeout per connection attempt (default 2s)")
 		reconMin  = fs.Duration("reconnect-min", 0, "initial peer redial backoff (default 50ms)")
 		reconMax  = fs.Duration("reconnect-max", 0, "maximum peer redial backoff (default 2s)")
@@ -100,11 +102,15 @@ func parseArgs(args []string) (*options, error) {
 	if len(objNames) == 0 {
 		return nil, fmt.Errorf("-objects names no objects")
 	}
+	sample := *traceSamp
+	if sample <= 0 {
+		sample = -1 // node.Config: negative disables coordinator root minting
+	}
 	return &options{
 		id: me, addrs: addrs, objects: objNames,
 		delta: *delta, pi: *pi,
 		dataDir: *dataDir, fsync: *fsync, verbose: *verbose,
-		debugAddr: *debugAddr, traceOut: *traceOut,
+		debugAddr: *debugAddr, traceOut: *traceOut, traceSample: sample,
 		tcp: net.TCPConfig{DialTimeout: *dialTO, ReconnectMin: *reconMin,
 			ReconnectMax: *reconMax, QueueLen: *queueLen, Codec: codecID},
 	}, nil
@@ -119,7 +125,7 @@ func main() {
 	cat := model.FullyReplicated(len(opt.addrs), opt.objects...)
 
 	cfg := core.Config{
-		Config: node.Config{Delta: opt.delta, LogCap: 1024},
+		Config: node.Config{Delta: opt.delta, LogCap: 1024, TraceSample: opt.traceSample},
 		Pi:     opt.pi,
 	}
 	var nd *core.Node
@@ -177,7 +183,7 @@ func main() {
 		os.Exit(1)
 	}
 	if opt.debugAddr != "" {
-		srv, addr, err := debughttp.Serve(opt.debugAddr, tcp.Metrics(), health)
+		srv, addr, err := debughttp.Serve(opt.debugAddr, tcp.Metrics(), health, rec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vpnode:", err)
 			os.Exit(1)

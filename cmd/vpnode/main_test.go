@@ -102,7 +102,7 @@ func TestMetricsEndpointOverTCPCluster(t *testing.T) {
 		defer tcp.Stop()
 		nodes = append(nodes, tcp)
 	}
-	srv, debugAddr, err := debughttp.Serve("127.0.0.1:0", nodes[0].Metrics(), nil)
+	srv, debugAddr, err := debughttp.Serve("127.0.0.1:0", nodes[0].Metrics(), nil, nodes[0].Tracer())
 	if err != nil {
 		t.Fatal(err)
 	}

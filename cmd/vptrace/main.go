@@ -1,18 +1,22 @@
 // Command vptrace analyzes structured JSONL traces captured from a run
-// of the virtual partition protocol (vpsim -trace-out, or any harness
-// that dumps a trace.Recorder).
+// of the virtual partition protocol (vpsim -trace-out, vpnode -trace,
+// vpgateway -trace, or any harness that dumps a trace.Recorder).
 //
 // Usage:
 //
-//	vptrace check trace.jsonl      # replay S1,S2,S3 + R2,R3 checkers
-//	vptrace timeline trace.jsonl   # per-VP formation timelines
-//	vptrace latency trace.jsonl    # per-processor view-change latency
+//	vptrace check trace.jsonl            # replay S1,S2,S3 + R2,R3 checkers
+//	vptrace timeline trace.jsonl         # per-VP formation timelines
+//	vptrace latency trace.jsonl          # per-processor view-change latency
+//	vptrace spans [-top N] trace.jsonl   # causal span trees + critical paths
 //
-// A filename of "-" (or none) reads standard input. check exits with
-// status 1 when any invariant is violated, so it can gate CI.
+// A filename of "-" (or none) reads standard input; spans accepts
+// several files and merges them, so per-node captures of one cluster
+// assemble into cross-node trees. check exits with status 1 when any
+// invariant is violated, so it can gate CI.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -29,25 +33,24 @@ func main() {
 // run is the testable entry point: it returns the process exit code.
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if len(args) == 0 {
-		fmt.Fprintln(stderr, "usage: vptrace check|timeline|latency [trace.jsonl]")
+		fmt.Fprintln(stderr, "usage: vptrace check|timeline|latency|spans [trace.jsonl...]")
 		return 2
 	}
 	cmd := args[0]
-	in := stdin
-	name := "<stdin>"
-	if len(args) > 1 && args[1] != "-" {
-		f, err := os.Open(args[1])
-		if err != nil {
-			fmt.Fprintf(stderr, "vptrace: %v\n", err)
+	files := args[1:]
+	topN := 10
+	if cmd == "spans" {
+		fs := flag.NewFlagSet("vptrace spans", flag.ContinueOnError)
+		fs.SetOutput(stderr)
+		top := fs.Int("top", 10, "render at most this many trees, longest first (0 = all)")
+		if err := fs.Parse(files); err != nil {
 			return 2
 		}
-		defer f.Close()
-		in, name = f, args[1]
+		topN, files = *top, fs.Args()
 	}
-	events, err := trace.ReadJSONL(in)
-	if err != nil {
-		fmt.Fprintf(stderr, "vptrace: %s: %v\n", name, err)
-		return 2
+	events, code := load(files, stdin, stderr)
+	if code != 0 {
+		return code
 	}
 	switch cmd {
 	case "check":
@@ -56,10 +59,47 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return timeline(events, stdout)
 	case "latency":
 		return latency(events, stdout)
+	case "spans":
+		return spans(events, topN, stdout)
 	default:
-		fmt.Fprintf(stderr, "vptrace: unknown command %q (want check, timeline or latency)\n", cmd)
+		fmt.Fprintf(stderr, "vptrace: unknown command %q (want check, timeline, latency or spans)\n", cmd)
 		return 2
 	}
+}
+
+// load reads and concatenates the named JSONL captures ("-" or none:
+// standard input). Merging per-node files is what lets span assembly
+// see all sides of a cross-node trace.
+func load(files []string, stdin io.Reader, stderr io.Writer) ([]trace.Event, int) {
+	if len(files) == 0 {
+		files = []string{"-"}
+	}
+	var events []trace.Event
+	for _, name := range files {
+		in := stdin
+		if name != "-" {
+			f, err := os.Open(name)
+			if err != nil {
+				fmt.Fprintf(stderr, "vptrace: %v\n", err)
+				return nil, 2
+			}
+			evs, err := trace.ReadJSONL(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(stderr, "vptrace: %s: %v\n", name, err)
+				return nil, 2
+			}
+			events = append(events, evs...)
+			continue
+		}
+		evs, err := trace.ReadJSONL(in)
+		if err != nil {
+			fmt.Fprintf(stderr, "vptrace: <stdin>: %v\n", err)
+			return nil, 2
+		}
+		events = append(events, evs...)
+	}
+	return events, 0
 }
 
 // check replays the invariant checkers and reports per-rule totals.
@@ -136,3 +176,73 @@ func latency(events []trace.Event, w io.Writer) int {
 }
 
 func round(d time.Duration) time.Duration { return d.Round(time.Microsecond) }
+
+// spans assembles the capture's EvSpan events into per-trace span
+// trees and prints, per trace, the tree plus its critical path — the
+// chain of phases that dominated the request's latency — and, across
+// the whole capture, the per-phase latency distribution.
+func spans(events []trace.Event, topN int, w io.Writer) int {
+	trees := trace.BuildTrees(events)
+	if len(trees) == 0 {
+		fmt.Fprintln(w, "no spans in trace (was tracing sampled in? -trace-sample)")
+		return 0
+	}
+	total, orphans := 0, 0
+	for _, t := range trees {
+		total += len(t.Spans)
+		orphans += t.Orphans
+	}
+	fmt.Fprintf(w, "%d traces, %d spans", len(trees), total)
+	if orphans > 0 {
+		fmt.Fprintf(w, " (%d orphaned: parent missing from capture)", orphans)
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "\n%-16s %6s %12s %12s %12s %12s\n", "phase", "count", "p50", "p99", "max", "total")
+	for _, st := range trace.PhaseStats(trees) {
+		fmt.Fprintf(w, "%-16s %6d %12v %12v %12v %12v\n",
+			st.Phase, st.Count, round(st.P50), round(st.P99), round(st.Max), round(st.Total))
+	}
+
+	// Longest requests first: those are the ones worth reading.
+	sort.SliceStable(trees, func(i, j int) bool { return trees[i].Dur() > trees[j].Dur() })
+	shown := len(trees)
+	if topN > 0 && shown > topN {
+		shown = topN
+	}
+	for _, t := range trees[:shown] {
+		fmt.Fprintf(w, "\ntrace %016x (%v, %d spans)\n", t.Trace, round(t.Dur()), len(t.Spans))
+		for _, root := range t.Roots {
+			printSpan(w, root, 1)
+		}
+		path := t.CriticalPath()
+		if len(path) > 1 {
+			fmt.Fprintf(w, "  critical path:")
+			for i, step := range path {
+				if i > 0 {
+					fmt.Fprintf(w, " >")
+				}
+				fmt.Fprintf(w, " %s@%s %.0f%%", step.Span.Phase, step.Span.Proc, step.Frac*100)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if shown < len(trees) {
+		fmt.Fprintf(w, "\n(%d more traces; -top 0 shows all)\n", len(trees)-shown)
+	}
+	return 0
+}
+
+func printSpan(w io.Writer, s *trace.Span, depth int) {
+	for i := 0; i < depth; i++ {
+		fmt.Fprint(w, "  ")
+	}
+	fmt.Fprintf(w, "%s @ %s (%v)", s.Phase, s.Proc, round(s.Dur()))
+	if s.Orphan {
+		fmt.Fprint(w, " [orphan]")
+	}
+	fmt.Fprintln(w)
+	for _, c := range s.Children {
+		printSpan(w, c, depth+1)
+	}
+}

@@ -210,6 +210,21 @@ type CellResult struct {
 	// Failures lists gate diagnostics and platform errors; empty on a
 	// passing cell.
 	Failures []string `json:"failures,omitempty"`
+	// Phases is the per-phase latency breakdown assembled from the causal
+	// spans the run captured (coordinator 2PC phases, lock waits, journal
+	// staging, view changes). Appended to the schema; absent when the
+	// platform recorded no spans.
+	Phases []PhaseLatency `json:"phases,omitempty"`
+}
+
+// PhaseLatency is one protocol phase's latency distribution within a
+// cell, in milliseconds.
+type PhaseLatency struct {
+	Phase string  `json:"phase"`
+	Count int     `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
 }
 
 // OK reports whether the cell passed (gates up, no platform failures).
@@ -295,6 +310,13 @@ func evaluate(res *CellResult, plan Plan, snap *Snapshot) {
 		if e.Kind == trace.EvVPJoin {
 			res.ViewChanges++
 		}
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for _, st := range trace.PhaseStats(trace.BuildTrees(snap.Events)) {
+		res.Phases = append(res.Phases, PhaseLatency{
+			Phase: st.Phase, Count: st.Count,
+			P50MS: ms(st.P50), P99MS: ms(st.P99), MaxMS: ms(st.Max),
+		})
 	}
 
 	res.Gates.Progress = res.Committed > 0

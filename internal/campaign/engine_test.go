@@ -178,6 +178,21 @@ func TestCleanCellPasses(t *testing.T) {
 	if r.Digest == "" || r.WallMS < 0 {
 		t.Fatalf("missing run metadata: %+v", r)
 	}
+	// The sim platform records with tracing on, so the cell must carry a
+	// phase-latency breakdown assembled from the captured spans, and the
+	// coordinator's root phase must be among them.
+	if len(r.Phases) == 0 {
+		t.Fatal("cell has no span phase breakdown")
+	}
+	found := false
+	for _, ph := range r.Phases {
+		if ph.Phase == "coord-txn" && ph.Count > 0 && ph.P50MS >= 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no coord-txn phase in breakdown: %+v", r.Phases)
+	}
 }
 
 // TestRunFailsCampaignOnInjectedCell is the end-to-end acceptance shape:

@@ -137,6 +137,10 @@ type Node struct {
 	departedAt  time.Duration
 	departedSet bool
 
+	// vcCtx is the span context of the most recent view change at this
+	// node (zero when untraced); rule R5 refresh spans parent under it.
+	vcCtx model.TraceCtx
+
 	// Observer, when set (tests, experiments), receives a JoinEvent or
 	// DepartEvent after each assignment change.
 	Observer func(ev any)

@@ -41,6 +41,10 @@ type refreshState struct {
 	entries []wire.LogEntry
 	// comps gathered in mergeable mode (see mergeable.go)
 	comps []wire.CompEntry
+	// ctx and started trace this object's refresh as a child span of the
+	// view change that caused it (zero ctx when untraced).
+	ctx     model.TraceCtx
+	started time.Duration
 }
 
 // maxRefreshRefusals bounds how often a not-in-partition refusal is
@@ -70,6 +74,9 @@ func (n *Node) startRefresh(rt net.Runtime, objs []model.ObjectID) {
 			bestVer: cur.Ver,
 			logMode: n.cfg.UseLogCatchup,
 		}
+		if !n.vcCtx.IsZero() {
+			st.ctx, st.started = n.vcCtx.Child(n.NextSpan()), rt.Now()
+		}
 		// R ← copies(l) ∩ lview (Figure 9 line 7); the local copy is the
 		// initial best candidate, so only peers are contacted.
 		for _, p := range n.Cat.Copies(obj).Intersect(n.lview).Sorted() {
@@ -93,9 +100,9 @@ func (n *Node) startRefresh(rt net.Runtime, objs []model.ObjectID) {
 
 func (n *Node) sendRecover(rt net.Runtime, st *refreshState, p model.ProcID) {
 	if st.logMode {
-		rt.Send(p, wire.RecoverLog{Obj: st.obj, Since: n.Store.Get(st.obj).Ver, VP: n.curID, Seq: st.seq})
+		rt.SendCtx(p, wire.RecoverLog{Obj: st.obj, Since: n.Store.Get(st.obj).Ver, VP: n.curID, Seq: st.seq}, st.ctx)
 	} else {
-		rt.Send(p, wire.RecoverRead{Obj: st.obj, VP: n.curID, Seq: st.seq})
+		rt.SendCtx(p, wire.RecoverRead{Obj: st.obj, VP: n.curID, Seq: st.seq}, st.ctx)
 	}
 }
 
@@ -247,7 +254,7 @@ func (n *Node) onRecoverLogResp(rt net.Runtime, from model.ProcID, m wire.Recove
 		// extra round trip.
 		st.pending.Add(from)
 		st.busy.Remove(from)
-		rt.Send(from, wire.RecoverRead{Obj: st.obj, VP: n.curID, Seq: st.seq})
+		rt.SendCtx(from, wire.RecoverRead{Obj: st.obj, VP: n.curID, Seq: st.seq}, st.ctx)
 		n.extendRefreshDeadline(rt, st)
 		rt.SetTimer(2*n.cfg.Delta, refreshWindow{obj: st.obj, seq: st.seq})
 		return
@@ -317,6 +324,9 @@ func (n *Node) finishRefresh(rt net.Runtime, st *refreshState) {
 	delete(n.refreshing, st.obj)
 	n.Store.UnlockRecovered(st.obj)
 	n.RecoveryUnlocked(rt, st.obj)
+	if !st.ctx.IsZero() {
+		rt.Tracer().Span(rt.ID(), st.ctx, "r5-refresh", st.started, rt.Now(), model.TxnID{})
+	}
 	rt.Tracer().Record(trace.Event{At: rt.Now(), Proc: rt.ID(), Kind: trace.EvRefreshDone, VP: n.curID, Obj: st.obj})
 	rt.Logf("refresh %s done at %v", st.obj, n.Store.Get(st.obj).Ver)
 }

@@ -172,6 +172,23 @@ func (n *Node) join(rt net.Runtime, id model.VPID, view model.ProcSet, prevs map
 	n.prevs = prevs
 	n.assigned = true
 	n.ViewChanges++
+	n.vcCtx = model.TraceCtx{}
+	if tr := rt.Tracer(); tr.Enabled() {
+		// One trace per (partition, processor) view change: the span runs
+		// from departure (when known) to this join, and R5 refresh spans
+		// attach below it. The id derivation is deterministic under
+		// simulation.
+		trid := id.N*0x9E3779B1 ^ uint64(id.P)<<40 ^ uint64(rt.ID())<<8
+		if trid == 0 {
+			trid = 1
+		}
+		n.vcCtx = model.TraceCtx{Trace: trid, Span: n.NextSpan()}
+		start := rt.Now()
+		if n.departedSet {
+			start = n.departedAt
+		}
+		tr.Span(rt.ID(), n.vcCtx, "view-change", start, rt.Now(), model.TxnID{})
+	}
 	if n.departedSet {
 		rt.Metrics().ObserveDuration(metrics.SViewChange, rt.Now()-n.departedAt)
 		n.departedSet = false

@@ -1,10 +1,11 @@
 // Package debughttp serves the live observability endpoints of a node:
 // Prometheus-text /metrics, Go expvar under /debug/vars, the
-// net/http/pprof profiling handlers under /debug/pprof/, and a /healthz
-// readiness endpoint reporting the node's current view/VP state. It is
-// wired into vpnode behind the -debug-addr flag and deliberately stays
-// off the default ServeMux so importing it does not pollute global state
-// beyond what expvar and pprof themselves register.
+// net/http/pprof profiling handlers under /debug/pprof/, a /healthz
+// readiness endpoint reporting the node's current view/VP state, and a
+// /spans endpoint summarizing the causal spans retained in the node's
+// trace ring. It is wired into vpnode behind the -debug-addr flag and
+// deliberately stays off the default ServeMux so importing it does not
+// pollute global state beyond what expvar and pprof themselves register.
 package debughttp
 
 import (
@@ -13,11 +14,13 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
 
 	"github.com/virtualpartitions/vp/internal/metrics"
 	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/trace"
 )
 
 // Health is a thread-safe holder for the node's readiness state, fed
@@ -80,9 +83,94 @@ func (h *Health) State() HealthState {
 	return st
 }
 
+// SpanInfo is one closed span as served by /spans. Times are
+// microseconds of engine time (wall time since process start for the
+// TCP engine), durations microseconds.
+type SpanInfo struct {
+	Trace  uint64       `json:"trace"`
+	Span   uint32       `json:"span"`
+	Parent uint32       `json:"parent,omitempty"`
+	Proc   model.ProcID `json:"proc"`
+	Phase  string       `json:"phase"`
+	EndUS  int64        `json:"end_us"`
+	DurUS  int64        `json:"dur_us"`
+}
+
+// PhaseSummary is the latency distribution of one span phase over the
+// retained ring, in microseconds.
+type PhaseSummary struct {
+	Phase string `json:"phase"`
+	Count int    `json:"count"`
+	P50US int64  `json:"p50_us"`
+	P99US int64  `json:"p99_us"`
+	MaxUS int64  `json:"max_us"`
+}
+
+// SpansPayload is the JSON body served by /spans: a phase-latency
+// rollup of every span still in the trace ring, plus the most recent
+// raw spans (?limit=N, default 128, 0 suppresses them).
+type SpansPayload struct {
+	Enabled bool           `json:"enabled"`
+	Spans   int            `json:"spans"`  // span events retained in the ring
+	Traces  int            `json:"traces"` // distinct trace ids among them
+	Phases  []PhaseSummary `json:"phases,omitempty"`
+	Recent  []SpanInfo     `json:"recent,omitempty"`
+}
+
+// SpansHandler serves the /spans debug endpoint over a recorder. A nil
+// or disabled recorder serves {"enabled":false}; the handler never
+// fails, so pollers like vptop can scrape it unconditionally.
+func SpansHandler(rec *trace.Recorder) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		limit := 128
+		if s := r.URL.Query().Get("limit"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n >= 0 {
+				limit = n
+			}
+		}
+		p := SpansPayload{Enabled: rec.Enabled()}
+		if p.Enabled {
+			events := rec.Events()
+			trees := trace.BuildTrees(events)
+			p.Traces = len(trees)
+			for _, st := range trace.PhaseStats(trees) {
+				p.Spans += st.Count
+				p.Phases = append(p.Phases, PhaseSummary{
+					Phase: st.Phase,
+					Count: st.Count,
+					P50US: st.P50.Microseconds(),
+					P99US: st.P99.Microseconds(),
+					MaxUS: st.Max.Microseconds(),
+				})
+			}
+			// Recent spans, newest last, straight off the ring's tail.
+			for _, e := range events {
+				if e.Kind != trace.EvSpan {
+					continue
+				}
+				p.Recent = append(p.Recent, SpanInfo{
+					Trace:  e.Ctx.Trace,
+					Span:   e.Ctx.Span,
+					Parent: e.Ctx.Parent,
+					Proc:   e.Proc,
+					Phase:  e.Msg,
+					EndUS:  e.At.Microseconds(),
+					DurUS:  time.Duration(e.Aux).Microseconds(),
+				})
+			}
+			if len(p.Recent) > limit {
+				p.Recent = p.Recent[len(p.Recent)-limit:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(p) //nolint:errcheck // client gone mid-reply
+	}
+}
+
 // Mux builds the debug handler tree over a registry. health may be nil,
-// in which case /healthz always reports 503 unknown.
-func Mux(reg *metrics.Registry, health *Health) *http.ServeMux {
+// in which case /healthz always reports 503 unknown; rec may be nil, in
+// which case /spans reports tracing disabled.
+func Mux(reg *metrics.Registry, health *Health, rec *trace.Recorder) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -96,6 +184,7 @@ func Mux(reg *metrics.Registry, health *Health) *http.ServeMux {
 		}
 		json.NewEncoder(w).Encode(st) //nolint:errcheck // client gone mid-reply
 	})
+	mux.HandleFunc("/spans", SpansHandler(rec))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -109,12 +198,12 @@ func Mux(reg *metrics.Registry, health *Health) *http.ServeMux {
 // returned server is closed. It returns once the listener is bound, so
 // callers can immediately scrape the reported address (Addr resolves
 // ":0" to the chosen port).
-func Serve(addr string, reg *metrics.Registry, health *Health) (*http.Server, string, error) {
+func Serve(addr string, reg *metrics.Registry, health *Health, rec *trace.Recorder) (*http.Server, string, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: Mux(reg, health)}
+	srv := &http.Server{Handler: Mux(reg, health, rec)}
 	go srv.Serve(l) //nolint:errcheck // ErrServerClosed on shutdown
 	return srv, l.Addr().String(), nil
 }

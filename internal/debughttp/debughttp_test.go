@@ -6,9 +6,11 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/virtualpartitions/vp/internal/metrics"
 	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/trace"
 )
 
 func get(t *testing.T, url string) (int, string) {
@@ -29,7 +31,7 @@ func TestServeEndpoints(t *testing.T) {
 	reg := metrics.NewRegistry()
 	reg.Inc(metrics.CTxnCommit, 3)
 	reg.Inc(metrics.CMsgSent+".probe", 9)
-	srv, addr, err := Serve("127.0.0.1:0", reg, nil)
+	srv, addr, err := Serve("127.0.0.1:0", reg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,12 +68,74 @@ func TestServeEndpoints(t *testing.T) {
 	if code, _ = get(t, "http://"+addr+"/healthz"); code != http.StatusServiceUnavailable {
 		t.Errorf("/healthz without holder: status %d, want 503", code)
 	}
+
+	// With no recorder the spans endpoint still serves, reporting
+	// tracing disabled.
+	code, body = get(t, "http://"+addr+"/spans")
+	var sp SpansPayload
+	if code != http.StatusOK {
+		t.Errorf("/spans status %d", code)
+	} else if err := json.Unmarshal([]byte(body), &sp); err != nil || sp.Enabled {
+		t.Errorf("/spans without recorder = %q (err %v), want enabled=false", body, err)
+	}
+}
+
+// TestSpansEndpoint exercises /spans over a live recorder: the payload
+// must roll recorded spans up per phase and list the raw spans, and
+// ?limit must bound the raw list without touching the rollup.
+func TestSpansEndpoint(t *testing.T) {
+	rec := trace.New(64)
+	rec.SetEnabled(true)
+	root := model.TraceCtx{Trace: 42, Span: 1}
+	rec.Span(model.NoProc, root, "gw-request", 0, 10*time.Millisecond, model.TxnID{})
+	for i := uint32(0); i < 3; i++ {
+		rec.Span(1, root.Child(100+i), "coord-lock",
+			time.Duration(i)*time.Millisecond, time.Duration(i+2)*time.Millisecond, model.TxnID{})
+	}
+	srv, addr, err := Serve("127.0.0.1:0", metrics.NewRegistry(), nil, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body := get(t, "http://"+addr+"/spans")
+	if code != http.StatusOK {
+		t.Fatalf("/spans status %d", code)
+	}
+	var sp SpansPayload
+	if err := json.Unmarshal([]byte(body), &sp); err != nil {
+		t.Fatalf("bad /spans body %q: %v", body, err)
+	}
+	if !sp.Enabled || sp.Spans != 4 || sp.Traces != 1 {
+		t.Errorf("payload = %+v, want enabled, 4 spans, 1 trace", sp)
+	}
+	byPhase := map[string]PhaseSummary{}
+	for _, ph := range sp.Phases {
+		byPhase[ph.Phase] = ph
+	}
+	if got := byPhase["coord-lock"]; got.Count != 3 || got.MaxUS != 2000 {
+		t.Errorf("coord-lock rollup = %+v, want count 3 max 2000us", got)
+	}
+	if got := byPhase["gw-request"]; got.Count != 1 || got.P50US != 10000 {
+		t.Errorf("gw-request rollup = %+v, want count 1 p50 10000us", got)
+	}
+	if len(sp.Recent) != 4 {
+		t.Errorf("recent = %d spans, want 4", len(sp.Recent))
+	}
+
+	_, body = get(t, "http://"+addr+"/spans?limit=2")
+	if err := json.Unmarshal([]byte(body), &sp); err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Recent) != 2 || sp.Spans != 4 {
+		t.Errorf("limited payload = %+v, want 2 recent of 4 spans", sp)
+	}
 }
 
 func TestHealthz(t *testing.T) {
 	reg := metrics.NewRegistry()
 	h := &Health{}
-	srv, addr, err := Serve("127.0.0.1:0", reg, h)
+	srv, addr, err := Serve("127.0.0.1:0", reg, h, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

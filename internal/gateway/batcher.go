@@ -33,6 +33,7 @@ type batcher struct {
 	maxSize int
 	backend submitter
 	tags    *tagSource
+	spans   *spanSource
 	timeout time.Duration // per-round submit deadline
 	reg     *metrics.Registry
 	tr      *trace.Recorder
@@ -46,7 +47,8 @@ type batcher struct {
 // batchReq is one logical write awaiting its round.
 type batchReq struct {
 	entry wire.BatchEntry
-	node  model.ProcID // session-preferred node of the FIRST constituent routes the round
+	ctx   model.TraceCtx // trace context of the constituent (zero if unsampled)
+	node  model.ProcID   // session-preferred node of the FIRST constituent routes the round
 	reply chan batchReply
 }
 
@@ -56,7 +58,7 @@ type batchReply struct {
 	err  error
 }
 
-func newBatcher(window time.Duration, maxSize int, backend submitter, tags *tagSource,
+func newBatcher(window time.Duration, maxSize int, backend submitter, tags *tagSource, spans *spanSource,
 	timeout time.Duration, reg *metrics.Registry, tr *trace.Recorder, clock func() time.Duration) *batcher {
 	if window <= 0 {
 		window = 2 * time.Millisecond
@@ -64,8 +66,11 @@ func newBatcher(window time.Duration, maxSize int, backend submitter, tags *tagS
 	if maxSize <= 0 {
 		maxSize = 64
 	}
+	if spans == nil {
+		spans = &spanSource{}
+	}
 	b := &batcher{
-		window: window, maxSize: maxSize, backend: backend, tags: tags,
+		window: window, maxSize: maxSize, backend: backend, tags: tags, spans: spans,
 		timeout: timeout, reg: reg, tr: tr, clock: clock,
 		reqCh:  make(chan batchReq),
 		stopCh: make(chan struct{}),
@@ -78,8 +83,8 @@ func newBatcher(window time.Duration, maxSize int, backend submitter, tags *tagS
 // submit hands one batchable logical write to the batcher and waits for
 // its individual result out of the shared round, reporting which node
 // served it.
-func (b *batcher) submit(e wire.BatchEntry, node model.ProcID) (wire.ClientResult, model.ProcID, error) {
-	req := batchReq{entry: e, node: node, reply: make(chan batchReply, 1)}
+func (b *batcher) submit(e wire.BatchEntry, ctx model.TraceCtx, node model.ProcID) (wire.ClientResult, model.ProcID, error) {
+	req := batchReq{entry: e, ctx: ctx, node: node, reply: make(chan batchReply, 1)}
 	select {
 	case b.reqCh <- req:
 	case <-b.stopCh:
@@ -98,6 +103,10 @@ type round struct {
 	batch   *wire.Batch
 	replies []chan batchReply
 	node    model.ProcID
+	// ctx is the trace context of the first SAMPLED constituent; the
+	// round's shared backend transaction rides under it as a
+	// gw-batch-round child span.
+	ctx model.TraceCtx
 }
 
 // run is the batcher's single goroutine: accumulate into the open
@@ -117,7 +126,7 @@ func (b *batcher) run() {
 	timer.Stop()
 
 	start := func(req batchReq) *round {
-		r := &round{batch: wire.NewBatch(b.tags.next()), node: req.node}
+		r := &round{batch: wire.NewBatch(b.tags.next()), node: req.node, ctx: req.ctx}
 		if !r.batch.Add(req.entry) { // first entry always fits an empty round
 			panic("gateway: unbatchable entry reached the batcher")
 		}
@@ -127,6 +136,9 @@ func (b *batcher) run() {
 	add := func(r *round, req batchReq) bool {
 		if r == nil || !r.batch.Add(req.entry) {
 			return false
+		}
+		if r.ctx.IsZero() {
+			r.ctx = req.ctx
 		}
 		r.replies = append(r.replies, req.reply)
 		return true
@@ -206,7 +218,15 @@ func (b *batcher) flush(r *round) {
 	if b.tr.Enabled() {
 		b.tr.Record(trace.Event{At: b.clock(), Kind: trace.EvGwBatch, Aux: int64(n)})
 	}
-	res, node, err := b.backend.Submit(r.batch.Txn(), r.node, time.Now().Add(b.timeout))
+	var rctx model.TraceCtx
+	start := b.clock()
+	if !r.ctx.IsZero() {
+		rctx = r.ctx.Child(b.spans.next())
+	}
+	res, node, err := b.backend.Submit(r.batch.Txn(), rctx, r.node, time.Now().Add(b.timeout))
+	if !rctx.IsZero() {
+		b.tr.Span(model.NoProc, rctx, "gw-batch-round", start, b.clock(), res.Txn)
+	}
 	if err != nil {
 		for _, ch := range r.replies {
 			ch <- batchReply{err: err}

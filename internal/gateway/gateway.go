@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/virtualpartitions/vp/internal/debughttp"
 	"github.com/virtualpartitions/vp/internal/metrics"
 	"github.com/virtualpartitions/vp/internal/model"
 	"github.com/virtualpartitions/vp/internal/trace"
@@ -53,6 +54,13 @@ type Config struct {
 	// (default wire.CodecBinary; nodes auto-detect per frame either way).
 	Codec wire.CodecID
 
+	// TraceSample enables causal tracing of client requests: 1-in-N
+	// requests get a root trace context that propagates through every
+	// wire frame the request causes. 0 (the default) disables gateway
+	// minting entirely; sampled-out requests carry a zero context and
+	// pay no allocation.
+	TraceSample int
+
 	// Metrics and Tracer receive the gateway's counters and events;
 	// both default to fresh/disabled instances when nil.
 	Metrics *metrics.Registry
@@ -93,6 +101,13 @@ type tagSource struct{ n atomic.Uint64 }
 
 func (t *tagSource) next() uint64 { return t.n.Add(1) }
 
+// spanSource allocates gateway-minted span ids. The 0xFF high byte
+// namespaces them away from node-minted ids (which carry the processor
+// id there).
+type spanSource struct{ n atomic.Uint32 }
+
+func (s *spanSource) next() uint32 { return 0xFF<<24 | s.n.Add(1)&0xFFFFFF }
+
 // Gateway is one client-gateway instance: an http.Handler plus the
 // machinery behind it. Create with New, serve via Handler or ListenAndServe,
 // release with Close.
@@ -103,10 +118,27 @@ type Gateway struct {
 	batch   *batcher
 	adm     *admission
 	tags    *tagSource
+	spans   *spanSource
+	trCtr   atomic.Uint64 // request counter for 1-in-N trace sampling
 	reg     *metrics.Registry
 	tr      *trace.Recorder
 	start   time.Time
 	mux     *http.ServeMux
+}
+
+// mintRoot returns a fresh root trace context when this request is
+// sampled in, and the zero context (no allocation, nothing recorded)
+// otherwise.
+func (g *Gateway) mintRoot() model.TraceCtx {
+	if g.cfg.TraceSample <= 0 || !g.tr.Enabled() {
+		return model.TraceCtx{}
+	}
+	n := g.trCtr.Add(1)
+	if n%uint64(g.cfg.TraceSample) != 0 {
+		return model.TraceCtx{}
+	}
+	// Golden-ratio scramble keeps ids well spread; |1 keeps them nonzero.
+	return model.TraceCtx{Trace: n*0x9E3779B97F4A7C15 | 1, Span: g.spans.next()}
 }
 
 // New builds a gateway over a live cluster.
@@ -115,7 +147,7 @@ func New(cfg Config) *Gateway {
 	g := newWithBackend(cfg, nil)
 	g.pool = newPool(cfg.Cluster, cfg.Health, cfg.PerTry, cfg.Codec, cfg.Metrics)
 	g.backend = g.pool
-	g.batch = newBatcher(cfg.BatchWindow, cfg.BatchMax, g.pool, g.tags,
+	g.batch = newBatcher(cfg.BatchWindow, cfg.BatchMax, g.pool, g.tags, g.spans,
 		cfg.Deadline, g.reg, g.tr, g.clock)
 	return g
 }
@@ -128,13 +160,14 @@ func newWithBackend(cfg Config, backend submitter) *Gateway {
 		cfg:     cfg,
 		backend: backend,
 		tags:    &tagSource{},
+		spans:   &spanSource{},
 		reg:     cfg.Metrics,
 		tr:      cfg.Tracer,
 		start:   time.Now(),
 	}
 	g.adm = newAdmission(cfg.MaxInflight, cfg.MaxQueue, g.reg, g.tr, g.clock)
 	if backend != nil {
-		g.batch = newBatcher(cfg.BatchWindow, cfg.BatchMax, backend, g.tags,
+		g.batch = newBatcher(cfg.BatchWindow, cfg.BatchMax, backend, g.tags, g.spans,
 			cfg.Deadline, g.reg, g.tr, g.clock)
 	}
 	g.mux = http.NewServeMux()
@@ -142,6 +175,7 @@ func newWithBackend(cfg Config, backend submitter) *Gateway {
 	g.mux.HandleFunc("GET /read", g.handleRead)
 	g.mux.HandleFunc("GET /gw/stats", g.handleStats)
 	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
+	g.mux.HandleFunc("GET /spans", debughttp.SpansHandler(g.tr))
 	return g
 }
 
@@ -305,14 +339,21 @@ func (g *Gateway) handleTxn(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 	}
+	rctx := g.mintRoot()
+	beganClk := g.clock()
 	if g.cfg.Batching && g.batch != nil && wire.Batchable(ops) {
-		res, servedBy, err = g.batch.submit(wire.BatchEntry{Tag: g.tags.next(), Ops: ops}, sess.Node)
+		res, servedBy, err = g.batch.submit(wire.BatchEntry{Tag: g.tags.next(), Ops: ops}, rctx, sess.Node)
 	} else {
 		txn := wire.ClientTxn{Tag: g.tags.next(), Ops: ops}
 		if hasWrite {
 			g.reg.Inc(metrics.CGwWriteTxns, 1)
 		}
-		res, servedBy, err = g.backend.Submit(txn, sess.Node, began.Add(g.cfg.Deadline))
+		res, servedBy, err = g.backend.Submit(txn, rctx, sess.Node, began.Add(g.cfg.Deadline))
+	}
+	if !rctx.IsZero() {
+		// The gw-request root span covers admission to backend result,
+		// batched or not; errors still close it.
+		g.tr.Span(model.NoProc, rctx, "gw-request", beganClk, g.clock(), res.Txn)
 	}
 	if err != nil {
 		g.reg.Inc(metrics.CGwFailed, 1)
@@ -361,10 +402,18 @@ func (g *Gateway) handleRead(w http.ResponseWriter, r *http.Request) {
 	preferred := sess.Node
 	var res wire.ClientResult
 	var servedBy model.ProcID
+	rctx := g.mintRoot()
+	beganClk := g.clock()
+	defer func() {
+		if !rctx.IsZero() {
+			// One gw-request span per read, spanning all freshness retries.
+			g.tr.Span(model.NoProc, rctx, "gw-request", beganClk, g.clock(), res.Txn)
+		}
+	}()
 	for attempt := 1; ; attempt++ {
 		// A fresh tag per attempt: each retry is a new transaction.
 		txn := wire.ClientTxn{Tag: g.tags.next(), Ops: []wire.Op{wire.ReadOp(obj)}}
-		res, servedBy, err = g.backend.Submit(txn, preferred, deadline)
+		res, servedBy, err = g.backend.Submit(txn, rctx, preferred, deadline)
 		if err != nil {
 			g.reg.Inc(metrics.CGwFailed, 1)
 			httpErr(w, http.StatusBadGateway, "%v", err)

@@ -27,7 +27,7 @@ type fakeBackend struct {
 	fn func(t wire.ClientTxn, preferred model.ProcID) (wire.ClientResult, model.ProcID, error)
 }
 
-func (f *fakeBackend) Submit(t wire.ClientTxn, preferred model.ProcID, _ time.Time) (wire.ClientResult, model.ProcID, error) {
+func (f *fakeBackend) Submit(t wire.ClientTxn, _ model.TraceCtx, preferred model.ProcID, _ time.Time) (wire.ClientResult, model.ProcID, error) {
 	return f.fn(t, preferred)
 }
 

@@ -20,9 +20,11 @@ import (
 type submitter interface {
 	// Submit runs one transaction to completion (committed) or to the
 	// deadline, retrying across nodes. preferred, when non-zero, names
-	// the node tried first — session affinity. It reports which node
-	// served the returned result.
-	Submit(t wire.ClientTxn, preferred model.ProcID, deadline time.Time) (wire.ClientResult, model.ProcID, error)
+	// the node tried first — session affinity. ctx, when non-zero, is the
+	// trace context the submission's wire frames carry, parenting the
+	// node-side spans under the gateway's request span. It reports which
+	// node served the returned result.
+	Submit(t wire.ClientTxn, ctx model.TraceCtx, preferred model.ProcID, deadline time.Time) (wire.ClientResult, model.ProcID, error)
 }
 
 // pool maintains one persistent multiplexed connection per cluster node
@@ -164,7 +166,7 @@ func (p *pool) markDown(id model.ProcID) {
 // since another partition may hold the objects. Like SubmitTCPRetry
 // this is an at-least-once contract: an attempt whose result was lost
 // may have executed.
-func (p *pool) Submit(t wire.ClientTxn, preferred model.ProcID, deadline time.Time) (wire.ClientResult, model.ProcID, error) {
+func (p *pool) Submit(t wire.ClientTxn, ctx model.TraceCtx, preferred model.ProcID, deadline time.Time) (wire.ClientResult, model.ProcID, error) {
 	// The first retry is immediate: the common abort is a wait-die victim
 	// racing a lock its predecessor has already logically released (the
 	// commit messages are in flight to the replicas), which clears in
@@ -187,7 +189,7 @@ func (p *pool) Submit(t wire.ClientTxn, preferred model.ProcID, deadline time.Ti
 			if try > remain {
 				try = remain
 			}
-			res, err := p.clients[id].Submit(t, try)
+			res, err := p.clients[id].SubmitCtx(t, ctx, try)
 			if err != nil {
 				p.markDown(id)
 				lastErr, lastNode = err, id

@@ -72,6 +72,13 @@ func (c *Client) Addr() string { return c.addr }
 // Concurrent submissions share the connection; each caller's tag must be
 // unique among the in-flight set.
 func (c *Client) Submit(t wire.ClientTxn, timeout time.Duration) (wire.ClientResult, error) {
+	return c.SubmitCtx(t, model.TraceCtx{}, timeout)
+}
+
+// SubmitCtx is Submit with a trace context attached to the outbound
+// frame, so the receiving node's transaction handling is parented under
+// the caller's span. A zero context adds no bytes to the frame.
+func (c *Client) SubmitCtx(t wire.ClientTxn, ctx model.TraceCtx, timeout time.Duration) (wire.ClientResult, error) {
 	ch := make(chan wire.ClientResult, 1)
 
 	c.mu.Lock()
@@ -97,7 +104,7 @@ func (c *Client) Submit(t wire.ClientTxn, timeout time.Duration) (wire.ClientRes
 		return wire.ClientResult{}, fmt.Errorf("net: client tag %d already in flight", t.Tag)
 	}
 	fb := frameScratch.Get().(*frameBuf)
-	b, err := c.enc.AppendFrame(fb.b[:0], &wire.Envelope{From: model.NoProc, To: model.NoProc, Msg: t})
+	b, err := c.enc.AppendFrame(fb.b[:0], &wire.Envelope{From: model.NoProc, To: model.NoProc, Msg: t, Ctx: ctx})
 	if err != nil {
 		frameScratch.Put(fb)
 		c.mu.Unlock()

@@ -46,6 +46,7 @@ type RealCluster struct {
 type rtEvent struct {
 	from  model.ProcID
 	msg   wire.Message
+	ctx   model.TraceCtx
 	timer any // non-nil: timer event with this key
 	tid   TimerID
 }
@@ -57,6 +58,11 @@ type realNode struct {
 	mbox chan rtEvent
 	rng  *rand.Rand
 	rmu  sync.Mutex // guards rng: Send may race with timer goroutines
+
+	// cur is the trace context of the event the loop goroutine is
+	// handling. Only the loop goroutine reads or writes it, and Send is
+	// only called from handler code on that goroutine.
+	cur model.TraceCtx
 
 	tmu    sync.Mutex
 	nextT  TimerID
@@ -146,10 +152,12 @@ func (n *realNode) loop() {
 			delete(n.timers, ev.tid)
 			n.tmu.Unlock()
 			if live {
+				n.cur = model.TraceCtx{}
 				n.h.OnTimer(n, ev.timer)
 			}
 			continue
 		}
+		n.cur = ev.ctx
 		n.h.OnMessage(n, ev.from, ev.msg)
 	}
 }
@@ -167,10 +175,16 @@ func (n *realNode) Metrics() *metrics.Registry { return n.c.Reg }
 func (n *realNode) Tracer() *trace.Recorder { return n.c.Rec }
 
 func (n *realNode) Send(to model.ProcID, m wire.Message) {
+	n.SendCtx(to, m, n.cur)
+}
+
+func (n *realNode) TraceCtx() model.TraceCtx { return n.cur }
+
+func (n *realNode) SendCtx(to model.ProcID, m wire.Message, ctx model.TraceCtx) {
 	c := n.c
 	if to == n.id {
 		// Local procedure call: reliable, free of network cost.
-		n.enqueue(rtEvent{from: n.id, msg: m})
+		n.enqueue(rtEvent{from: n.id, msg: m, ctx: ctx})
 		return
 	}
 	kind := wire.Kind(m)
@@ -210,19 +224,19 @@ func (n *realNode) Send(to model.ProcID, m wire.Message) {
 		if v.Duplicate {
 			dup := m
 			dupLat := lat
-			time.AfterFunc(dupLat+time.Millisecond, func() { n.deliverTo(dst, to, dup, kind) })
+			time.AfterFunc(dupLat+time.Millisecond, func() { n.deliverTo(dst, to, dup, kind, ctx) })
 		}
 	}
 	if lat <= 0 {
-		n.deliverTo(dst, to, m, kind)
+		n.deliverTo(dst, to, m, kind, ctx)
 	} else {
-		time.AfterFunc(lat, func() { n.deliverTo(dst, to, m, kind) })
+		time.AfterFunc(lat, func() { n.deliverTo(dst, to, m, kind, ctx) })
 	}
 }
 
 // deliverTo completes one remote delivery, re-checking connectivity at
 // delivery time so a partition formed in flight still loses the message.
-func (n *realNode) deliverTo(dst *realNode, to model.ProcID, m wire.Message, kind string) {
+func (n *realNode) deliverTo(dst *realNode, to model.ProcID, m wire.Message, kind string, ctx model.TraceCtx) {
 	c := n.c
 	if !c.Topo.Connected(n.id, to) {
 		n.drop(to, kind)
@@ -231,7 +245,7 @@ func (n *realNode) deliverTo(dst *realNode, to model.ProcID, m wire.Message, kin
 	c.Reg.Inc(metrics.CMsgDelivered, 1)
 	c.Reg.Inc(metrics.CMsgDelivered+"."+kind, 1)
 	c.Rec.Record(trace.Event{At: n.Now(), Proc: to, Kind: trace.EvMsgRecv, Peer: n.id, Msg: kind})
-	dst.enqueue(rtEvent{from: n.id, msg: m})
+	dst.enqueue(rtEvent{from: n.id, msg: m, ctx: ctx})
 }
 
 func (n *realNode) SetTimer(d time.Duration, key any) TimerID {

@@ -27,8 +27,17 @@ type Runtime interface {
 	// Send transmits a message. Sending to model.NoProc routes to the
 	// client sink (transaction results). Delivery is best-effort: links
 	// may be down and messages may be lost — exactly the omission and
-	// performance failures of §2.
+	// performance failures of §2. The message carries the ambient trace
+	// context of the event being handled (see TraceCtx), so protocol
+	// fan-outs propagate causality without changing call sites.
 	Send(to model.ProcID, m wire.Message)
+	// SendCtx is Send with an explicit trace context, used where a
+	// subsystem opens a child span and wants the outbound messages
+	// parented under it rather than under the inbound context.
+	SendCtx(to model.ProcID, m wire.Message, ctx model.TraceCtx)
+	// TraceCtx returns the trace context the message being handled
+	// arrived with (zero for untraced messages, timers, and submits).
+	TraceCtx() model.TraceCtx
 	// SetTimer schedules OnTimer(key) after d. Timers always fire unless
 	// cancelled; they are local and unaffected by the network.
 	SetTimer(d time.Duration, key any) TimerID

@@ -119,7 +119,9 @@ func (c *SimCluster) Submit(at time.Duration, p model.ProcID, t wire.ClientTxn) 
 		panic(fmt.Sprintf("net: submit to unknown node %v", p))
 	}
 	c.Engine.At(at, "client-txn", func() {
-		h.OnMessage(c.runtimes[p], model.NoProc, t)
+		rt := c.runtimes[p]
+		rt.cur = model.TraceCtx{}
+		h.OnMessage(rt, model.NoProc, t)
 	})
 }
 
@@ -136,17 +138,20 @@ func (c *SimCluster) Run(until time.Duration) { c.Engine.Run(until) }
 // are delivered on the next event tick, never fail, and do not count as
 // network messages (reading one's own copy is free in the paper's cost
 // model).
-func (c *SimCluster) deliver(from, to model.ProcID, m wire.Message) {
+func (c *SimCluster) deliver(from, to model.ProcID, m wire.Message, ctx model.TraceCtx) {
 	if from == to {
 		if h, ok := c.nodes[to]; ok {
 			c.Engine.After(0, "self-"+wire.Kind(m), func() {
-				h.OnMessage(c.runtimes[to], from, m)
+				rt := c.runtimes[to]
+				rt.cur = ctx
+				h.OnMessage(rt, from, m)
 			})
 		}
 		return
 	}
 	if c.Transcode != nil {
-		m = c.Transcode(wire.Envelope{From: from, To: to, Msg: m}).Msg
+		env := c.Transcode(wire.Envelope{From: from, To: to, Msg: m, Ctx: ctx})
+		m, ctx = env.Msg, env.Ctx
 	}
 	kind := wire.Kind(m)
 	c.Reg.Inc(metrics.CMsgSent, 1)
@@ -184,7 +189,9 @@ func (c *SimCluster) deliver(from, to model.ProcID, m wire.Message) {
 		c.Reg.Inc(metrics.CMsgDelivered, 1)
 		c.Reg.Inc(metrics.CMsgDelivered+"."+kind, 1)
 		c.Rec.Record(trace.Event{At: c.Engine.Now(), Proc: to, Kind: trace.EvMsgRecv, Peer: from, Msg: kind})
-		h.OnMessage(c.runtimes[to], from, m)
+		rt := c.runtimes[to]
+		rt.cur = ctx
+		h.OnMessage(rt, from, m)
 	})
 }
 
@@ -201,6 +208,11 @@ type simRuntime struct {
 	rng     *rand.Rand
 	nextTID TimerID
 	timers  map[TimerID]sim.Handle
+	// cur is the trace context of the event currently being handled; the
+	// cluster sets it before every OnMessage and zeroes it for timers and
+	// client submits. Safe without locking: the engine runs one event at
+	// a time.
+	cur model.TraceCtx
 }
 
 var _ Runtime = (*simRuntime)(nil)
@@ -215,8 +227,14 @@ func (r *simRuntime) Metrics() *metrics.Registry { return r.c.Reg }
 func (r *simRuntime) Tracer() *trace.Recorder { return r.c.Rec }
 
 func (r *simRuntime) Send(to model.ProcID, m wire.Message) {
-	r.c.deliver(r.id, to, m)
+	r.c.deliver(r.id, to, m, r.cur)
 }
+
+func (r *simRuntime) SendCtx(to model.ProcID, m wire.Message, ctx model.TraceCtx) {
+	r.c.deliver(r.id, to, m, ctx)
+}
+
+func (r *simRuntime) TraceCtx() model.TraceCtx { return r.cur }
 
 func (r *simRuntime) SetTimer(d time.Duration, key any) TimerID {
 	if r.timers == nil {
@@ -227,6 +245,7 @@ func (r *simRuntime) SetTimer(d time.Duration, key any) TimerID {
 	h := r.c.nodes[r.id]
 	handle := r.c.Engine.After(d, fmt.Sprintf("timer-%v-%v", r.id, key), func() {
 		delete(r.timers, id)
+		r.cur = model.TraceCtx{}
 		h.OnTimer(r, key)
 	})
 	r.timers[id] = handle

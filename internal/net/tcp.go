@@ -109,6 +109,11 @@ type TCPNode struct {
 	nextT  TimerID
 	timers map[TimerID]*time.Timer
 	rng    *rand.Rand
+
+	// cur is the trace context of the event being handled. Only the
+	// event-loop goroutine touches it (Send is handler code on that
+	// goroutine), so it needs no lock.
+	cur model.TraceCtx
 }
 
 // peerConn is the persistent outbound state for one peer: a bounded
@@ -292,7 +297,7 @@ func (n *TCPNode) readLoop(ac *acceptedConn) {
 		n.reg.Inc(metrics.CMsgDelivered, 1)
 		n.reg.Inc(metrics.CMsgDelivered+"."+kind, 1)
 		n.rec.Record(trace.Event{At: n.Now(), Proc: n.id, Kind: trace.EvMsgRecv, Peer: env.From, Msg: kind})
-		n.enqueue(rtEvent{from: env.From, msg: env.Msg})
+		n.enqueue(rtEvent{from: env.From, msg: env.Msg, ctx: env.Ctx})
 	}
 }
 
@@ -313,10 +318,12 @@ func (n *TCPNode) eventLoop() {
 				delete(n.timers, ev.tid)
 				n.tmu.Unlock()
 				if live {
+					n.cur = model.TraceCtx{}
 					n.handler.OnTimer(n, ev.timer)
 				}
 				continue
 			}
+			n.cur = ev.ctx
 			n.handler.OnMessage(n, ev.from, ev.msg)
 		}
 	}
@@ -569,8 +576,16 @@ func (n *TCPNode) Rand() *rand.Rand { return n.rng }
 
 // Send implements Runtime.
 func (n *TCPNode) Send(to model.ProcID, m wire.Message) {
+	n.SendCtx(to, m, n.cur)
+}
+
+// TraceCtx implements Runtime.
+func (n *TCPNode) TraceCtx() model.TraceCtx { return n.cur }
+
+// SendCtx implements Runtime.
+func (n *TCPNode) SendCtx(to model.ProcID, m wire.Message, ctx model.TraceCtx) {
 	if to == n.id {
-		n.enqueue(rtEvent{from: n.id, msg: m}) // local, free
+		n.enqueue(rtEvent{from: n.id, msg: m, ctx: ctx}) // local, free
 		return
 	}
 	kind := wire.Kind(m)
@@ -605,7 +620,7 @@ func (n *TCPNode) Send(to model.ProcID, m wire.Message) {
 		n.drop(to, kind)
 		return
 	}
-	env := wire.Envelope{From: n.id, To: to, Msg: m}
+	env := wire.Envelope{From: n.id, To: to, Msg: m, Ctx: ctx}
 	if ic := n.icpt; ic != nil {
 		v := ic.Outbound(n.id, to, kind)
 		if v.Drop {

@@ -1,6 +1,8 @@
 package node
 
 import (
+	"time"
+
 	"github.com/virtualpartitions/vp/internal/durable"
 	"github.com/virtualpartitions/vp/internal/locks"
 	"github.com/virtualpartitions/vp/internal/model"
@@ -38,6 +40,18 @@ type Base struct {
 	seq    uint64
 	// resumed decisions restored from the journal, re-driven by InitBase.
 	resumed map[model.TxnID]durable.DecideRec
+
+	// spanSeq counts spans minted at this node. Only advanced for traced
+	// transactions, so untraced runs stay byte-identical.
+	spanSeq uint32
+}
+
+// nextSpan mints a node-unique span id: the processor id in the high
+// byte keeps concurrently minted ids from colliding across nodes while
+// staying deterministic under simulation.
+func (b *Base) NextSpan() uint32 {
+	b.spanSeq++
+	return uint32(b.ID)<<24 | b.spanSeq&0xFFFFFF
 }
 
 type lockKey struct {
@@ -48,6 +62,10 @@ type lockKey struct {
 type pendingLock struct {
 	from model.ProcID
 	req  wire.LockReq
+	// ctx and queuedAt record the trace context and arrival time of a
+	// queued request so the grant can close a part-lock-wait span.
+	ctx      model.TraceCtx
+	queuedAt time.Duration
 }
 
 type deferredAccess struct {

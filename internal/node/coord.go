@@ -2,6 +2,7 @@ package node
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/virtualpartitions/vp/internal/metrics"
 	"github.com/virtualpartitions/vp/internal/model"
@@ -62,6 +63,18 @@ type txn struct {
 	// prepare payload per participant, retained so a weak-R4 migration
 	// can re-issue it under the new epoch
 	prepares map[model.ProcID][]wire.ObjWrite
+
+	// tracing: ctx is the transaction's root span (zero when untraced);
+	// the phase contexts parent outbound fan-outs so participant spans
+	// land under the phase that caused them. Spans are recorded at close.
+	ctx       model.TraceCtx
+	begun     time.Duration
+	opCtx     model.TraceCtx // current coord-lock span
+	opStart   time.Duration
+	prepCtx   model.TraceCtx // coord-prepare span
+	prepStart time.Duration
+	decCtx    model.TraceCtx // coord-decide span
+	decStart  time.Duration
 }
 
 func (b *Base) startTxn(rt net.Runtime, ct wire.ClientTxn) {
@@ -97,6 +110,22 @@ func (b *Base) startTxn(rt net.Runtime, ct wire.ClientTxn) {
 		missedBy:   make(map[model.ObjectID][]model.ProcID),
 	}
 	b.active[t.id] = t
+	if rt.Tracer().Enabled() {
+		parent := rt.TraceCtx()
+		if parent.IsZero() && b.Cfg.TraceSample > 0 && b.seq%uint64(b.Cfg.TraceSample) == 0 {
+			// No client-minted context (vpsim, vpctl): derive a
+			// deterministic root trace id from the transaction id so
+			// simulated runs yield reproducible span trees.
+			parent = model.TraceCtx{Trace: uint64(t.id.Start)*1_000_003 ^ uint64(t.id.P)<<32 ^ t.id.Seq}
+			if parent.Trace == 0 {
+				parent.Trace = 1
+			}
+		}
+		if !parent.IsZero() {
+			t.ctx = parent.Child(b.NextSpan())
+			t.begun = rt.Now()
+		}
+	}
 	rt.Tracer().Record(trace.Event{At: rt.Now(), Proc: b.ID, Kind: trace.EvTxnBegin, VP: epoch.VP, Txn: t.id, Aux: int64(len(ct.Ops))})
 	b.step(rt, t)
 }
@@ -162,11 +191,14 @@ func (b *Base) step(rt net.Runtime, t *txn) {
 	t.planMode = mode
 	t.got = make(map[model.ProcID]wire.LockResp)
 	t.escalated = false
+	if !t.ctx.IsZero() {
+		t.opCtx, t.opStart = t.ctx.Child(b.NextSpan()), rt.Now()
+	}
 	for _, p := range plan.Targets {
-		rt.Send(p, wire.LockReq{
+		rt.SendCtx(p, wire.LockReq{
 			Txn: t.id, Obj: op.Obj, Mode: mode,
 			Epoch: t.epoch.VP, HasEpoch: t.epoch.Has,
-		})
+		}, t.opCtx)
 	}
 	t.opTimer = rt.SetTimer(b.Cfg.LockTimeout, opTimeout{txn: t.id, op: t.opIdx})
 }
@@ -317,10 +349,10 @@ func (b *Base) completeOp(rt net.Runtime, t *txn) {
 					t.plan.Targets = append(t.plan.Targets, p)
 					pl := b.Cat.Placement(op.Obj)
 					t.plan.MinWeight += pl.Weight(p)
-					rt.Send(p, wire.LockReq{
+					rt.SendCtx(p, wire.LockReq{
 						Txn: t.id, Obj: op.Obj, Mode: model.LockShared,
 						Epoch: t.epoch.VP, HasEpoch: t.epoch.Has,
-					})
+					}, t.opCtx)
 					added++
 				}
 				if added > 0 {
@@ -363,6 +395,12 @@ func (b *Base) completeOp(rt net.Runtime, t *txn) {
 			tr.Record(trace.Event{At: rt.Now(), Proc: b.ID, Kind: trace.EvTxnWrite, VP: t.epoch.VP, Txn: t.id, Obj: op.Obj,
 				Procs: append([]model.ProcID(nil), grantedProcs...)})
 		}
+	}
+	if !t.opCtx.IsZero() {
+		// The coord-lock span covers the whole logical access, including
+		// any escalation round: plan fan-out to last needed grant.
+		rt.Tracer().Span(b.ID, t.opCtx, "coord-lock", t.opStart, rt.Now(), t.id)
+		t.opCtx = model.TraceCtx{}
 	}
 	t.opIdx++
 	b.step(rt, t)
@@ -424,11 +462,14 @@ func (b *Base) beginCommit(rt net.Runtime, t *txn) {
 	for p := range perProc {
 		t.votesNeeded.Add(p)
 	}
+	if !t.ctx.IsZero() && t.votesNeeded.Len() > 0 {
+		t.prepCtx, t.prepStart = t.ctx.Child(b.NextSpan()), rt.Now()
+	}
 	for _, p := range t.votesNeeded.Sorted() {
-		rt.Send(p, wire.Prepare{
+		rt.SendCtx(p, wire.Prepare{
 			Txn: t.id, Epoch: t.epoch.VP, HasEpoch: t.epoch.Has,
 			Writes: perProc[p],
-		})
+		}, t.prepCtx)
 	}
 	t.voteTimer = rt.SetTimer(b.Cfg.VoteTimeout, voteTimeout{txn: t.id})
 }
@@ -472,11 +513,21 @@ func (b *Base) handleVoteTimeout(rt net.Runtime, k voteTimeout) {
 // must keep telling it (across partition heals if necessary).
 func (b *Base) decide(rt net.Runtime, t *txn, commit bool, reason string) {
 	rt.CancelTimer(t.voteTimer)
+	if !t.prepCtx.IsZero() {
+		rt.Tracer().Span(b.ID, t.prepCtx, "coord-prepare", t.prepStart, rt.Now(), t.id)
+		t.prepCtx = model.TraceCtx{}
+	}
 	t.phase = phaseDeciding
 	t.commit = commit
 	t.pendingAcks = t.votesNeeded.Clone()
 	if b.Journal != nil {
+		jStart := rt.Now()
 		b.Journal.Decide(t.id, commit, t.pendingAcks.Sorted())
+		if !t.ctx.IsZero() {
+			// In a durable deployment this span is the decision-record
+			// fsync — often the commit path's dominant cost.
+			rt.Tracer().Span(b.ID, t.ctx.Child(b.NextSpan()), "coord-journal", jStart, rt.Now(), t.id)
+		}
 	}
 	// Read-only participants are released outright.
 	for _, p := range t.sParts.Sorted() {
@@ -484,8 +535,11 @@ func (b *Base) decide(rt net.Runtime, t *txn, commit bool, reason string) {
 			rt.Send(p, wire.Release{Txn: t.id})
 		}
 	}
+	if !t.ctx.IsZero() && t.pendingAcks.Len() > 0 {
+		t.decCtx, t.decStart = t.ctx.Child(b.NextSpan()), rt.Now()
+	}
 	for _, p := range t.pendingAcks.Sorted() {
-		rt.Send(p, wire.Decide{Txn: t.id, Commit: commit})
+		rt.SendCtx(p, wire.Decide{Txn: t.id, Commit: commit}, t.decCtx)
 	}
 	if t.pendingAcks.Len() > 0 {
 		t.retryTimer = rt.SetTimer(b.Cfg.DecideRetry, decideRetry{txn: t.id})
@@ -501,6 +555,10 @@ func (b *Base) handleDecideAck(rt net.Runtime, from model.ProcID, a wire.DecideA
 	t.pendingAcks.Remove(from)
 	if t.pendingAcks.Len() == 0 {
 		rt.CancelTimer(t.retryTimer)
+		if !t.decCtx.IsZero() {
+			rt.Tracer().Span(b.ID, t.decCtx, "coord-decide", t.decStart, rt.Now(), t.id)
+			t.decCtx = model.TraceCtx{}
+		}
 		t.phase = phaseDone
 		delete(b.active, t.id)
 		if b.Journal != nil {
@@ -515,7 +573,7 @@ func (b *Base) handleDecideRetry(rt net.Runtime, k decideRetry) {
 		return
 	}
 	for _, p := range t.pendingAcks.Sorted() {
-		rt.Send(p, wire.Decide{Txn: t.id, Commit: t.commit})
+		rt.SendCtx(p, wire.Decide{Txn: t.id, Commit: t.commit}, t.decCtx)
 	}
 	t.retryTimer = rt.SetTimer(b.Cfg.DecideRetry, decideRetry{txn: t.id})
 }
@@ -597,9 +655,14 @@ func (b *Base) finish(rt net.Runtime, t *txn, committed bool, reason string) {
 			writes = append(writes, wire.ObjVal{Obj: o, Val: t.writes[o], Ver: t.writeVers[o]})
 		}
 	}
-	rt.Send(model.NoProc, wire.ClientResult{
+	if !t.ctx.IsZero() {
+		// Root span: submission to client-visible outcome. Decide-ack
+		// collection may continue past this point (coord-decide span).
+		rt.Tracer().Span(b.ID, t.ctx, "coord-txn", t.begun, rt.Now(), t.id)
+	}
+	rt.SendCtx(model.NoProc, wire.ClientResult{
 		Tag: t.tag, Txn: t.id, Committed: committed, Reason: reason, Reads: reads, Writes: writes,
-	})
+	}, t.ctx)
 	if t.phase == phaseDone {
 		delete(b.active, t.id)
 	}

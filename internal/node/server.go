@@ -47,22 +47,28 @@ func (b *Base) admitLock(rt net.Runtime, from model.ProcID, req wire.LockReq) {
 	switch b.Locks.Acquire(req.Obj, req.Txn, req.Mode) {
 	case locks.Granted:
 		b.touch(rt, req.Txn)
-		b.respondGranted(rt, from, req)
+		b.respondGranted(rt, from, req, rt.TraceCtx())
 	case locks.Queued:
 		b.touch(rt, req.Txn)
-		b.waiting[lockKey{req.Txn, req.Obj}] = pendingLock{from: from, req: req}
+		b.waiting[lockKey{req.Txn, req.Obj}] = pendingLock{
+			from: from, req: req, ctx: rt.TraceCtx(), queuedAt: rt.Now(),
+		}
 	case locks.Died:
 		rt.Send(from, wire.LockResp{Txn: req.Txn, Obj: req.Obj, Status: wire.LockDenied,
 			Epoch: req.Epoch, HasEpoch: req.HasEpoch})
 	}
 }
 
-func (b *Base) respondGranted(rt net.Runtime, to model.ProcID, req wire.LockReq) {
+// respondGranted answers a granted lock request. ctx is the trace
+// context the request arrived with — passed explicitly because a grant
+// unblocked by a release runs under the *releaser's* ambient context,
+// and the response must stay parented under the requester's span.
+func (b *Base) respondGranted(rt net.Runtime, to model.ProcID, req wire.LockReq, ctx model.TraceCtx) {
 	c := b.Store.Get(req.Obj)
 	if req.Mode == model.LockShared {
 		rt.Metrics().Inc(metrics.CPhysRead, 1)
 	}
-	rt.Send(to, wire.LockResp{
+	rt.SendCtx(to, wire.LockResp{
 		Txn:        req.Txn,
 		Obj:        req.Obj,
 		Status:     wire.LockGranted,
@@ -71,7 +77,7 @@ func (b *Base) respondGranted(rt net.Runtime, to model.ProcID, req wire.LockReq)
 		Epoch:      req.Epoch,
 		HasEpoch:   req.HasEpoch,
 		HasMissing: b.Store.HasMissing(req.Obj),
-	})
+	}, ctx)
 }
 
 // processGrants answers lock requests that a release unblocked. The
@@ -91,12 +97,15 @@ func (b *Base) processGrants(rt net.Runtime, grants []locks.Grant) {
 		delete(b.waiting, key)
 		if !b.Strat.AcceptAccess(rt, Epoch{VP: p.req.Epoch, Has: p.req.HasEpoch}) {
 			grants = append(grants, b.Locks.Release(g.Obj, g.Txn)...)
-			rt.Send(p.from, wire.LockResp{Txn: g.Txn, Obj: g.Obj, Status: wire.LockWrongEpoch,
-				Epoch: p.req.Epoch, HasEpoch: p.req.HasEpoch})
+			rt.SendCtx(p.from, wire.LockResp{Txn: g.Txn, Obj: g.Obj, Status: wire.LockWrongEpoch,
+				Epoch: p.req.Epoch, HasEpoch: p.req.HasEpoch}, p.ctx)
 			continue
 		}
 		b.touch(rt, g.Txn)
-		b.respondGranted(rt, p.from, p.req)
+		if !p.ctx.IsZero() {
+			rt.Tracer().Span(b.ID, p.ctx.Child(b.NextSpan()), "part-lock-wait", p.queuedAt, rt.Now(), g.Txn)
+		}
+		b.respondGranted(rt, p.from, p.req, p.ctx)
 	}
 }
 
@@ -158,16 +167,31 @@ func (b *Base) handlePrepare(rt net.Runtime, from model.ProcID, p wire.Prepare) 
 			return
 		}
 	}
+	ctx := rt.TraceCtx()
+	traced := !ctx.IsZero() && len(p.Writes) > 0
+	stageStart := rt.Now()
 	for _, w := range p.Writes {
 		if w.Delta {
 			b.Store.StageDelta(w.Obj, p.Txn, w.Val, w.Ver)
 		} else {
 			b.Store.Stage(w.Obj, p.Txn, w.Val, w.Ver)
 		}
-		if b.Journal != nil {
+	}
+	if traced {
+		rt.Tracer().Span(b.ID, ctx.Child(b.NextSpan()), "part-stage", stageStart, rt.Now(), p.Txn)
+	}
+	if b.Journal != nil {
+		jStart := rt.Now()
+		for _, w := range p.Writes {
 			b.Journal.Stage(p.Txn, w.Obj, durable.StagedWrite{
 				Val: w.Val, Ver: w.Ver, Delta: w.Delta, MissedBy: w.MissedBy,
 			})
+		}
+		if traced {
+			// In a durable deployment this is the staged-write fsync cost,
+			// split from part-stage so the critical path can tell the store
+			// from the disk.
+			rt.Tracer().Span(b.ID, ctx.Child(b.NextSpan()), "part-journal", jStart, rt.Now(), p.Txn)
 		}
 	}
 	b.prepared[p.Txn] = &preparedTxn{coord: from, writes: p.Writes}

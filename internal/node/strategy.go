@@ -139,6 +139,13 @@ type Config struct {
 	// LogCap bounds the per-object write log (0 disables logging and
 	// with it the §6 log-based catch-up).
 	LogCap int
+	// TraceSample controls coordinator-minted trace roots for client
+	// transactions that arrive without a trace context (vpsim, vpctl):
+	// 1-in-N transactions get a root span when the recorder is enabled.
+	// 0 (and the default, 1) means every such transaction; negative
+	// disables coordinator minting entirely — transactions are then only
+	// traced when the client (gateway) supplies a context.
+	TraceSample int
 }
 
 // WithDefaults fills unset durations from Delta.
@@ -154,6 +161,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.DecideRetry <= 0 {
 		c.DecideRetry = 4 * c.Delta
+	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 1
 	}
 	return c
 }

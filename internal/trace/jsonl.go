@@ -30,6 +30,12 @@ type jsonEvent struct {
 	Msg   string `json:"msg,omitempty"`
 	Aux   int64  `json:"aux,omitempty"`
 	Procs []int  `json:"procs,omitempty"`
+	// Trace/Span/Parent carry the causal context of EvSpan events; they
+	// are appended after the original fields and omitted when zero, so
+	// pre-tracing captures round-trip byte-identically.
+	Trace  uint64 `json:"trace,omitempty"`
+	Span   uint32 `json:"span,omitempty"`
+	Parent uint32 `json:"parent,omitempty"`
 }
 
 func toJSON(e Event) jsonEvent {
@@ -47,6 +53,10 @@ func toJSON(e Event) jsonEvent {
 		Peer: int(e.Peer),
 		Msg:  e.Msg,
 		Aux:  e.Aux,
+
+		Trace:  e.Ctx.Trace,
+		Span:   e.Ctx.Span,
+		Parent: e.Ctx.Parent,
 	}
 	if len(e.Procs) > 0 {
 		je.Procs = make([]int, len(e.Procs))
@@ -73,6 +83,7 @@ func fromJSON(je jsonEvent) (Event, error) {
 		Peer: model.ProcID(je.Peer),
 		Msg:  je.Msg,
 		Aux:  je.Aux,
+		Ctx:  model.TraceCtx{Trace: je.Trace, Span: je.Span, Parent: je.Parent},
 	}
 	if len(je.Procs) > 0 {
 		e.Procs = make([]model.ProcID, len(je.Procs))

@@ -76,6 +76,9 @@ const (
 	EvGwBatch // gateway flushed a group-commit round; Aux = constituent writes
 	EvGwStale // a sessioned read observed pre-session state; Obj, Aux = attempt
 
+	// --- causal tracing ---
+	EvSpan // a span closed; Ctx = its context, Msg = phase, Aux = duration ns
+
 	numKinds // sentinel
 )
 
@@ -110,6 +113,7 @@ var kindNames = [numKinds]string{
 	EvGwShed:       "gw-shed",
 	EvGwBatch:      "gw-batch",
 	EvGwStale:      "gw-stale",
+	EvSpan:         "span",
 }
 
 func (k EventKind) String() string {
@@ -155,6 +159,9 @@ type Event struct {
 	Msg string
 	// Aux is a small per-kind payload: byte counts, plan sizes, seqs.
 	Aux int64
+	// Ctx is the causal trace context for EvSpan events: the span's own id
+	// and parent within its trace.
+	Ctx model.TraceCtx
 	// Procs is a processor list (view for joins/commits, plan targets for
 	// logical accesses, holders for placements). The one field whose use
 	// costs an allocation; events that need it are off the hottest paths.
@@ -295,6 +302,18 @@ func (r *Recorder) Reset() {
 	r.mu.Lock()
 	r.next, r.filled, r.seq, r.dropped = 0, 0, 0, 0
 	r.mu.Unlock()
+}
+
+// Span records one closed span: the phase name is a static string, the
+// event time is the span's end, and Aux carries the duration so the span
+// reconstructs as [At-Aux, At] without a second event. Disabled or nil
+// recorders return before touching the arguments, so call sites need no
+// guard and pay no allocation.
+func (r *Recorder) Span(proc model.ProcID, ctx model.TraceCtx, phase string, start, end time.Duration, txn model.TxnID) {
+	if r == nil || !r.on.Load() || ctx.IsZero() {
+		return
+	}
+	r.Record(Event{At: end, Proc: proc, Kind: EvSpan, Txn: txn, Msg: phase, Aux: int64(end - start), Ctx: ctx})
 }
 
 // Logf records a freeform EvLog event when enabled. The format work is

@@ -56,6 +56,21 @@ import (
 // bit cleanly discriminates the two codecs per frame.
 const binaryKindFlag = 0x80
 
+// ctxKindFlag marks a frame as carrying a trace context: three uvarints
+// (Trace, Span, Parent) follow the To field. Both codecs use the same bit
+// on their first payload byte — kind ids stop well below 0x40, and a gob
+// frame with the bit set still stays below 0x80, so codec auto-detection
+// is unaffected. Untraced frames never set the bit and are byte-identical
+// to the pre-tracing format.
+const ctxKindFlag = 0x40
+
+// appendCtx writes a non-zero trace context.
+func appendCtx(b []byte, ctx model.TraceCtx) []byte {
+	b = appendUvarint(b, ctx.Trace)
+	b = appendUvarint(b, uint64(ctx.Span))
+	return appendUvarint(b, uint64(ctx.Parent))
+}
+
 // CodecID selects a wire codec implementation for the encoding side of a
 // connection. (The decoding side always auto-detects per frame, so both
 // ends of a connection may be configured differently.)
@@ -263,9 +278,17 @@ func appendEnvelope(b []byte, env *Envelope) ([]byte, error) {
 	if k == kindInvalid {
 		return nil, fmt.Errorf("wire: encode: unregistered message type %T", env.Msg)
 	}
-	b = append(b, byte(k)|binaryKindFlag)
+	tag := byte(k) | binaryKindFlag
+	traced := !env.Ctx.IsZero()
+	if traced {
+		tag |= ctxKindFlag
+	}
+	b = append(b, tag)
 	b = appendProc(b, env.From)
 	b = appendProc(b, env.To)
+	if traced {
+		b = appendCtx(b, env.Ctx)
+	}
 	switch m := env.Msg.(type) {
 	case NewVP:
 		b = appendVPID(b, m.ID)
@@ -588,10 +611,14 @@ func (d *BinaryDecoder) decode(frame []byte, env *Envelope, borrowed bool) error
 	if len(frame) < 1 || frame[0]&binaryKindFlag == 0 {
 		return errDecode
 	}
-	k := kindID(frame[0] &^ binaryKindFlag)
+	k := kindID(frame[0] &^ (binaryKindFlag | ctxKindFlag))
 	c := cursor{b: frame[1:]}
 	from := c.proc()
 	to := c.proc()
+	var ctx model.TraceCtx
+	if frame[0]&ctxKindFlag != 0 {
+		ctx = model.TraceCtx{Trace: c.u(), Span: uint32(c.u()), Parent: uint32(c.u())}
+	}
 	var msg Message
 	switch k {
 	case kindNewVP:
@@ -712,7 +739,7 @@ func (d *BinaryDecoder) decode(frame []byte, env *Envelope, borrowed bool) error
 	if c.bad || len(c.b) != 0 {
 		return errDecode
 	}
-	env.From, env.To, env.Msg = from, to, msg
+	env.From, env.To, env.Msg, env.Ctx = from, to, msg, ctx
 	return nil
 }
 

@@ -189,21 +189,32 @@ func (e *StreamEncoder) EncodeFrame(env *Envelope) ([]byte, error) {
 	return b, nil
 }
 
-// encode writes [pad zero bytes][kind][uvarint From][uvarint To][gob msg]
-// into the reused buffer. The concrete message — not the Msg interface —
-// goes through gob, under the explicit kind tag.
+// encode writes [pad zero bytes][kind][uvarint From][uvarint To]
+// [optional ctx uvarints][gob msg] into the reused buffer. The concrete
+// message — not the Msg interface — goes through gob, under the explicit
+// kind tag. A non-zero trace context sets ctxKindFlag on the kind byte
+// (still < 0x80, so codec auto-detection is unaffected).
 func (e *StreamEncoder) encode(env *Envelope, pad int) ([]byte, error) {
 	k := kindOf(env.Msg)
 	if k == kindInvalid {
 		return nil, fmt.Errorf("wire: encode: unregistered message type %T", env.Msg)
 	}
 	e.buf.Reset()
-	var hdr [FrameHeaderLen + 1 + 2*binary.MaxVarintLen64]byte
+	var hdr [FrameHeaderLen + 1 + 5*binary.MaxVarintLen64]byte
 	n := pad
-	hdr[n] = byte(k)
+	tag := byte(k)
+	if !env.Ctx.IsZero() {
+		tag |= ctxKindFlag
+	}
+	hdr[n] = tag
 	n++
 	n += binary.PutUvarint(hdr[n:], uint64(env.From))
 	n += binary.PutUvarint(hdr[n:], uint64(env.To))
+	if !env.Ctx.IsZero() {
+		n += binary.PutUvarint(hdr[n:], env.Ctx.Trace)
+		n += binary.PutUvarint(hdr[n:], uint64(env.Ctx.Span))
+		n += binary.PutUvarint(hdr[n:], uint64(env.Ctx.Parent))
+	}
 	e.buf.Write(hdr[:n])
 	if err := e.encodeMsg(k, env.Msg); err != nil {
 		return nil, fmt.Errorf("wire: encode %s: %w", Kind(env.Msg), err)
@@ -311,7 +322,7 @@ func (d *StreamDecoder) DecodeInto(frame []byte, env *Envelope) error {
 	if len(frame) < 1 {
 		return fmt.Errorf("wire: decode: empty frame")
 	}
-	k := kindID(frame[0])
+	k := kindID(frame[0] &^ ctxKindFlag)
 	rest := frame[1:]
 	from, n := binary.Uvarint(rest)
 	if n <= 0 {
@@ -323,12 +334,31 @@ func (d *StreamDecoder) DecodeInto(frame []byte, env *Envelope) error {
 		return fmt.Errorf("wire: decode: bad To varint")
 	}
 	rest = rest[n:]
+	var ctx model.TraceCtx
+	if frame[0]&ctxKindFlag != 0 {
+		tr, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return fmt.Errorf("wire: decode: bad trace varint")
+		}
+		rest = rest[n:]
+		sp, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return fmt.Errorf("wire: decode: bad span varint")
+		}
+		rest = rest[n:]
+		pa, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return fmt.Errorf("wire: decode: bad parent varint")
+		}
+		rest = rest[n:]
+		ctx = model.TraceCtx{Trace: tr, Span: uint32(sp), Parent: uint32(pa)}
+	}
 	d.buf.Write(rest)
 	msg, err := d.decodeMsg(k)
 	if err != nil {
 		return fmt.Errorf("wire: decode kind %d: %w", k, err)
 	}
-	env.From, env.To, env.Msg = model.ProcID(from), model.ProcID(to), msg
+	env.From, env.To, env.Msg, env.Ctx = model.ProcID(from), model.ProcID(to), msg, ctx
 	return nil
 }
 

@@ -60,10 +60,31 @@ func fuzzExtraSeeds(tb testing.TB) [][]byte {
 	var seeds [][]byte
 	seeds = append(seeds, append([]byte(nil), bin...))
 	seeds = append(seeds, append([]byte(nil), gob...))
-	seeds = append(seeds, dup)                                        // duplicate delivery
-	seeds = append(seeds, append([]byte(nil), bin[:len(bin)/2]...))   // truncated mid-payload
+	seeds = append(seeds, dup)                                          // duplicate delivery
+	seeds = append(seeds, append([]byte(nil), bin[:len(bin)/2]...))     // truncated mid-payload
 	seeds = append(seeds, append([]byte(nil), bin[:FrameHeaderLen]...)) // header only
-	seeds = append(seeds, append([]byte(nil), gob[:len(gob)/2]...))   // truncated gob
+	seeds = append(seeds, append([]byte(nil), gob[:len(gob)/2]...))     // truncated gob
+
+	// Trace-context shapes: the same envelope with a context aboard, in
+	// both codecs, plus a frame cut inside the context uvarints — right
+	// after the kind tag and routing bytes — so the fuzzer starts from
+	// the ctx decode path's error branches, not only its happy path.
+	// (The ctx-absent shape is every seed above.)
+	tenv := env
+	tenv.Ctx = tracedCtx
+	tbin, err := NewBinaryEncoder().Encode(&tenv)
+	if err != nil {
+		tb.Fatalf("traced binary seed: %v", err)
+	}
+	tgob, err := NewStreamEncoder().Encode(&tenv)
+	if err != nil {
+		tb.Fatalf("traced gob seed: %v", err)
+	}
+	seeds = append(seeds, append([]byte(nil), tbin...))
+	seeds = append(seeds, append([]byte(nil), tgob...))
+	seeds = append(seeds, append([]byte(nil), tbin[:4]...)) // kind+From+To, ctx truncated away
+	seeds = append(seeds, append([]byte(nil), tbin[:8]...)) // cut mid-ctx-uvarint
+	seeds = append(seeds, append([]byte(nil), tgob[:4]...)) // gob cut before ctx completes
 	return seeds
 }
 

@@ -17,11 +17,14 @@ import (
 // vocabulary; Kind classifies them for metrics and tracing.
 type Message any
 
-// Envelope is a routed message.
+// Envelope is a routed message. Ctx, when non-zero, carries the causal
+// trace context of the send; both codecs encode it behind a flag bit so
+// untraced frames are byte-identical to the pre-tracing wire format.
 type Envelope struct {
 	From model.ProcID
 	To   model.ProcID
 	Msg  Message
+	Ctx  model.TraceCtx
 }
 
 // ---------------------------------------------------------------------------
