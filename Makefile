@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-wire bench-hotpath bench-observability trace-check trace-e2e chaos loadtest bench-gateway golden campaign-smoke campaign campaign-live
+.PHONY: check build vet test race bench bench-wire bench-hotpath bench-observability bench-durable trace-check trace-e2e chaos loadtest bench-gateway golden campaign-smoke campaign campaign-live recovery-check
 
 check: build vet test
 
@@ -82,6 +82,18 @@ trace-e2e:
 CHAOS_SEED ?= 7
 chaos:
 	$(GO) run ./cmd/vpchaos -n 5 -seed $(CHAOS_SEED) -partitions 3 -crashes 2
+	$(GO) run ./cmd/vpchaos -n 5 -seed $(CHAOS_SEED) -partitions 1 -crashes 2 -kill9 -skip-sim
+
+# Crash-recovery gate: the every-byte-offset truncation property test
+# and the disk-fault suite under the race detector, then a kill -9
+# chaos run (fsync faults, frozen disk mid group-commit, torn journal
+# tails) and the kill9 campaign cell, both gated on 1SR, S1–S3/R2/R3
+# replay and post-heal liveness. Used by CI.
+recovery-check:
+	$(GO) test -race -count=1 -run 'EveryOffsetTruncation|Snapshot|Torn|DiskFaults|DeltaRejoin' \
+		./internal/durable ./internal/nemesis ./internal/core
+	$(GO) run ./cmd/vpchaos -n 5 -seed $(CHAOS_SEED) -partitions 1 -crashes 2 -kill9 -skip-sim
+	$(GO) run ./cmd/vpcampaign -spec specs/campaign-recovery.json
 
 # Gateway smoke gate: boot an in-process 3-node TCP cluster plus a
 # vpgateway, run a short closed-loop burst through the HTTP API, and
@@ -101,6 +113,18 @@ bench-gateway:
 	$(GO) run ./cmd/vpload -local 3 -compare -codec-compare -clients 32 -rate 1500 \
 		-duration 8s -read-fraction 0 -objects 1 -out BENCH_gateway.json
 	@cat BENCH_gateway.json
+
+# Regenerate BENCH_durable.json: journal recovery time (newest snapshot
+# + segment-tail replay) and R5 catch-up cost at 1e3→1e5 objects, delta
+# vs full copy. B/op on the catch-up benches is the payload shipped to
+# the rejoiner — the §6 claim is that it scales with the missed writes,
+# not the database. benchjson refuses a cross-host overwrite; pass
+# BENCHJSON_FLAGS=-force after an intentional host change.
+bench-durable:
+	$(GO) test -run '^$$' -bench 'Recovery|CatchupDelta|CatchupFullCopy' \
+		-benchmem -count=1 ./internal/durable \
+		| $(GO) run ./cmd/benchjson -out BENCH_durable.json $(BENCHJSON_FLAGS)
+	@cat BENCH_durable.json
 
 # Regenerate BENCH_observability.json from the tracing hot-path
 # microbenchmarks: ring-recorder writes (enabled vs disabled vs nil

@@ -58,6 +58,7 @@ type options struct {
 	crashes    int
 	meanHold   time.Duration
 	meanGap    time.Duration
+	kill9      bool
 	skipLive   bool
 	skipSim    bool
 	verbose    bool
@@ -76,6 +77,7 @@ func parseArgs(args []string) (*options, error) {
 		crashes    = fs.Int("crashes", 2, "minimum crash/restart episodes")
 		meanHold   = fs.Duration("hold", 400*time.Millisecond, "mean fault episode duration")
 		meanGap    = fs.Duration("gap", 400*time.Millisecond, "mean fault-free gap between episodes")
+		kill9      = fs.Bool("kill9", false, "crash steps are kill -9: fsync starts failing shortly before the kill, the disk freezes mid group-commit, and the journal tail is torn before restart")
 		skipLive   = fs.Bool("skip-live", false, "skip the live TCP chaos run")
 		skipSim    = fs.Bool("skip-sim", false, "skip the sim determinism replay")
 		verbose    = fs.Bool("v", false, "log every nemesis step and view change")
@@ -93,7 +95,7 @@ func parseArgs(args []string) (*options, error) {
 	return &options{
 		n: *n, seed: *seed, delta: *delta, objects: *objects, clients: *clients,
 		partitions: *partitions, crashes: *crashes,
-		meanHold: *meanHold, meanGap: *meanGap,
+		meanHold: *meanHold, meanGap: *meanGap, kill9: *kill9,
 		skipLive: *skipLive, skipSim: *skipSim, verbose: *verbose,
 		traceOut: *traceOut,
 	}, nil
@@ -189,7 +191,7 @@ func runLive(opt *options, sched nemesis.Schedule) error {
 		rec.Record(trace.Event{Kind: trace.EvPlacement, Obj: obj, Procs: cat.Copies(obj).Sorted()})
 	}
 	inj := nemesis.NewInjector(opt.seed)
-	cfg := core.Config{Config: node.Config{Delta: opt.delta, LogCap: 256}}
+	cfg := core.Config{Config: node.Config{Delta: opt.delta, LogCap: 256}, UseLogCatchup: true}
 	tcpCfg := vnet.TCPConfig{
 		DialTimeout:  500 * time.Millisecond,
 		ReconnectMin: 20 * time.Millisecond,
@@ -204,10 +206,25 @@ func runLive(opt *options, sched nemesis.Schedule) error {
 
 	nodes := map[model.ProcID]*vnet.TCPNode{}
 	journals := map[model.ProcID]*durable.FileJournal{}
+	disks := map[model.ProcID]*nemesis.DiskFaults{}
+	var tornRepairs int
 	boot := func(id model.ProcID) error {
-		state, journal, err := durable.Open(dirs[id])
+		var fs durable.VFS
+		if opt.kill9 {
+			// Each boot gets a fresh, healed fault layer: the damage a
+			// kill -9 left is on disk, not in the wrapper.
+			disks[id] = nemesis.NewDiskFaults(nil)
+			fs = disks[id]
+		}
+		state, journal, err := durable.OpenOptions(dirs[id], durable.Options{FS: fs})
 		if err != nil {
 			return fmt.Errorf("open journal for %v: %w", id, err)
+		}
+		if rs := journal.Recovery(); rs.Torn {
+			tornRepairs++
+			if opt.verbose {
+				fmt.Printf("  node %v: repaired torn journal tail (%d bytes dropped)\n", id, rs.TornBytes)
+			}
 		}
 		var nd *core.Node
 		if state.MaxID.IsZero() && len(state.Copies) == 0 {
@@ -292,12 +309,47 @@ func runLive(opt *options, sched nemesis.Schedule) error {
 		}(k)
 	}
 
-	// Nemesis driver: walk the schedule in wall time.
+	// Nemesis driver: walk the schedule in wall time. In -kill9 mode
+	// each crash step is preceded by a lead-in that makes the victim's
+	// fsync fail (the disk dying under the group-commit barrier), and
+	// the crash itself freezes the disk mid-write, abandons the pending
+	// batch without a sync, and tears bytes off the newest segment —
+	// the restart then has to recover from exactly that damage.
+	type liveEvent struct {
+		at    time.Duration
+		step  *nemesis.Step
+		fsync model.ProcID // arm failing fsync on this node (kill9 lead-in)
+	}
+	events := make([]liveEvent, 0, len(sched.Steps)+opt.crashes)
+	for i := range sched.Steps {
+		st := &sched.Steps[i]
+		if opt.kill9 && st.Kind == nemesis.StepCrash {
+			lead := st.At - 60*time.Millisecond
+			if lead < 0 {
+				lead = 0
+			}
+			events = append(events, liveEvent{at: lead, fsync: st.Victim})
+		}
+		events = append(events, liveEvent{at: st.At, step: st})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].at < events[j].at })
+	chopRng := rand.New(rand.NewSource(opt.seed ^ 0x6b696c6c39)) // "kill9"
+	var kills int
 	start := time.Now()
-	for _, st := range sched.Steps {
-		if d := st.At - time.Since(start); d > 0 {
+	for _, ev := range events {
+		if d := ev.at - time.Since(start); d > 0 {
 			time.Sleep(d)
 		}
+		if ev.step == nil {
+			if df, ok := disks[ev.fsync]; ok {
+				if opt.verbose {
+					fmt.Printf("  %8s nemesis: fsync failures on node %v\n", time.Since(start).Round(time.Millisecond), ev.fsync)
+				}
+				df.FailFsync(true)
+			}
+			continue
+		}
+		st := *ev.step
 		if opt.verbose {
 			fmt.Printf("  %8s nemesis: %s\n", time.Since(start).Round(time.Millisecond), strings.TrimSpace(st.String()))
 		}
@@ -307,10 +359,26 @@ func runLive(opt *options, sched nemesis.Schedule) error {
 		switch st.Kind {
 		case nemesis.StepCrash:
 			if tn, ok := nodes[st.Victim]; ok {
-				tn.Stop()
-				journals[st.Victim].Close()
+				if opt.kill9 {
+					df := disks[st.Victim]
+					// Tear whatever barrier flush is in flight, then
+					// freeze the disk and kill the node.
+					df.TearNextWrite(chopRng.Intn(24))
+					time.Sleep(5 * time.Millisecond)
+					df.Crash()
+					tn.Stop()
+					journals[st.Victim].HardCrash()
+					if n, err := durable.ChopTail(nil, dirs[st.Victim], 1+chopRng.Int63n(16)); err == nil && n > 0 && opt.verbose {
+						fmt.Printf("  node %v: chopped %d bytes off the journal tail\n", st.Victim, n)
+					}
+					kills++
+				} else {
+					tn.Stop()
+					journals[st.Victim].Close()
+				}
 				delete(nodes, st.Victim)
 				delete(journals, st.Victim)
+				delete(disks, st.Victim)
 			}
 		case nemesis.StepRestart:
 			if _, up := nodes[st.Victim]; !up {
@@ -386,10 +454,15 @@ func runLive(opt *options, sched nemesis.Schedule) error {
 	}
 
 	counts := sched.Counts()
-	var reconnects, drops int64
+	var reconnects, drops, catchup int64
 	for _, tn := range nodes {
 		reconnects += tn.Metrics().Get(metrics.CPeerReconnect)
 		drops += tn.Metrics().Get(metrics.CMsgDropped)
+		catchup += tn.Metrics().Get(metrics.CCatchupWrites)
+	}
+	if opt.kill9 {
+		fmt.Printf("vpchaos live: %d kill -9 crashes, %d torn journal tails repaired, %d log catch-up writes served\n",
+			kills, tornRepairs, catchup)
 	}
 	fmt.Printf("vpchaos live: %d committed / %d failed txns; %d partitions, %d isolations, %d crashes; "+
 		"%d drops, %d reconnects; 1SR ok, trace ok (S1-S3/R2/R3 checked %v), post-heal commit ok\n",

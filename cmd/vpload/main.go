@@ -460,7 +460,7 @@ func bootLocal(opt *options, batching bool, codec wire.CodecID) (*localCluster, 
 	}
 	cat := model.FullyReplicated(n, workload.Objects(opt.objects)...)
 	hist := onecopy.NewHistory()
-	cfg := core.Config{Config: node.Config{Delta: opt.delta, LogCap: 256, TraceSample: opt.traceSample}}
+	cfg := core.Config{Config: node.Config{Delta: opt.delta, LogCap: 256, TraceSample: opt.traceSample}, UseLogCatchup: true}
 	var (
 		nodes []*vnet.TCPNode
 		recs  []*trace.Recorder

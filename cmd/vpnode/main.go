@@ -35,6 +35,7 @@ import (
 	"github.com/virtualpartitions/vp/internal/core"
 	"github.com/virtualpartitions/vp/internal/debughttp"
 	"github.com/virtualpartitions/vp/internal/durable"
+	"github.com/virtualpartitions/vp/internal/metrics"
 	"github.com/virtualpartitions/vp/internal/model"
 	"github.com/virtualpartitions/vp/internal/net"
 	"github.com/virtualpartitions/vp/internal/node"
@@ -52,6 +53,8 @@ type options struct {
 	pi        time.Duration
 	dataDir     string
 	fsync       bool
+	fsyncEvery  time.Duration
+	fullCopyR5  bool
 	verbose     bool
 	debugAddr   string
 	traceOut    string
@@ -69,7 +72,9 @@ func parseArgs(args []string) (*options, error) {
 		delta     = fs.Duration("delta", 50*time.Millisecond, "assumed message delay bound δ")
 		pi        = fs.Duration("pi", 0, "probe period π (default 20δ)")
 		dataDir   = fs.String("data", "", "durable state directory (empty: in-memory only; with it, the node survives restarts)")
-		fsync     = fs.Bool("fsync", false, "fsync the journal on every record")
+		fsync     = fs.Bool("fsync", false, "fsync the journal on every record (overrides -fsync-interval)")
+		fsyncInt  = fs.Duration("fsync-interval", 2*time.Millisecond, "group-commit flush interval; 0 flushes only at protocol barriers (prepare-ack, decide)")
+		r5        = fs.String("r5", "log", "R5 refresh path: log (stream missed-write deltas, full-copy fallback) or full")
 		verbose   = fs.Bool("v", false, "log view changes")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 		traceOut  = fs.String("trace", "", "record the structured event trace; write JSONL here on shutdown")
@@ -106,10 +111,14 @@ func parseArgs(args []string) (*options, error) {
 	if sample <= 0 {
 		sample = -1 // node.Config: negative disables coordinator root minting
 	}
+	if *r5 != "log" && *r5 != "full" {
+		return nil, fmt.Errorf("-r5 must be log or full, got %q", *r5)
+	}
 	return &options{
 		id: me, addrs: addrs, objects: objNames,
 		delta: *delta, pi: *pi,
-		dataDir: *dataDir, fsync: *fsync, verbose: *verbose,
+		dataDir: *dataDir, fsync: *fsync, fsyncEvery: *fsyncInt,
+		fullCopyR5: *r5 == "full", verbose: *verbose,
 		debugAddr: *debugAddr, traceOut: *traceOut, traceSample: sample,
 		tcp: net.TCPConfig{DialTimeout: *dialTO, ReconnectMin: *reconMin,
 			ReconnectMax: *reconMax, QueueLen: *queueLen, Codec: codecID},
@@ -125,26 +134,36 @@ func main() {
 	cat := model.FullyReplicated(len(opt.addrs), opt.objects...)
 
 	cfg := core.Config{
-		Config: node.Config{Delta: opt.delta, LogCap: 1024, TraceSample: opt.traceSample},
-		Pi:     opt.pi,
+		Config:        node.Config{Delta: opt.delta, LogCap: 1024, TraceSample: opt.traceSample},
+		Pi:            opt.pi,
+		UseLogCatchup: !opt.fullCopyR5,
 	}
 	var nd *core.Node
+	var journal *durable.FileJournal
 	if opt.dataDir != "" {
-		state, journal, err := durable.Open(opt.dataDir)
+		var state *durable.State
+		var err error
+		state, journal, err = durable.OpenOptions(opt.dataDir, durable.Options{
+			FlushInterval: opt.fsyncEvery,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vpnode:", err)
 			os.Exit(1)
 		}
 		journal.SyncEveryWrite = opt.fsync
 		defer journal.Close()
+		rs := journal.Recovery()
+		if rs.Torn {
+			fmt.Printf("vpnode %v: repaired torn journal tail (%d bytes dropped)\n", opt.id, rs.TornBytes)
+		}
 		fresh := state.MaxID.IsZero() && len(state.Copies) == 0
 		if fresh {
 			nd = core.NewDurable(opt.id, cfg, cat, nil, journal)
 			fmt.Printf("vpnode %v: fresh durable state in %s\n", opt.id, opt.dataDir)
 		} else {
 			nd = core.NewRestored(opt.id, cfg, cat, nil, state, journal)
-			fmt.Printf("vpnode %v: restored from %s (max-id %v, %d copies)\n",
-				opt.id, opt.dataDir, state.MaxID, len(state.Copies))
+			fmt.Printf("vpnode %v: restored from %s in %v (max-id %v, %d copies, %d records replayed)\n",
+				opt.id, opt.dataDir, rs.Duration.Round(time.Microsecond), state.MaxID, len(state.Copies), rs.Records)
 		}
 	} else {
 		nd = core.New(opt.id, cfg, cat, nil)
@@ -172,6 +191,10 @@ func main() {
 		}
 	}
 	tcp := net.NewTCPNodeConfig(opt.id, opt.addrs, nd, opt.tcp)
+	if journal != nil {
+		journal.SetMetrics(tcp.Metrics())
+		tcp.Metrics().ObserveDuration(metrics.SRecovery, journal.Recovery().Duration)
+	}
 	var rec *trace.Recorder
 	if opt.traceOut != "" {
 		rec = trace.New(trace.DefaultCap)

@@ -145,8 +145,9 @@ func snapshot(opt *options, client *http.Client, w io.Writer) {
 	}
 	fmt.Fprintln(w, ")")
 
-	fmt.Fprintf(w, "\n%-5s %-6s %-10s %9s %8s %9s %9s %7s %7s\n",
-		"node", "state", "vp", "commits", "aborts", "msgs", "peerdown", "spans", "traces")
+	fmt.Fprintf(w, "\n%-5s %-6s %-10s %9s %8s %9s %9s %7s %7s %8s %7s %7s %8s\n",
+		"node", "state", "vp", "commits", "aborts", "msgs", "peerdown", "spans", "traces",
+		"fsyncs", "batch", "lag", "recov")
 	for _, r := range rows {
 		state, vp := "DOWN", "-"
 		if r.up {
@@ -159,11 +160,15 @@ func snapshot(opt *options, client *http.Client, w io.Writer) {
 				vp = "departed"
 			}
 		}
-		fmt.Fprintf(w, "%-5s %-6s %-10s %9.0f %8.0f %9.0f %9.0f %7d %7d\n",
+		fmt.Fprintf(w, "%-5s %-6s %-10s %9.0f %8.0f %9.0f %9.0f %7d %7d %8.0f %7s %7s %8s\n",
 			r.id, state, vp,
 			r.metrics["vp_txn_commit"], r.metrics["vp_txn_abort"],
 			r.metrics["vp_net_msg_sent"], r.metrics["vp_net_peer_down"],
-			r.spans.Spans, r.spans.Traces)
+			r.spans.Spans, r.spans.Traces,
+			r.metrics["vp_journal_fsync"],
+			meanOf(r.metrics, "vp_journal_batch_size", "%.1f"),
+			meanOf(r.metrics, "vp_journal_lag_ms", "%.2fms"),
+			meanOf(r.metrics, "vp_journal_recovery_ms", "%.1fms"))
 	}
 
 	if opt.gw != "" {
@@ -240,6 +245,17 @@ func renderPhases(rows []nodeRow, w io.Writer) {
 			time.Duration(a.p99)*time.Microsecond,
 			time.Duration(a.maxUS)*time.Microsecond)
 	}
+}
+
+// meanOf renders a summary's mean (sum/count) with the given verb, or
+// "-" when the node has observed nothing — a diskless node has no
+// journal batch sizes, fsync lag, or recovery time to report.
+func meanOf(m map[string]float64, family, verb string) string {
+	count := m[family+"_count"]
+	if count == 0 {
+		return "-"
+	}
+	return fmt.Sprintf(verb, m[family+"_sum"]/count)
 }
 
 // scrapeMetrics parses a Prometheus text exposition into a flat name →

@@ -120,7 +120,7 @@ func buildNemesis(c Cell, start, end time.Duration) nemesis.Schedule {
 	case NemesisPartitions:
 		opts.MinPartitions, opts.MinCrashes = 2, 1
 		drop = map[nemesis.StepKind]bool{nemesis.StepCrash: true, nemesis.StepRestart: true}
-	case NemesisCrashes:
+	case NemesisCrashes, NemesisKill9:
 		opts.MinPartitions, opts.MinCrashes = 1, 2
 		drop = map[nemesis.StepKind]bool{nemesis.StepPartition: true, nemesis.StepIsolateOne: true}
 	}
@@ -250,6 +250,7 @@ func RunCell(c Cell) CellResult {
 	cfg := ClusterConfig{
 		N: c.N, Objects: c.Objects, Seed: c.Seed, Delta: c.Delta,
 		Codec: c.CodecID(), GroupCommit: c.GroupCommit,
+		Kill9: c.Nemesis == NemesisKill9,
 	}
 	if err := p.Start(cfg); err != nil {
 		res.Failures = append(res.Failures, fmt.Sprintf("start: %v", err))

@@ -62,7 +62,7 @@ func (p *inprocPlatform) Start(cfg ClusterConfig) error {
 	p.hist = onecopy.NewHistory()
 	p.inj = nemesis.NewInjector(cfg.Seed)
 	p.c.Icpt = p.inj
-	ccfg := core.Config{Config: node.Config{Delta: cfg.Delta, LogCap: 256}}
+	ccfg := core.Config{Config: node.Config{Delta: cfg.Delta, LogCap: 256}, UseLogCatchup: true}
 	for _, proc := range p.topo.Procs() {
 		p.c.AddNode(proc, core.New(proc, ccfg, cat, p.hist))
 	}

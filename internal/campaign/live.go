@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	stdnet "net"
 	"net/http"
 	"net/url"
@@ -45,6 +46,8 @@ type livePlatform struct {
 
 	nodes    map[model.ProcID]*vnet.TCPNode
 	journals map[model.ProcID]*durable.FileJournal
+	disks    map[model.ProcID]*nemesis.DiskFaults
+	chopRng  *rand.Rand
 
 	gw    *gateway.Gateway
 	gwSrv *http.Server
@@ -98,6 +101,8 @@ func (p *livePlatform) Start(cfg ClusterConfig) error {
 	p.inj = nemesis.NewInjector(cfg.Seed)
 	p.nodes = map[model.ProcID]*vnet.TCPNode{}
 	p.journals = map[model.ProcID]*durable.FileJournal{}
+	p.disks = map[model.ProcID]*nemesis.DiskFaults{}
+	p.chopRng = rand.New(rand.NewSource(cfg.Seed ^ 0x6b696c6c39))
 	for _, proc := range p.procs {
 		if err := p.boot(proc); err != nil {
 			p.teardown()
@@ -128,11 +133,18 @@ func (p *livePlatform) Start(cfg ClusterConfig) error {
 // like vpchaos: a fresh journal cold-starts, a non-empty one goes
 // through the recovery path.
 func (p *livePlatform) boot(id model.ProcID) error {
-	state, journal, err := durable.Open(p.dirs[id])
+	var fs durable.VFS
+	if p.cfg.Kill9 {
+		// A fresh, healed fault layer per boot: kill -9 damage lives on
+		// disk, not in the wrapper.
+		p.disks[id] = nemesis.NewDiskFaults(nil)
+		fs = p.disks[id]
+	}
+	state, journal, err := durable.OpenOptions(p.dirs[id], durable.Options{FS: fs})
 	if err != nil {
 		return fmt.Errorf("open journal for %v: %w", id, err)
 	}
-	ccfg := core.Config{Config: node.Config{Delta: p.cfg.Delta, LogCap: 256}}
+	ccfg := core.Config{Config: node.Config{Delta: p.cfg.Delta, LogCap: 256}, UseLogCatchup: true}
 	var nd *core.Node
 	if state.MaxID.IsZero() && len(state.Copies) == 0 {
 		nd = core.NewDurable(id, ccfg, p.cat, p.hist, journal)
@@ -163,9 +175,39 @@ func (p *livePlatform) Drive(plan Plan) error {
 	p.mu.Lock()
 	p.origin = time.Now()
 	p.mu.Unlock()
+	// Kill -9 lead-ins: shortly before each crash the victim's fsync
+	// starts failing, so the kill lands on a node whose durability
+	// barrier is already refusing (it votes no and sheds load) — the
+	// mid-commit shape the recovery path must survive.
+	type fsyncLead struct {
+		at     time.Duration
+		victim model.ProcID
+	}
+	var leads []fsyncLead
+	if p.cfg.Kill9 {
+		for _, st := range plan.Faults.Steps {
+			if st.Kind == nemesis.StepCrash {
+				lead := st.At - 60*time.Millisecond
+				if lead < 0 {
+					lead = 0
+				}
+				leads = append(leads, fsyncLead{at: lead, victim: st.Victim})
+			}
+		}
+	}
+	li := 0
 	sem := make(chan struct{}, 32)
 	var wg sync.WaitGroup
 	for _, ev := range mergeTimeline(plan) {
+		for li < len(leads) && leads[li].at <= ev.at {
+			if d := leads[li].at - time.Since(p.origin); d > 0 {
+				time.Sleep(d)
+			}
+			if df, ok := p.disks[leads[li].victim]; ok {
+				df.FailFsync(true)
+			}
+			li++
+		}
 		if d := ev.at - time.Since(p.origin); d > 0 {
 			time.Sleep(d)
 		}
@@ -189,10 +231,21 @@ func (p *livePlatform) Drive(plan Plan) error {
 			switch ev.step.Kind {
 			case nemesis.StepCrash:
 				if tn, ok := p.nodes[ev.step.Victim]; ok {
-					tn.Stop()
-					p.journals[ev.step.Victim].Close()
+					if p.cfg.Kill9 {
+						df := p.disks[ev.step.Victim]
+						df.TearNextWrite(p.chopRng.Intn(24))
+						time.Sleep(5 * time.Millisecond)
+						df.Crash()
+						tn.Stop()
+						p.journals[ev.step.Victim].HardCrash()
+						durable.ChopTail(nil, p.dirs[ev.step.Victim], 1+p.chopRng.Int63n(16)) //nolint:errcheck // best-effort extra damage
+					} else {
+						tn.Stop()
+						p.journals[ev.step.Victim].Close()
+					}
 					delete(p.nodes, ev.step.Victim)
 					delete(p.journals, ev.step.Victim)
+					delete(p.disks, ev.step.Victim)
 				}
 			case nemesis.StepRestart:
 				if _, up := p.nodes[ev.step.Victim]; !up {

@@ -53,6 +53,10 @@ type ClusterConfig struct {
 	Codec wire.CodecID
 	// GroupCommit enables the gateway's conveyor batching (live only).
 	GroupCommit bool
+	// Kill9 makes crash steps kill -9: the victim's fsync fails shortly
+	// before the kill, its disk freezes mid group-commit, and bytes are
+	// torn off the journal tail before restart (live only).
+	Kill9 bool
 }
 
 // Plan is the engine's precomputed experiment: all times are offsets

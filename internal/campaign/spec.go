@@ -32,6 +32,11 @@ const (
 	NemesisPartitions = "partitions" // partition/heal episodes only
 	NemesisCrashes    = "crashes"    // crash/restart episodes only
 	NemesisMixed      = "mixed"      // partitions + crashes + flaky links
+	// NemesisKill9 is crashes where each crash is a kill -9 against a
+	// hostile disk: failing fsync before the kill, a frozen disk mid
+	// group-commit, and a torn journal tail to recover from on restart.
+	// Live backend only — the damage is real bytes in a real journal.
+	NemesisKill9 = "kill9"
 )
 
 // Injection hooks for Spec.Inject; see injectViolation. Used by tests
@@ -214,6 +219,10 @@ func (s Spec) Validate() error {
 	for _, nm := range a.Nemesis {
 		switch nm {
 		case NemesisNone, NemesisPartitions, NemesisCrashes, NemesisMixed:
+		case NemesisKill9:
+			if !contains(a.Backend, BackendLive) {
+				return fmt.Errorf("campaign: nemesis=kill9 needs the live backend (the damage is a real journal's tail)")
+			}
 		default:
 			return fmt.Errorf("campaign: unknown nemesis profile %q", nm)
 		}
@@ -276,6 +285,9 @@ func (s Spec) Expand() ([]Cell, error) {
 							}
 							for _, codec := range a.Codec {
 								for _, nem := range a.Nemesis {
+									if nem == NemesisKill9 && backend != BackendLive {
+										continue
+									}
 									c := Cell{
 										Index:        len(cells),
 										Backend:      backend,

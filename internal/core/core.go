@@ -295,6 +295,10 @@ func (n *Node) OnMessage(rt net.Runtime, from model.ProcID, m wire.Message) {
 		n.onRecoverLog(rt, from, msg)
 	case wire.RecoverLogResp:
 		n.onRecoverLogResp(rt, from, msg)
+	case wire.CatchupReq:
+		n.onCatchupReq(rt, from, msg)
+	case wire.CatchupResp:
+		n.onCatchupResp(rt, from, msg)
 	default:
 		n.HandleMessage(rt, from, m)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"github.com/virtualpartitions/vp/internal/metrics"
@@ -59,9 +60,13 @@ func (n *Node) extendRefreshDeadline(rt net.Runtime, st *refreshState) {
 	st.deadline = rt.Now() + 2*n.cfg.Delta
 }
 
-// startRefresh begins Update-Copies-in-View for the locked objects.
+// startRefresh begins Update-Copies-in-View for the locked objects. In
+// log mode every peer receives one CatchupReq batching the date vector
+// of all objects it shares with us, instead of one RecoverLog per
+// (object, peer) pair; retries and fallbacks still run per object.
 func (n *Node) startRefresh(rt net.Runtime, objs []model.ObjectID) {
 	n.refreshEpoch = n.curID
+	batches := make(map[model.ProcID][]wire.ObjSince)
 	for _, obj := range objs {
 		n.refreshSeq++
 		cur := n.Store.Get(obj)
@@ -91,10 +96,23 @@ func (n *Node) startRefresh(rt net.Runtime, objs []model.ObjectID) {
 			continue
 		}
 		for _, p := range st.pending.Sorted() {
-			n.sendRecover(rt, st, p)
+			if st.logMode {
+				batches[p] = append(batches[p], wire.ObjSince{Obj: obj, Since: cur.Ver, Seq: st.seq})
+			} else {
+				n.sendRecover(rt, st, p)
+			}
 		}
 		n.extendRefreshDeadline(rt, st)
 		rt.SetTimer(2*n.cfg.Delta, refreshWindow{obj: obj, seq: st.seq})
+	}
+	// Peers in sorted order so the send sequence is deterministic.
+	peers := make([]model.ProcID, 0, len(batches))
+	for p := range batches {
+		peers = append(peers, p)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	for _, p := range peers {
+		rt.SendCtx(p, wire.CatchupReq{VP: n.curID, Objs: batches[p]}, n.vcCtx)
 	}
 }
 
@@ -162,6 +180,53 @@ func (n *Node) onRecoverLog(rt net.Runtime, from model.ProcID, m wire.RecoverLog
 		}
 	}
 	rt.Send(from, resp)
+}
+
+// onCatchupReq serves a batched log catch-up: per object the same
+// decision as onRecoverLog, folded into one reply frame. Every
+// requested object is echoed so the requester's per-object state
+// machine always hears an answer; an object we hold no copy of is
+// reported Busy, which routes the requester onto the single-object
+// retry path (where the refusal is counted properly).
+func (n *Node) onCatchupReq(rt net.Runtime, from model.ProcID, m wire.CatchupReq) {
+	resp := wire.CatchupResp{
+		OK:   n.assigned && m.VP == n.curID,
+		Objs: make([]wire.ObjDelta, 0, len(m.Objs)),
+	}
+	for _, o := range m.Objs {
+		d := wire.ObjDelta{Obj: o.Obj, Seq: o.Seq}
+		switch {
+		case !resp.OK:
+		case !n.Store.Has(o.Obj) || n.copyBusy(o.Obj):
+			d.Busy = true
+		default:
+			entries, complete := n.Store.LogSince(o.Obj, o.Since)
+			d.Complete = complete
+			if complete {
+				for _, e := range entries {
+					d.Entries = append(d.Entries, wire.LogEntry{Val: e.Val, Ver: e.Ver})
+				}
+				rt.Metrics().Inc(metrics.CCatchupWrites, int64(len(entries)))
+				rt.Metrics().Inc(metrics.CRefreshBytes, int64(len(entries))*n.cfg.RecordBytes)
+				rt.Tracer().Record(trace.Event{At: rt.Now(), Proc: rt.ID(), Kind: trace.EvRefreshServe, VP: n.curID, Obj: o.Obj, Peer: from, Aux: int64(len(entries)) * n.cfg.RecordBytes})
+			}
+		}
+		resp.Objs = append(resp.Objs, d)
+	}
+	rt.Send(from, resp)
+}
+
+// onCatchupResp demultiplexes a batched reply into the per-object
+// refresh state machine: each delta behaves exactly like a
+// single-object RecoverLogResp (refusal counting, busy retry, and the
+// truncation fallback to a full-value read included).
+func (n *Node) onCatchupResp(rt net.Runtime, from model.ProcID, m wire.CatchupResp) {
+	for _, d := range m.Objs {
+		n.onRecoverLogResp(rt, from, wire.RecoverLogResp{
+			Obj: d.Obj, Seq: d.Seq, OK: m.OK, Busy: d.Busy,
+			Complete: d.Complete, Entries: d.Entries,
+		})
+	}
 }
 
 // copyBusy reports whether the copy must not be read by recovery yet —

@@ -20,18 +20,16 @@
 //     decisions that are not yet acknowledged everywhere (participants
 //     block until they learn the outcome).
 //
-// A Journal receives every state change; FileJournal appends gob records
-// to a single log file and compacts it into a snapshot on open. Open
-// returns the replayed State used to seed a restarted node.
+// A Journal receives every state change. FileJournal (wal.go) is a
+// segmented, checksummed, group-committed write-ahead log: appends ride
+// an in-memory batch that one fsync makes durable, the Sync barrier
+// sits exactly where the protocol externalizes a promise, snapshots
+// bound restart replay, and the retained segment tail doubles as the §6
+// missed-write log for rule R5 catch-up. Open returns the replayed
+// State used to seed a restarted node.
 package durable
 
 import (
-	"encoding/gob"
-	"errors"
-	"fmt"
-	"io"
-	"os"
-	"path/filepath"
 	"sync"
 
 	"github.com/virtualpartitions/vp/internal/model"
@@ -72,6 +70,13 @@ func NewState() *State {
 // safe for concurrent use: the sharded store (internal/store) journals
 // committed writes from whichever stripe applies them. A nil Journal is
 // valid everywhere and means "not durable".
+//
+// Record methods (MaxID, Apply, Stage, ...) may buffer; a record is
+// only promised to disk after a Sync returns nil. Protocol code places
+// Sync exactly where a promise escapes the processor: before a
+// participant's prepare-ack (it vowed to hold the staged writes) and
+// before a coordinator sends its decision (participants will act on
+// it). Everything else rides the group-commit batch.
 type Journal interface {
 	// MaxID records a new high-water virtual partition identifier.
 	MaxID(v model.VPID)
@@ -86,6 +91,10 @@ type Journal interface {
 	Decide(txn model.TxnID, commit bool, pending []model.ProcID)
 	// DecideDone forgets a fully acknowledged decision.
 	DecideDone(txn model.TxnID)
+	// Sync makes every record passed so far durable (one group-commit
+	// fsync). A non-nil error means durability is gone for good and the
+	// caller must treat the processor as crashed.
+	Sync() error
 }
 
 // record is the on-disk envelope. Exactly one field is set.
@@ -152,139 +161,9 @@ func (s *State) apply(r *record) {
 	}
 }
 
-// FileJournal is a gob append log with snapshot compaction. Writes are
-// serialized by an internal mutex (the gob encoder and the file offset
-// are shared state).
-type FileJournal struct {
-	path string
-	mu   sync.Mutex
-	f    *os.File
-	enc  *gob.Encoder
-	// SyncEveryWrite forces an fsync per record (safest, slowest).
-	SyncEveryWrite bool
-	err            error
-}
-
-// Open replays the journal in dir (creating it if absent), compacts it
-// into a fresh snapshot, and returns the state plus the journal ready
-// for appending.
-func Open(dir string) (*State, *FileJournal, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, nil, fmt.Errorf("durable: %w", err)
-	}
-	path := filepath.Join(dir, "wal.gob")
-	st := NewState()
-	if raw, err := os.Open(path); err == nil {
-		dec := gob.NewDecoder(raw)
-		for {
-			var r record
-			if err := dec.Decode(&r); err != nil {
-				if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
-					// A torn tail write is expected after a crash; any
-					// decoded prefix is consistent. Other corruption is
-					// reported.
-					raw.Close()
-					return nil, nil, fmt.Errorf("durable: corrupt journal %s: %w", path, err)
-				}
-				break
-			}
-			st.apply(&r)
-		}
-		raw.Close()
-	} else if !errors.Is(err, os.ErrNotExist) {
-		return nil, nil, fmt.Errorf("durable: %w", err)
-	}
-	// Compact: write a snapshot to a temp file and atomically replace.
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return nil, nil, fmt.Errorf("durable: %w", err)
-	}
-	enc := gob.NewEncoder(f)
-	if err := enc.Encode(&record{Snapshot: st}); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("durable: snapshot: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("durable: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("durable: %w", err)
-	}
-	j := &FileJournal{path: path, f: f, enc: enc}
-	return st, j, nil
-}
-
-func (j *FileJournal) write(r *record) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.err != nil {
-		return
-	}
-	if err := j.enc.Encode(r); err != nil {
-		j.err = err
-		return
-	}
-	if j.SyncEveryWrite {
-		j.err = j.f.Sync()
-	}
-}
-
-// Err reports the first write error (the journal stops recording after
-// one; the caller should treat the processor as crashed).
-func (j *FileJournal) Err() error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.err
-}
-
-// Close syncs and closes the file.
-func (j *FileJournal) Close() error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.f == nil {
-		return nil
-	}
-	if err := j.f.Sync(); err != nil {
-		j.f.Close()
-		return err
-	}
-	return j.f.Close()
-}
-
-// MaxID implements Journal.
-func (j *FileJournal) MaxID(v model.VPID) { j.write(&record{SetMaxID: &v}) }
-
-// Apply implements Journal.
-func (j *FileJournal) Apply(obj model.ObjectID, val model.Value, ver model.Version) {
-	j.write(&record{ApplyObj: obj, ApplyVal: val, ApplyVer: &ver})
-}
-
-// Stage implements Journal.
-func (j *FileJournal) Stage(txn model.TxnID, obj model.ObjectID, w StagedWrite) {
-	j.write(&record{StageTxn: &txn, StageObj: obj, StageW: &w})
-}
-
-// DropStage implements Journal.
-func (j *FileJournal) DropStage(txn model.TxnID, obj model.ObjectID) {
-	j.write(&record{DropTxn: &txn, DropObj: obj})
-}
-
-// Decide implements Journal.
-func (j *FileJournal) Decide(txn model.TxnID, commit bool, pending []model.ProcID) {
-	j.write(&record{DecideTxn: &txn, DecideCommit: commit, DecidePending: pending})
-}
-
-// DecideDone implements Journal.
-func (j *FileJournal) DecideDone(txn model.TxnID) { j.write(&record{DoneTxn: &txn}) }
-
-var _ Journal = (*FileJournal)(nil)
-
-// MemJournal is an in-memory Journal for tests: it maintains a State
-// directly, so "restart" is simply reading State. Safe for concurrent
-// use like any Journal.
+// MemJournal is an in-memory Journal for tests and the simulation
+// engine: it maintains a State directly, so "restart" is simply reading
+// State. Safe for concurrent use like any Journal.
 type MemJournal struct {
 	mu sync.Mutex
 	St *State
@@ -324,5 +203,8 @@ func (m *MemJournal) Decide(txn model.TxnID, commit bool, pending []model.ProcID
 
 // DecideDone implements Journal.
 func (m *MemJournal) DecideDone(txn model.TxnID) { m.apply(&record{DoneTxn: &txn}) }
+
+// Sync implements Journal: memory is always "durable".
+func (m *MemJournal) Sync() error { return nil }
 
 var _ Journal = (*MemJournal)(nil)

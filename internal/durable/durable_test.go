@@ -3,6 +3,7 @@ package durable
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/virtualpartitions/vp/internal/model"
@@ -91,39 +92,71 @@ func TestDropAndDoneRecords(t *testing.T) {
 	}
 }
 
-func TestCompactionShrinksLog(t *testing.T) {
+// dirBytes sums the sizes of every file in dir.
+func dirBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, e := range ents {
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+	}
+	return total
+}
+
+func TestSegmentRollAndSnapshotBoundReplay(t *testing.T) {
 	dir := t.TempDir()
-	_, j, err := Open(dir)
+	// Tiny segments so a few thousand records roll many times.
+	_, j, err := OpenOptions(dir, Options{SegmentBytes: 4 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 2000; i++ {
 		j.Apply("x", model.Value(i), ver(1, uint64(i+1)))
+		if i%50 == 0 {
+			if err := j.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
 	}
-	j.Close()
-	big, _ := os.Stat(filepath.Join(dir, "wal.gob"))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Retention bounds the directory: pruned segments are gone, so the
+	// total on disk is far below 2000 records' worth of history.
+	ents, _ := os.ReadDir(dir)
+	segs, snaps := 0, 0
+	for _, e := range ents {
+		switch {
+		case strings.HasSuffix(e.Name(), ".seg"):
+			segs++
+		case strings.HasSuffix(e.Name(), ".snap"):
+			snaps++
+		}
+	}
+	if snaps == 0 || snaps > defaultRetainSnapshots {
+		t.Fatalf("retained %d snapshots (want 1..%d)", snaps, defaultRetainSnapshots)
+	}
+	if segs == 0 || segs > 32 {
+		t.Fatalf("retained %d segments", segs)
+	}
 
-	// Re-open compacts 2000 records into one snapshot.
-	st, j2, err := Open(dir)
+	st, j2, err := OpenOptions(dir, Options{SegmentBytes: 4 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	j2.Close()
-	small, _ := os.Stat(filepath.Join(dir, "wal.gob"))
-	if small.Size() >= big.Size()/4 {
-		t.Fatalf("compaction ineffective: %d -> %d bytes", big.Size(), small.Size())
-	}
+	defer j2.Close()
 	if st.Copies["x"].Val != 1999 {
-		t.Fatalf("compacted value = %v", st.Copies["x"])
+		t.Fatalf("replayed value = %v", st.Copies["x"])
 	}
-	// And the compacted log replays identically.
-	st2, j3, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	j3.Close()
-	if st2.Copies["x"] != st.Copies["x"] {
-		t.Fatal("snapshot replay diverged")
+	if rs := j2.Recovery(); !rs.Snapshot {
+		t.Fatalf("recovery did not start from a snapshot: %+v", rs)
 	}
 }
 
@@ -137,21 +170,102 @@ func TestTornTailIsTolerated(t *testing.T) {
 	j.Apply("x", 2, ver(1, 2))
 	j.Close()
 	// Chop bytes off the tail, as a crash mid-write would.
-	path := filepath.Join(dir, "wal.gob")
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+	if _, err := ChopTail(nil, dir, 3); err != nil {
 		t.Fatal(err)
 	}
 	st, j2, err := Open(dir)
 	if err != nil {
 		t.Fatalf("torn tail should replay the prefix: %v", err)
 	}
-	j2.Close()
+	defer j2.Close()
 	if st.Copies["x"].Val != 1 {
 		t.Fatalf("prefix state = %+v (want the first, intact record)", st.Copies["x"])
+	}
+	// The torn frame is dropped whole: everything from the last good
+	// frame boundary to EOF goes.
+	if rs := j2.Recovery(); !rs.Torn || rs.TornBytes < 3 {
+		t.Fatalf("recovery stats = %+v (want a repaired torn tail)", rs)
+	}
+	// The truncation is physical: appending after recovery and reopening
+	// must replay cleanly with the new record on top of the prefix.
+	j2.Apply("x", 9, ver(1, 9))
+	j2.Close()
+	st3, j3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if st3.Copies["x"].Val != 9 {
+		t.Fatalf("post-repair append lost: %+v", st3.Copies["x"])
+	}
+}
+
+func TestInteriorCorruptionIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	_, j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Apply("x", 1, ver(1, 1))
+	j.Apply("x", 2, ver(1, 2))
+	j.Apply("x", 3, ver(1, 3))
+	j.Close()
+	// Flip a byte in the FIRST record's payload: a bad frame with valid
+	// frames after it is damage, not a crash, and must refuse to start.
+	path := filepath.Join(dir, segName(1))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[frameHeaderLen] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir); err == nil {
+		t.Fatal("interior corruption must be fatal")
+	} else if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestCorruptionInOlderSegmentIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	// A huge SnapshotEvery keeps every segment in the replayed tail, so
+	// damage to any segment but the newest is mid-log corruption.
+	opts := Options{SegmentBytes: 512, SnapshotEvery: 1 << 20}
+	_, j, err := OpenOptions(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		j.Apply("x", model.Value(i), ver(1, uint64(i+1)))
+		if i%10 == 0 {
+			if err := j.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	j.Close()
+	// Damage the tail of a RETAINED but non-newest segment. Even though
+	// the damage is at that file's end, readable segments follow it, so
+	// this is interior corruption of the log as a whole.
+	ents, _ := os.ReadDir(dir)
+	var segNames []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			segNames = append(segNames, e.Name())
+		}
+	}
+	if len(segNames) < 2 {
+		t.Skipf("only %d segments; need 2+", len(segNames))
+	}
+	victim := filepath.Join(dir, segNames[0])
+	raw, _ := os.ReadFile(victim)
+	if err := os.WriteFile(victim, raw[:len(raw)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenOptions(dir, opts); err == nil {
+		t.Fatal("torn frames before the newest segment must be fatal")
 	}
 }
 
@@ -161,6 +275,9 @@ func TestMemJournal(t *testing.T) {
 	m.Apply("x", 9, ver(5, 1))
 	m.Stage(txn(1), "x", StagedWrite{Val: 10, Ver: ver(5, 2)})
 	m.Decide(txn(1), true, []model.ProcID{2})
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
 	if m.St.MaxID != v(5, 1) || m.St.Copies["x"].Val != 9 {
 		t.Fatalf("state = %+v", m.St)
 	}
@@ -178,8 +295,11 @@ func TestOpenCreatesDir(t *testing.T) {
 		t.Fatal(err)
 	}
 	j.Close()
-	if _, err := os.Stat(filepath.Join(dir, "wal.gob")); err != nil {
-		t.Fatal("journal file not created")
+	if _, err := os.Stat(filepath.Join(dir, segName(1))); err != nil {
+		t.Fatal("first segment not created")
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapName(1))); err != nil {
+		t.Fatal("base snapshot not created")
 	}
 }
 
@@ -194,10 +314,84 @@ func TestSyncEveryWrite(t *testing.T) {
 	if j.Err() != nil {
 		t.Fatal(j.Err())
 	}
+	if j.Pending() != 0 {
+		t.Fatal("SyncEveryWrite left records buffered")
+	}
 	j.Close()
 	st, j2, _ := Open(dir)
 	j2.Close()
 	if st.Copies["x"].Val != 1 {
 		t.Fatal("synced write lost")
+	}
+}
+
+func TestGroupCommitBuffersUntilSync(t *testing.T) {
+	dir := t.TempDir()
+	_, j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for i := 0; i < 10; i++ {
+		j.Apply("x", model.Value(i), ver(1, uint64(i+1)))
+	}
+	if j.Pending() != 10 {
+		t.Fatalf("pending = %d, want 10 buffered records", j.Pending())
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Pending() != 0 {
+		t.Fatalf("pending after Sync = %d", j.Pending())
+	}
+}
+
+func TestHardCrashDropsPendingBatch(t *testing.T) {
+	dir := t.TempDir()
+	_, j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Apply("x", 1, ver(1, 1))
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	j.Apply("x", 2, ver(1, 2)) // never synced
+	j.HardCrash()
+
+	st, j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if st.Copies["x"].Val != 1 {
+		t.Fatalf("x = %+v (want only the synced write)", st.Copies["x"])
+	}
+}
+
+func TestLegacyJournalMigration(t *testing.T) {
+	dir := t.TempDir()
+	// Write a legacy single-file gob journal by hand.
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	legacy := filepath.Join(dir, legacyName)
+	writeLegacyGob(t, legacy, []*record{
+		{SetMaxID: &model.VPID{N: 4, P: 2}},
+		{ApplyObj: "x", ApplyVal: 77, ApplyVer: &model.Version{Date: v(4, 2), Ctr: 1}},
+	})
+	st, j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if st.MaxID != v(4, 2) || st.Copies["x"].Val != 77 {
+		t.Fatalf("migrated state = %+v", st)
+	}
+	if !j.Recovery().Migrated {
+		t.Fatal("migration not reported")
+	}
+	if _, err := os.Stat(legacy); !os.IsNotExist(err) {
+		t.Fatal("legacy wal.gob not removed after migration")
 	}
 }

@@ -1,0 +1,90 @@
+package durable
+
+import (
+	"io/fs"
+	"os"
+	"sort"
+)
+
+// VFS is the narrow filesystem seam under FileJournal. Production code
+// uses OS(); fault-injection harnesses (internal/nemesis) substitute an
+// implementation that tears writes, fails fsync, or dies mid-append to
+// exercise the recovery path against hostile disks.
+type VFS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// ReadDir returns the sorted base names of the entries in dir.
+	ReadDir(dir string) ([]string, error)
+	// ReadFile returns the full contents of name.
+	ReadFile(name string) ([]byte, error)
+	// Create opens name for writing, truncating it if it exists.
+	Create(name string) (File, error)
+	// OpenAppend opens name for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Truncate cuts name to size bytes.
+	Truncate(name string, size int64) error
+	// Size returns the length of name in bytes.
+	Size(name string) (int64, error)
+}
+
+// File is the writable handle a VFS hands out. The journal only ever
+// appends, syncs, and closes; reads go through VFS.ReadFile.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// OS returns the real filesystem.
+func OS() VFS { return osVFS{} }
+
+type osVFS struct{}
+
+func (osVFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osVFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osVFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osVFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (osVFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+func (osVFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osVFS) Remove(name string) error { return os.Remove(name) }
+
+func (osVFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osVFS) Size(name string) (int64, error) {
+	st, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// IsNotExist reports whether err is a missing-file error, for VFS
+// implementations layered over the os package.
+func IsNotExist(err error) bool {
+	return os.IsNotExist(err) || err == fs.ErrNotExist
+}

@@ -1,0 +1,759 @@
+package durable
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/virtualpartitions/vp/internal/metrics"
+	"github.com/virtualpartitions/vp/internal/model"
+)
+
+// This file is the segmented write-ahead log behind FileJournal.
+//
+// Layout of a journal directory:
+//
+//	wal-00000001.seg   appended frames (see record.go), oldest retained
+//	wal-00000002.seg   ...
+//	wal-00000003.seg   current segment, open for append
+//	snap-00000003.snap state as of the START of segment 3
+//
+// A snapshot named for base b captures every record in segments < b, so
+// restart replay is "newest snapshot + segments ≥ its base". Older
+// snapshots (up to RetainSnapshots) are kept with their segments to
+// serve §6 log catch-up: a rejoining peer's missed writes can be
+// streamed straight from the retained tail instead of copying whole
+// objects. Everything older is pruned.
+//
+// Writes are group-committed: Journal methods append to an in-memory
+// batch; Sync (the protocol's durability barrier: prepare-ack, decide)
+// or the background flusher writes the batch and fsyncs once. A torn
+// final batch is exactly what recovery's torn-tail rule repairs.
+
+const (
+	defaultSegmentBytes    = 1 << 20
+	defaultRetainSnapshots = 2
+	defaultSnapshotEvery   = 4
+	snapTmpName            = "snap.tmp"
+	legacyName             = "wal.gob"
+)
+
+// Options tune a FileJournal. The zero value gives the production
+// defaults on the real filesystem.
+type Options struct {
+	// FS is the filesystem seam; nil means the real one.
+	FS VFS
+	// SegmentBytes is the roll threshold: once the current segment
+	// exceeds it, the journal rolls to a new segment and snapshots.
+	SegmentBytes int64
+	// RetainSnapshots is how many snapshot generations (and their
+	// segments) to keep for log catch-up before pruning.
+	RetainSnapshots int
+	// SnapshotEvery is how many segment rolls pass between snapshots.
+	// Larger values cheapen steady-state writing (fewer full-state
+	// encodes) at the cost of replaying more segments on restart.
+	SnapshotEvery int
+	// FlushInterval, when positive, starts a background goroutine that
+	// group-commits the pending batch every interval. Zero leaves
+	// flushing to Sync callers (and Close).
+	FlushInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = OS()
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = defaultSegmentBytes
+	}
+	if o.RetainSnapshots <= 0 {
+		o.RetainSnapshots = defaultRetainSnapshots
+	}
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = defaultSnapshotEvery
+	}
+	return o
+}
+
+// RecoveryStats describes what Open had to do to bring the state back.
+type RecoveryStats struct {
+	Duration  time.Duration // wall time spent replaying
+	Segments  int           // segment files replayed
+	Records   int           // records replayed (excluding the snapshot)
+	TornBytes int64         // bytes truncated off a torn tail
+	Torn      bool          // a torn tail was found and repaired
+	Snapshot  bool          // replay started from a snapshot
+	Migrated  bool          // a legacy single-file wal.gob was converted
+	Resolved  int           // staged txns dropped on decide evidence (see Open)
+}
+
+// LogRec is one committed write replayed from the retained WAL tail,
+// served to rule R5 log catch-up when the store's in-memory log has
+// already evicted the range.
+type LogRec struct {
+	Val model.Value
+	Ver model.Version
+}
+
+// snapInfo is one retained snapshot generation: the segment index its
+// state is current as of, and each object's version at that point (the
+// completeness floor for log catch-up).
+type snapInfo struct {
+	base uint64
+	vers map[model.ObjectID]model.Version
+}
+
+// FileJournal is a segmented, checksummed, group-committed write-ahead
+// log. Safe for concurrent use; all appends land in a batch that a Sync
+// barrier or the background flusher makes durable with one fsync.
+type FileJournal struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	seg       File
+	segIndex  uint64
+	segSize   int64
+	sinceSnap int // segment rolls since the last snapshot
+	buf      []byte
+	pending  int
+	oldest   time.Time // append time of the oldest unsynced record
+	shadow   *State
+	ring     []snapInfo // retained snapshots, oldest first
+	stats    RecoveryStats
+	reg      *metrics.Registry
+	err      error
+
+	// SyncEveryWrite forces a write+fsync per record (safest, slowest).
+	SyncEveryWrite bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func segName(idx uint64) string  { return fmt.Sprintf("wal-%08d.seg", idx) }
+func snapName(idx uint64) string { return fmt.Sprintf("snap-%08d.snap", idx) }
+
+func parseIndexed(name, prefix, suffix string) (uint64, bool) {
+	var idx uint64
+	n, err := fmt.Sscanf(name, prefix+"%08d"+suffix, &idx)
+	return idx, err == nil && n == 1
+}
+
+// Open replays the journal in dir (creating it if absent) and returns
+// the recovered state plus the journal ready for appending. A torn tail
+// on the newest segment is truncated and recovery proceeds; corruption
+// anywhere else is fatal — it means the disk lost acknowledged data,
+// and serving from it could violate the protocol's promises.
+func Open(dir string) (*State, *FileJournal, error) {
+	return OpenOptions(dir, Options{})
+}
+
+// OpenOptions is Open with explicit tuning.
+func OpenOptions(dir string, o Options) (*State, *FileJournal, error) {
+	start := time.Now()
+	o = o.withDefaults()
+	fs := o.FS
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	var segs, snaps []uint64
+	legacy := false
+	for _, name := range names {
+		if idx, ok := parseIndexed(name, "wal-", ".seg"); ok {
+			segs = append(segs, idx)
+		} else if idx, ok := parseIndexed(name, "snap-", ".snap"); ok {
+			snaps = append(snaps, idx)
+		} else if name == legacyName {
+			legacy = true
+		}
+	}
+
+	j := &FileJournal{dir: dir, opts: o}
+	st := NewState()
+
+	if len(segs) == 0 && len(snaps) == 0 {
+		// Fresh directory, or a legacy single-file journal to migrate.
+		if legacy {
+			if err := replayLegacy(fs, filepath.Join(dir, legacyName), st); err != nil {
+				return nil, nil, err
+			}
+			j.stats.Migrated = true
+		}
+		j.segIndex = 1
+		if err := j.writeSnapshot(st, 1); err != nil {
+			return nil, nil, err
+		}
+		j.ring = []snapInfo{{base: 1, vers: versionMap(st)}}
+		f, err := fs.Create(filepath.Join(dir, segName(1)))
+		if err != nil {
+			return nil, nil, fmt.Errorf("durable: %w", err)
+		}
+		j.seg = f
+		if legacy {
+			if err := fs.Remove(filepath.Join(dir, legacyName)); err != nil {
+				return nil, nil, fmt.Errorf("durable: %w", err)
+			}
+		}
+	} else {
+		if len(snaps) == 0 {
+			return nil, nil, fmt.Errorf("durable: segments without a snapshot in %s (journal damaged)", dir)
+		}
+		base := snaps[len(snaps)-1]
+		// Load the retained snapshot generations, newest last. The newest
+		// seeds replay; the olders' version maps set the catch-up floor.
+		for _, b := range snaps {
+			snap, err := j.readSnapshot(b)
+			if err != nil {
+				if b != base {
+					continue // an old generation may be half-pruned; skip it
+				}
+				return nil, nil, err
+			}
+			if b == base {
+				st = snap
+			}
+			j.ring = append(j.ring, snapInfo{base: b, vers: versionMap(snap)})
+		}
+		maxSeg := base
+		if len(segs) > 0 && segs[len(segs)-1] > maxSeg {
+			maxSeg = segs[len(segs)-1]
+		}
+		present := make(map[uint64]bool, len(segs))
+		for _, idx := range segs {
+			present[idx] = true
+		}
+		j.stats.Snapshot = true
+		for idx := base; idx <= maxSeg; idx++ {
+			if !present[idx] {
+				if idx == maxSeg {
+					break // crashed between snapshot and segment create
+				}
+				return nil, nil, fmt.Errorf("durable: missing segment %s in %s (journal damaged)", segName(idx), dir)
+			}
+			path := filepath.Join(dir, segName(idx))
+			data, err := fs.ReadFile(path)
+			if err != nil {
+				return nil, nil, fmt.Errorf("durable: %w", err)
+			}
+			valid, torn, werr := walkFrames(data, func(payload []byte) error {
+				var r record
+				if !parseRecord(payload, &r) {
+					return errors.New("malformed record")
+				}
+				st.apply(&r)
+				j.stats.Records++
+				return nil
+			})
+			if werr != nil || (torn && idx != maxSeg) {
+				if werr == nil {
+					werr = errors.New("torn frames before the newest segment")
+				}
+				return nil, nil, fmt.Errorf("durable: corrupt journal %s: %w", path, werr)
+			}
+			if torn {
+				j.stats.Torn = true
+				j.stats.TornBytes = int64(len(data)) - valid
+				if err := fs.Truncate(path, valid); err != nil {
+					return nil, nil, fmt.Errorf("durable: %w", err)
+				}
+			}
+			j.stats.Segments++
+			if idx == maxSeg {
+				j.segSize = valid
+			}
+		}
+		j.segIndex = maxSeg
+		j.sinceSnap = int(maxSeg - base)
+		path := filepath.Join(dir, segName(maxSeg))
+		f, err := fs.OpenAppend(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("durable: %w", err)
+		}
+		j.seg = f
+	}
+
+	j.stats.Resolved = resolveDecidedStages(st)
+	j.shadow = cloneState(st)
+	j.mu.Lock()
+	j.pruneLocked()
+	j.mu.Unlock()
+	j.stats.Duration = time.Since(start)
+	if o.FlushInterval > 0 {
+		j.stop = make(chan struct{})
+		j.done = make(chan struct{})
+		go j.flushLoop(o.FlushInterval)
+	}
+	return st, j, nil
+}
+
+// resolveDecidedStages drops staged transactions whose decide is
+// already evidenced in the copies, returning how many were resolved. A
+// Decide applies every staged write and then drops the stage in one
+// batch; a torn tail can eat the drop-stage record while an apply from
+// the same batch survives, which would resurrect an already-decided
+// transaction as prepared — and its coordinator, having been acked,
+// has legitimately forgotten it. A copy at or past a staged write's
+// version can only exist if that transaction's decide ran (the staged
+// write held an exclusive lock until then), so any such write proves
+// the whole transaction was decided: drop its stage. Stages with no
+// evidence are genuinely undecided and are restored as prepared,
+// blocking until the retransmitted Decide — the only sound behavior (a
+// timeout would abort a transaction a partitioned coordinator may have
+// committed).
+func resolveDecidedStages(st *State) int {
+	resolved := 0
+	for txn, ws := range st.Staged {
+		for obj, w := range ws {
+			if c, ok := st.Copies[obj]; ok && !c.Ver.Less(w.Ver) {
+				delete(st.Staged, txn)
+				resolved++
+				break
+			}
+		}
+	}
+	return resolved
+}
+
+// replayLegacy reads the pre-segmented single-file gob journal. A
+// trailing partial record (EOF mid-decode) is tolerated as before; any
+// other decode error is fatal.
+func replayLegacy(fs VFS, path string, st *State) error {
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	dec := gob.NewDecoder(bytesReader(data))
+	for {
+		var r record
+		if err := dec.Decode(&r); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				return fmt.Errorf("durable: corrupt journal %s: %w", path, err)
+			}
+			return nil
+		}
+		st.apply(&r)
+	}
+}
+
+// bytesReader avoids importing bytes just for one reader.
+func bytesReader(b []byte) io.Reader { return &byteSource{b: b} }
+
+type byteSource struct{ b []byte }
+
+func (s *byteSource) Read(p []byte) (int, error) {
+	if len(s.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, s.b)
+	s.b = s.b[n:]
+	return n, nil
+}
+
+// readSnapshot loads and verifies one snapshot file. Snapshots are
+// written via tmp+rename, so any damage here is real, not a crash.
+func (j *FileJournal) readSnapshot(base uint64) (*State, error) {
+	path := filepath.Join(j.dir, snapName(base))
+	data, err := j.opts.FS.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	st := NewState()
+	got := 0
+	_, torn, werr := walkFrames(data, func(payload []byte) error {
+		var r record
+		if !parseRecord(payload, &r) || r.Snapshot == nil {
+			return errors.New("malformed snapshot record")
+		}
+		st.apply(&r)
+		got++
+		return nil
+	})
+	if werr != nil || torn || got != 1 {
+		if werr == nil {
+			werr = errors.New("snapshot incomplete")
+		}
+		return nil, fmt.Errorf("durable: corrupt snapshot %s: %w", path, werr)
+	}
+	return st, nil
+}
+
+// writeSnapshot persists st as the state at the start of segment base,
+// atomically (tmp, fsync, rename).
+func (j *FileJournal) writeSnapshot(st *State, base uint64) error {
+	fs := j.opts.FS
+	tmp := filepath.Join(j.dir, snapTmpName)
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	frame := appendFrame(nil, &record{Snapshot: st})
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	if err := fs.Rename(tmp, filepath.Join(j.dir, snapName(base))); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if j.reg != nil {
+		j.reg.Inc(metrics.CJournalSnapshots, 1)
+	}
+	return nil
+}
+
+func versionMap(s *State) map[model.ObjectID]model.Version {
+	m := make(map[model.ObjectID]model.Version, len(s.Copies))
+	for o, c := range s.Copies {
+		m[o] = c.Ver
+	}
+	return m
+}
+
+func cloneState(s *State) *State {
+	c := NewState()
+	c.MaxID = s.MaxID
+	for o, cp := range s.Copies {
+		c.Copies[o] = cp
+	}
+	for t, ws := range s.Staged {
+		m := make(map[model.ObjectID]StagedWrite, len(ws))
+		for o, w := range ws {
+			m[o] = w
+		}
+		c.Staged[t] = m
+	}
+	for t, d := range s.Decides {
+		c.Decides[t] = d
+	}
+	return c
+}
+
+// SetMetrics attaches a registry; subsequent appends, fsyncs, and
+// snapshots are counted there.
+func (j *FileJournal) SetMetrics(reg *metrics.Registry) {
+	j.mu.Lock()
+	j.reg = reg
+	j.mu.Unlock()
+}
+
+// Recovery reports what the Open that produced this journal had to do.
+func (j *FileJournal) Recovery() RecoveryStats { return j.stats }
+
+// write appends one record to the pending batch (and to the shadow
+// state that feeds snapshots). SyncEveryWrite flushes immediately.
+func (j *FileJournal) write(r *record) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.shadow.apply(r)
+	j.buf = appendFrame(j.buf, r)
+	j.pending++
+	if j.reg != nil {
+		j.reg.Inc(metrics.CJournalRecords, 1)
+		if j.pending == 1 {
+			j.oldest = time.Now()
+		}
+	}
+	if j.SyncEveryWrite {
+		j.flushLocked()
+	}
+}
+
+// flushLocked writes the pending batch, fsyncs once, and rolls the
+// segment (snapshotting) past the size threshold. Callers hold j.mu.
+func (j *FileJournal) flushLocked() {
+	if j.err != nil || len(j.buf) == 0 {
+		return
+	}
+	n := len(j.buf)
+	recs := j.pending
+	if _, err := j.seg.Write(j.buf); err != nil {
+		j.err = err
+		return
+	}
+	if err := j.seg.Sync(); err != nil {
+		j.err = err
+		return
+	}
+	j.segSize += int64(n)
+	j.buf = j.buf[:0]
+	j.pending = 0
+	if j.reg != nil {
+		j.reg.Inc(metrics.CJournalBytes, int64(n))
+		j.reg.Inc(metrics.CJournalFsyncs, 1)
+		j.reg.Observe(metrics.SJournalBatch, float64(recs))
+		j.reg.ObserveDuration(metrics.SJournalLag, time.Since(j.oldest))
+	}
+	if j.segSize >= j.opts.SegmentBytes {
+		j.rollLocked()
+	}
+}
+
+// rollLocked closes the current segment and opens the next. Every
+// SnapshotEvery rolls it also snapshots the shadow state at the
+// boundary and prunes generations past retention.
+func (j *FileJournal) rollLocked() {
+	if err := j.seg.Close(); err != nil {
+		j.err = err
+		return
+	}
+	j.segIndex++
+	f, err := j.opts.FS.Create(filepath.Join(j.dir, segName(j.segIndex)))
+	if err != nil {
+		j.err = err
+		return
+	}
+	j.seg = f
+	j.segSize = 0
+	j.sinceSnap++
+	if j.sinceSnap < j.opts.SnapshotEvery {
+		return
+	}
+	if err := j.writeSnapshot(j.shadow, j.segIndex); err != nil {
+		j.err = err
+		return
+	}
+	j.sinceSnap = 0
+	j.ring = append(j.ring, snapInfo{base: j.segIndex, vers: versionMap(j.shadow)})
+	for len(j.ring) > j.opts.RetainSnapshots {
+		j.ring = j.ring[1:]
+	}
+	j.pruneLocked()
+}
+
+// pruneLocked removes snapshot and segment files older than the oldest
+// retained generation, plus any leftover snapshot temp file.
+func (j *FileJournal) pruneLocked() {
+	if len(j.ring) == 0 {
+		return
+	}
+	keep := j.ring[0].base
+	names, err := j.opts.FS.ReadDir(j.dir)
+	if err != nil {
+		return
+	}
+	for _, name := range names {
+		if idx, ok := parseIndexed(name, "wal-", ".seg"); ok && idx < keep {
+			j.opts.FS.Remove(filepath.Join(j.dir, name)) //nolint:errcheck // best-effort
+		} else if idx, ok := parseIndexed(name, "snap-", ".snap"); ok && idx < keep {
+			j.opts.FS.Remove(filepath.Join(j.dir, name)) //nolint:errcheck // best-effort
+		} else if name == snapTmpName {
+			j.opts.FS.Remove(filepath.Join(j.dir, name)) //nolint:errcheck // best-effort
+		}
+	}
+}
+
+func (j *FileJournal) flushLoop(every time.Duration) {
+	defer close(j.done)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.stop:
+			return
+		case <-t.C:
+			j.mu.Lock()
+			j.flushLocked()
+			j.mu.Unlock()
+		}
+	}
+}
+
+// Sync makes every record appended so far durable: it group-commits the
+// pending batch with a single fsync. This is the barrier the protocol
+// places before externalizing a promise (prepare-ack, decide). The
+// error is sticky: a journal that failed a sync stays failed, and the
+// caller must treat the processor as crashed.
+func (j *FileJournal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.flushLocked()
+	return j.err
+}
+
+// Err reports the first write or sync error.
+func (j *FileJournal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Pending reports how many records are buffered but not yet durable
+// (the journal lag, in records).
+func (j *FileJournal) Pending() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.pending
+}
+
+// LogSince returns the committed writes of obj strictly newer than
+// since, replayed from the retained segments, with complete=true only
+// when the retained tail provably holds every such write (the oldest
+// retained snapshot's version of obj is not newer than since). The
+// store consults this when its in-memory log has evicted the range, so
+// R5 catch-up can stay log-based far longer before falling back to a
+// full copy.
+func (j *FileJournal) LogSince(obj model.ObjectID, since model.Version) ([]LogRec, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil || len(j.ring) == 0 {
+		return nil, false
+	}
+	if base, ok := j.ring[0].vers[obj]; ok && since.Less(base) {
+		return nil, false // writes older than the retained tail are gone
+	}
+	j.flushLocked() // segments on disk must include the pending batch
+	if j.err != nil {
+		return nil, false
+	}
+	var out []LogRec
+	for idx := j.ring[0].base; idx <= j.segIndex; idx++ {
+		data, err := j.opts.FS.ReadFile(filepath.Join(j.dir, segName(idx)))
+		if err != nil {
+			if IsNotExist(err) {
+				continue // pre-snapshot crash window: segment never created
+			}
+			return nil, false
+		}
+		_, _, werr := walkFrames(data, func(payload []byte) error {
+			var r record
+			if !parseRecord(payload, &r) {
+				return errors.New("malformed record")
+			}
+			if r.ApplyVer != nil && r.ApplyObj == obj && since.Less(*r.ApplyVer) {
+				out = append(out, LogRec{Val: r.ApplyVal, Ver: *r.ApplyVer})
+			}
+			return nil
+		})
+		if werr != nil {
+			return nil, false
+		}
+	}
+	if j.reg != nil {
+		j.reg.Inc(metrics.CJournalCatchupScans, 1)
+	}
+	return out, true
+}
+
+// Close flushes, syncs, and closes the journal.
+func (j *FileJournal) Close() error {
+	if j.stop != nil {
+		close(j.stop)
+		<-j.done
+		j.stop = nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.seg == nil {
+		return nil
+	}
+	j.flushLocked()
+	err := j.err
+	if cerr := j.seg.Close(); err == nil {
+		err = cerr
+	}
+	j.seg = nil
+	return err
+}
+
+// HardCrash abandons the journal as a kill -9 would: the pending batch
+// is dropped on the floor and the segment file is closed without a
+// sync. Only fault-injection harnesses call this; the on-disk state is
+// whatever the last group commit made durable, possibly with a torn
+// batch behind it.
+func (j *FileJournal) HardCrash() {
+	if j.stop != nil {
+		close(j.stop)
+		<-j.done
+		j.stop = nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.seg != nil {
+		j.seg.Close() //nolint:errcheck // crash semantics: nothing to report to
+		j.seg = nil
+	}
+	j.buf = nil
+	j.pending = 0
+	j.err = errors.New("durable: journal hard-crashed")
+}
+
+// ChopTail truncates n bytes off the newest segment in dir, simulating
+// the torn final write a power failure leaves. It returns how many
+// bytes were actually removed (the segment may be shorter than n).
+func ChopTail(fs VFS, dir string, n int64) (int64, error) {
+	if fs == nil {
+		fs = OS()
+	}
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	var newest uint64
+	found := false
+	for _, name := range names {
+		if idx, ok := parseIndexed(name, "wal-", ".seg"); ok && (!found || idx > newest) {
+			newest, found = idx, true
+		}
+	}
+	if !found {
+		return 0, errors.New("durable: no segments to chop")
+	}
+	path := filepath.Join(dir, segName(newest))
+	size, err := fs.Size(path)
+	if err != nil {
+		return 0, err
+	}
+	if n > size {
+		n = size
+	}
+	if err := fs.Truncate(path, size-n); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// MaxID implements Journal.
+func (j *FileJournal) MaxID(v model.VPID) { j.write(&record{SetMaxID: &v}) }
+
+// Apply implements Journal.
+func (j *FileJournal) Apply(obj model.ObjectID, val model.Value, ver model.Version) {
+	j.write(&record{ApplyObj: obj, ApplyVal: val, ApplyVer: &ver})
+}
+
+// Stage implements Journal.
+func (j *FileJournal) Stage(txn model.TxnID, obj model.ObjectID, w StagedWrite) {
+	j.write(&record{StageTxn: &txn, StageObj: obj, StageW: &w})
+}
+
+// DropStage implements Journal.
+func (j *FileJournal) DropStage(txn model.TxnID, obj model.ObjectID) {
+	j.write(&record{DropTxn: &txn, DropObj: obj})
+}
+
+// Decide implements Journal.
+func (j *FileJournal) Decide(txn model.TxnID, commit bool, pending []model.ProcID) {
+	j.write(&record{DecideTxn: &txn, DecideCommit: commit, DecidePending: pending})
+}
+
+// DecideDone implements Journal.
+func (j *FileJournal) DecideDone(txn model.TxnID) { j.write(&record{DoneTxn: &txn}) }
+
+var _ Journal = (*FileJournal)(nil)

@@ -1,0 +1,356 @@
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/virtualpartitions/vp/internal/model"
+)
+
+func writeLegacyGob(t *testing.T, path string, recs []*record) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := gob.NewEncoder(f)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func stateEqual(a, b *State) bool {
+	return a.MaxID == b.MaxID &&
+		reflect.DeepEqual(a.Copies, b.Copies) &&
+		reflect.DeepEqual(a.Staged, b.Staged) &&
+		reflect.DeepEqual(a.Decides, b.Decides)
+}
+
+// frameOffsets parses the frame boundaries of a segment's bytes: the
+// returned slice holds the offset just past each complete frame.
+func frameOffsets(t *testing.T, data []byte) []int {
+	t.Helper()
+	var ends []int
+	off := 0
+	for off < len(data) {
+		if len(data)-off < frameHeaderLen {
+			t.Fatalf("trailing garbage in intact segment at %d", off)
+		}
+		length := int(binary.LittleEndian.Uint32(data[off:]))
+		off += frameHeaderLen + length
+		if off > len(data) {
+			t.Fatalf("frame overruns intact segment at %d", off)
+		}
+		ends = append(ends, off)
+	}
+	return ends
+}
+
+// TestEveryOffsetTruncation is the crash-consistency property test: for
+// EVERY byte offset of the segment, truncating there and recovering
+// must succeed, yield exactly the state after some whole-record prefix
+// of the history (records are atomic — a transaction's Decide can never
+// be visible without the Stages journaled before it), and keep MaxID
+// monotone as the prefix grows.
+func TestEveryOffsetTruncation(t *testing.T) {
+	src := t.TempDir()
+	_, j, err := Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A scripted history mixing every record kind, mirrored into a
+	// MemJournal after each step to know the expected state per prefix.
+	m := NewMemJournal()
+	var expected []*State
+	step := func(f func(Journal)) {
+		f(j)
+		f(m)
+		expected = append(expected, cloneState(m.St))
+	}
+	step(func(q Journal) { q.MaxID(v(1, 1)) })
+	for i := 0; i < 6; i++ {
+		i := i
+		tx := txn(int64(10 + i))
+		step(func(q Journal) {
+			q.Stage(tx, "a", StagedWrite{Val: model.Value(i), Ver: ver(1, uint64(2*i+1))})
+		})
+		step(func(q Journal) {
+			q.Stage(tx, "b", StagedWrite{Val: model.Value(-i), Ver: ver(1, uint64(2*i+2)), Delta: i%2 == 0})
+		})
+		step(func(q Journal) { q.Decide(tx, i%3 != 0, []model.ProcID{2, 3}) })
+		step(func(q Journal) { q.Apply("a", model.Value(i), ver(1, uint64(2*i+1))) })
+		step(func(q Journal) { q.Apply("b", model.Value(-i), ver(1, uint64(2*i+2))) })
+		step(func(q Journal) { q.DropStage(tx, "") })
+		step(func(q Journal) { q.DecideDone(tx) })
+		step(func(q Journal) { q.MaxID(v(uint64(2+i), model.ProcID(1+i%3))) })
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg, err := os.ReadFile(filepath.Join(src, segName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := os.ReadFile(filepath.Join(src, snapName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ends := frameOffsets(t, seg)
+	if len(ends) != len(expected) {
+		t.Fatalf("%d frames but %d scripted records", len(ends), len(expected))
+	}
+
+	var prevMax model.VPID
+	for cut := 0; cut <= len(seg); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, snapName(1)), snap, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), seg[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, j2, err := Open(dir)
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		j2.Close()
+		// The recovered state must be exactly the longest whole-record
+		// prefix that fits under the cut.
+		k := 0
+		for k < len(ends) && ends[k] <= cut {
+			k++
+		}
+		want := NewState()
+		if k > 0 {
+			want = cloneState(expected[k-1])
+		}
+		// Recovery resolves stages whose decide is evidenced by an apply
+		// surviving in the same prefix; the expected state must too.
+		resolveDecidedStages(want)
+		if !stateEqual(st, want) {
+			t.Fatalf("cut %d (prefix %d records): state %+v, want %+v", cut, k, st, want)
+		}
+		if st.MaxID.Less(prevMax) {
+			t.Fatalf("cut %d: MaxID regressed %v -> %v", cut, prevMax, st.MaxID)
+		}
+		prevMax = st.MaxID
+	}
+}
+
+func TestSnapshotTruncationRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	_, j, err := OpenOptions(dir, Options{SegmentBytes: 1 << 10, RetainSnapshots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough writes over two objects to roll segments many times, with
+	// group commits small enough that rolls actually trigger.
+	for i := 1; i <= 500; i++ {
+		j.Apply("x", model.Value(i), ver(1, uint64(i)))
+		if i%5 == 0 {
+			j.Apply("y", model.Value(i*10), ver(1, uint64(i)))
+		}
+		if i%25 == 0 {
+			if err := j.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	j.Stage(txn(7), "x", StagedWrite{Val: 501, Ver: ver(1, 501)})
+	j.Decide(txn(7), true, []model.ProcID{2})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, j2, err := OpenOptions(dir, Options{SegmentBytes: 1 << 10, RetainSnapshots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if st.Copies["x"].Val != 500 || st.Copies["y"].Val != 5000 {
+		t.Fatalf("round trip lost writes: %+v", st.Copies)
+	}
+	if _, ok := st.Staged[txn(7)]["x"]; !ok {
+		t.Fatal("staged write lost across snapshot boundary")
+	}
+	if _, ok := st.Decides[txn(7)]; !ok {
+		t.Fatal("decide lost across snapshot boundary")
+	}
+	rs := j2.Recovery()
+	if !rs.Snapshot {
+		t.Fatal("replay did not start from a snapshot")
+	}
+	// Truncation happened: early segments are pruned, so replay touched
+	// far fewer records than the 601 written.
+	if rs.Records >= 601 {
+		t.Fatalf("replayed %d records; snapshot+tail should be shorter", rs.Records)
+	}
+}
+
+func TestLogSinceServesRetainedTail(t *testing.T) {
+	dir := t.TempDir()
+	_, j, err := OpenOptions(dir, Options{SegmentBytes: 1 << 10, RetainSnapshots: 2, SnapshotEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for i := 1; i <= 400; i++ {
+		j.Apply("x", model.Value(i), ver(1, uint64(i)))
+		if i%10 == 0 {
+			if err := j.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Recent range: every write after 390 is in the retained tail.
+	recs, ok := j.LogSince("x", ver(1, 390))
+	if !ok {
+		t.Fatal("recent range should be complete")
+	}
+	if len(recs) != 10 {
+		t.Fatalf("got %d entries, want 10", len(recs))
+	}
+	for i, r := range recs {
+		if r.Val != model.Value(391+i) || r.Ver.Ctr != uint64(391+i) {
+			t.Fatalf("entry %d = %+v", i, r)
+		}
+	}
+	// Ancient range: segments holding it were pruned, so the journal
+	// must refuse rather than return an incomplete delta.
+	if _, ok := j.LogSince("x", model.Version{}); ok {
+		t.Fatal("pruned range must not claim completeness")
+	}
+	// Caught-up peer: nothing newer, still complete.
+	recs, ok = j.LogSince("x", ver(1, 400))
+	if !ok || len(recs) != 0 {
+		t.Fatalf("caught-up peer: recs=%v ok=%v", recs, ok)
+	}
+}
+
+func TestRecordCodecRoundTrip(t *testing.T) {
+	vv := model.Version{Date: v(3, 2), Ctr: 9, Writer: txn(5)}
+	recs := []*record{
+		{SetMaxID: &model.VPID{N: 7, P: 3}},
+		{ApplyObj: "obj-1", ApplyVal: -42, ApplyVer: &vv},
+		{StageTxn: &model.TxnID{Start: -5, P: 2, Seq: 8}, StageObj: "o",
+			StageW: &StagedWrite{Val: 1, Ver: vv, Delta: true, MissedBy: []model.ProcID{4, 5}}},
+		{DropTxn: &model.TxnID{Start: 1, P: 1, Seq: 1}, DropObj: ""},
+		{DecideTxn: &model.TxnID{Start: 2, P: 2, Seq: 2}, DecideCommit: true, DecidePending: []model.ProcID{1}},
+		{DoneTxn: &model.TxnID{Start: 3, P: 3, Seq: 3}},
+	}
+	st := NewState()
+	st.MaxID = v(9, 1)
+	st.Copies["x"] = model.Copy{Val: 4, Ver: vv}
+	st.Staged[txn(1)] = map[model.ObjectID]StagedWrite{"x": {Val: 5, Ver: vv}}
+	st.Decides[txn(2)] = DecideRec{Commit: false, Pending: []model.ProcID{2, 3}}
+	recs = append(recs, &record{Snapshot: st})
+
+	for i, r := range recs {
+		frame := appendFrame(nil, r)
+		var back record
+		n := 0
+		_, torn, err := walkFrames(frame, func(payload []byte) error {
+			if !parseRecord(payload, &back) {
+				t.Fatalf("record %d: parse failed", i)
+			}
+			n++
+			return nil
+		})
+		if err != nil || torn || n != 1 {
+			t.Fatalf("record %d: walk err=%v torn=%v n=%d", i, err, torn, n)
+		}
+		a, b := NewState(), NewState()
+		a.apply(r)
+		b.apply(&back)
+		if !stateEqual(a, b) {
+			t.Fatalf("record %d: round trip diverged:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+// TestResolveStagedOnDecideEvidence: a torn tail can eat a decide's
+// drop-stage record while an apply from the same group-commit batch
+// survives. Recovery must not resurrect the transaction as prepared —
+// the applied copy at the staged version proves the decide ran, and
+// the coordinator (already acked) has forgotten it.
+func TestResolveStagedOnDecideEvidence(t *testing.T) {
+	dir := t.TempDir()
+	_, j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Apply("x", 1, ver(1, 1))
+	// Prepare: stage at the next version and sync (the yes-vote barrier).
+	j.Stage(txn(9), "x", StagedWrite{Val: 2, Ver: ver(1, 2)})
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Decide commit: apply + drop-stage in one batch, synced for the ack.
+	// The drop-stage is the final frame on disk.
+	j.Apply("x", 2, ver(1, 2))
+	j.DropStage(txn(9), "")
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	j.HardCrash()
+	// Disk damage tears one byte off the tail: the drop-stage frame is
+	// truncated away, but the apply from the same batch survives.
+	if _, err := ChopTail(nil, dir, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	st, j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	rs := j2.Recovery()
+	if !rs.Torn {
+		t.Fatal("expected a torn tail")
+	}
+	if st.Copies["x"].Val != 2 {
+		t.Fatalf("x = %v, want 2", st.Copies["x"].Val)
+	}
+	if _, ok := st.Staged[txn(9)]; ok {
+		t.Fatal("decided transaction resurrected as prepared")
+	}
+	if rs.Resolved != 1 {
+		t.Fatalf("Resolved = %d, want 1", rs.Resolved)
+	}
+}
+
+// The evidence rule must only fire on decided transactions: a stage
+// beyond the copy's version (the normal prepared shape) is restored.
+func TestUndecidedStageSurvivesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	_, j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Apply("x", 1, ver(1, 1))
+	j.Stage(txn(9), "x", StagedWrite{Val: 2, Ver: ver(1, 2)})
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	j.HardCrash()
+	st, j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if w, ok := st.Staged[txn(9)]["x"]; !ok || w.Val != 2 {
+		t.Fatalf("undecided stage lost: %+v", st.Staged)
+	}
+	if j2.Recovery().Resolved != 0 {
+		t.Fatalf("Resolved = %d, want 0", j2.Recovery().Resolved)
+	}
+}

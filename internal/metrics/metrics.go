@@ -234,6 +234,15 @@ const (
 	CGwReadCommitted  = "gateway.read.committed"
 	CGwStaleRetries   = "gateway.session.stale"
 	CGwNodeDown       = "gateway.pool.node.down"
+	// Durability pipeline (internal/durable): records appended to the
+	// WAL batch, bytes and fsyncs of group commits, snapshot generations
+	// written, and retained-segment scans serving §6 log catch-up after
+	// the store's in-memory log evicted the range.
+	CJournalRecords      = "journal.records"
+	CJournalBytes        = "journal.bytes"
+	CJournalFsyncs       = "journal.fsync"
+	CJournalSnapshots    = "journal.snapshots"
+	CJournalCatchupScans = "journal.catchup.scans"
 )
 
 // Well-known sample (distribution) names.
@@ -247,4 +256,13 @@ const (
 	// SGwBatchSize is the number of logical writes coalesced per
 	// group-commit round.
 	SGwBatchSize = "gateway.batch.size"
+	// SJournalBatch is the number of WAL records made durable per
+	// group-commit fsync.
+	SJournalBatch = "journal.batch.size"
+	// SJournalLag is how long the oldest record of a batch waited
+	// between append and fsync, in milliseconds.
+	SJournalLag = "journal.lag.ms"
+	// SRecovery is the duration of a journal replay at startup, in
+	// milliseconds (observed once per Open).
+	SRecovery = "journal.recovery.ms"
 )

@@ -523,6 +523,17 @@ func (b *Base) decide(rt net.Runtime, t *txn, commit bool, reason string) {
 	if b.Journal != nil {
 		jStart := rt.Now()
 		b.Journal.Decide(t.id, commit, t.pendingAcks.Sorted())
+		// Sync barrier: the decision must be durable before any participant
+		// can learn it, or a coordinator crash between the sends below and
+		// the next group commit would restart with an undecided journal
+		// while participants already applied the outcome. On sync failure
+		// the journal is sticky-failed — this processor's durability
+		// promises are void and the error stays visible on every later
+		// barrier; the decision itself is already fixed in memory, so
+		// driving participants to it remains consistent.
+		if err := b.Journal.Sync(); err != nil {
+			rt.Logf("decide %v: journal sync failed: %v", t.id, err)
+		}
 		if !t.ctx.IsZero() {
 			// In a durable deployment this span is the decision-record
 			// fsync — often the commit path's dominant cost.

@@ -187,6 +187,18 @@ func (b *Base) handlePrepare(rt net.Runtime, from model.ProcID, p wire.Prepare) 
 				Val: w.Val, Ver: w.Ver, Delta: w.Delta, MissedBy: w.MissedBy,
 			})
 		}
+		// Sync barrier: the yes-vote is a durability promise — after it the
+		// coordinator may decide commit, so the staged writes must survive a
+		// crash here. A failed sync means this journal (and processor) is
+		// dead to the protocol: vote no and drop the stage so a later
+		// restart cannot resurrect a write the coordinator never counted.
+		if err := b.Journal.Sync(); err != nil {
+			rt.Logf("prepare %v: journal sync failed: %v", p.Txn, err)
+			b.Store.DropAllStagedBy(p.Txn)
+			b.Journal.DropStage(p.Txn, "")
+			vote(false)
+			return
+		}
 		if traced {
 			// In a durable deployment this is the staged-write fsync cost,
 			// split from part-stage so the critical path can tell the store
@@ -217,6 +229,19 @@ func (b *Base) handleDecide(rt net.Runtime, from model.ProcID, d wire.Decide) {
 		}
 		if b.Journal != nil {
 			b.Journal.DropStage(d.Txn, "")
+			// Sync barrier: the DecideAck below licenses the coordinator to
+			// forget the decision, so the outcome must be durable here first
+			// — a restart that resurrects this transaction as prepared would
+			// hold its exclusive locks forever, with no coordinator left to
+			// resolve it. On sync failure withhold the ack; the coordinator
+			// keeps retransmitting Decide, and this journal is sticky-dead
+			// to every later barrier anyway.
+			if err := b.Journal.Sync(); err != nil {
+				rt.Logf("decide %v: journal sync failed: %v", d.Txn, err)
+				delete(b.prepared, d.Txn)
+				b.releaseTxnLocally(rt, d.Txn)
+				return
+			}
 		}
 		delete(b.prepared, d.Txn)
 		b.releaseTxnLocally(rt, d.Txn)

@@ -486,10 +486,19 @@ func (s *Store) ClearMissing(obj model.ObjectID) {
 // Write log (§6 log-based catch-up)
 // ---------------------------------------------------------------------------
 
+// journalLog is the optional capability of a journal to serve the §6
+// log catch-up from its retained on-disk segments after the in-memory
+// log evicted the range (durable.FileJournal implements it).
+type journalLog interface {
+	LogSince(model.ObjectID, model.Version) ([]durable.LogRec, bool)
+}
+
 // LogSince returns, oldest first, every logged write of obj with version
 // strictly greater than since. complete is false when the log may be
 // missing such writes (it was truncated past `since`), in which case the
-// caller must fall back to full-value recovery.
+// caller must fall back to full-value recovery. When the in-memory log
+// cannot prove completeness, the durable journal's retained segments are
+// consulted before giving up.
 func (s *Store) LogSince(obj model.ObjectID, since model.Version) (entries []LoggedWrite, complete bool) {
 	sp, st := s.lock(obj)
 	defer sp.mu.Unlock()
@@ -499,6 +508,14 @@ func (s *Store) LogSince(obj model.ObjectID, since model.Version) (entries []Log
 	}
 	if s.logCap == 0 || since.Less(st.logBase) {
 		// Logging disabled, or writes newer than `since` were evicted.
+		if jl, ok := s.journal.(journalLog); ok {
+			if recs, ok := jl.LogSince(obj, since); ok {
+				for _, r := range recs {
+					entries = append(entries, LoggedWrite{Val: r.Val, Ver: r.Ver})
+				}
+				return entries, true
+			}
+		}
 		return nil, false
 	}
 	for _, e := range st.log {

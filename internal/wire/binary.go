@@ -350,6 +350,29 @@ func appendEnvelope(b []byte, env *Envelope) ([]byte, error) {
 			b = appendZigzag(b, int64(m.Entries[i].Val))
 			b = appendVersion(b, m.Entries[i].Ver)
 		}
+	case CatchupReq:
+		b = appendVPID(b, m.VP)
+		b = appendUvarint(b, uint64(len(m.Objs)))
+		for i := range m.Objs {
+			b = appendString(b, string(m.Objs[i].Obj))
+			b = appendVersion(b, m.Objs[i].Since)
+			b = appendUvarint(b, m.Objs[i].Seq)
+		}
+	case CatchupResp:
+		b = appendBool(b, m.OK)
+		b = appendUvarint(b, uint64(len(m.Objs)))
+		for i := range m.Objs {
+			o := &m.Objs[i]
+			b = appendString(b, string(o.Obj))
+			b = appendUvarint(b, o.Seq)
+			b = appendBool(b, o.Busy)
+			b = appendBool(b, o.Complete)
+			b = appendUvarint(b, uint64(len(o.Entries)))
+			for j := range o.Entries {
+				b = appendZigzag(b, int64(o.Entries[j].Val))
+				b = appendVersion(b, o.Entries[j].Ver)
+			}
+		}
 	case LockReq:
 		b = appendTxnID(b, m.Txn)
 		b = appendString(b, string(m.Obj))
@@ -521,6 +544,8 @@ type binScratch struct {
 	wvals   []ObjVal
 	comps   []CompEntry
 	entries []LogEntry
+	sinces  []ObjSince
+	deltas  []ObjDelta
 	view    []model.ProcID
 }
 
@@ -665,6 +690,39 @@ func (d *BinaryDecoder) decode(frame []byte, env *Envelope, borrowed bool) error
 		m.Entries = borrow(&d.scr.entries, n, borrowed)
 		for i := 0; i < n && !c.bad; i++ {
 			m.Entries[i] = LogEntry{Val: model.Value(c.z()), Ver: c.version()}
+		}
+		msg = m
+	case kindCatchupReq:
+		m := CatchupReq{VP: c.vpid()}
+		n := c.count(8)
+		m.Objs = borrow(&d.scr.sinces, n, borrowed)
+		for i := 0; i < n && !c.bad; i++ {
+			m.Objs[i] = ObjSince{Obj: d.obj(&c), Since: c.version(), Seq: c.u()}
+		}
+		msg = m
+	case kindCatchupResp:
+		m := CatchupResp{OK: c.bool()}
+		n := c.count(5)
+		m.Objs = borrow(&d.scr.deltas, n, borrowed)
+		for i := 0; i < n && !c.bad; i++ {
+			o := &m.Objs[i]
+			o.Obj = d.obj(&c)
+			o.Seq = c.u()
+			o.Busy = c.bool()
+			o.Complete = c.bool()
+			// Entries nest inside the borrowed Objs slice, so they are
+			// allocated fresh even in borrowed mode (same policy as
+			// Prepare.MissedBy: nested backings are not worth the scratch
+			// bookkeeping).
+			en := c.count(6)
+			if en > 0 && !c.bad {
+				o.Entries = make([]LogEntry, en)
+				for j := 0; j < en && !c.bad; j++ {
+					o.Entries[j] = LogEntry{Val: model.Value(c.z()), Ver: c.version()}
+				}
+			} else {
+				o.Entries = nil
+			}
 		}
 		msg = m
 	case kindLockReq:

@@ -47,6 +47,13 @@ func binaryEnvelopes() []Envelope {
 			Reason: "object y inaccessible",
 			Reads:  []ObjVal{{Obj: "x", Val: 7, Ver: ver}},
 			Writes: []ObjVal{{Obj: "y", Val: 8, Ver: ver}}}},
+		{From: 1, To: 2, Msg: CatchupReq{VP: big, Objs: []ObjSince{
+			{Obj: "x", Since: ver, Seq: 1},
+			{Obj: "account/7", Seq: 1 << 33}}}},
+		{From: 2, To: 1, Msg: CatchupResp{OK: true, Objs: []ObjDelta{
+			{Obj: "x", Seq: 1, Complete: true,
+				Entries: []LogEntry{{Val: 3, Ver: ver}, {Val: -7, Ver: model.Version{Date: big}}}},
+			{Obj: "account/7", Seq: 1 << 33, Busy: true}}}},
 	}
 }
 
@@ -236,7 +243,7 @@ func TestBinaryDecodeGarbage(t *testing.T) {
 		nil,
 		{},
 		{0x80},                        // kindInvalid
-		{0x80 | 19},                   // kind out of range
+		{0x80 | 21},                   // kind out of range
 		{0x01},                        // binary bit missing
 		{0x80 | byte(kindPrepare)},    // truncated header
 		{0x80 | byte(kindClientTxn), 1, 2, 0xff, 0xff, 0xff, 0xff, 0xff}, // huge count

@@ -22,6 +22,8 @@ func init() {
 	gob.Register(RecoverReadResp{})
 	gob.Register(RecoverLog{})
 	gob.Register(RecoverLogResp{})
+	gob.Register(CatchupReq{})
+	gob.Register(CatchupResp{})
 	gob.Register(LockReq{})
 	gob.Register(LockResp{})
 	gob.Register(Prepare{})
@@ -70,6 +72,8 @@ const (
 	kindRelease
 	kindClientTxn
 	kindClientResult
+	kindCatchupReq
+	kindCatchupResp
 )
 
 func kindOf(m Message) kindID {
@@ -92,6 +96,10 @@ func kindOf(m Message) kindID {
 		return kindRecoverLog
 	case RecoverLogResp:
 		return kindRecoverLogResp
+	case CatchupReq:
+		return kindCatchupReq
+	case CatchupResp:
+		return kindCatchupResp
 	case LockReq:
 		return kindLockReq
 	case LockResp:
@@ -130,6 +138,8 @@ type msgScratch struct {
 	recoverReadResp RecoverReadResp
 	recoverLog      RecoverLog
 	recoverLogResp  RecoverLogResp
+	catchupReq      CatchupReq
+	catchupResp     CatchupResp
 	lockReq         LockReq
 	lockResp        LockResp
 	prepare         Prepare
@@ -255,6 +265,12 @@ func (e *StreamEncoder) encodeMsg(k kindID, m Message) error {
 	case RecoverLogResp:
 		s.recoverLogResp = v
 		return e.enc.Encode(&s.recoverLogResp)
+	case CatchupReq:
+		s.catchupReq = v
+		return e.enc.Encode(&s.catchupReq)
+	case CatchupResp:
+		s.catchupResp = v
+		return e.enc.Encode(&s.catchupResp)
 	case LockReq:
 		s.lockReq = v
 		return e.enc.Encode(&s.lockReq)
@@ -405,6 +421,14 @@ func (d *StreamDecoder) decodeMsg(k kindID) (Message, error) {
 		s.recoverLogResp = RecoverLogResp{}
 		err := d.dec.Decode(&s.recoverLogResp)
 		return s.recoverLogResp, err
+	case kindCatchupReq:
+		s.catchupReq = CatchupReq{}
+		err := d.dec.Decode(&s.catchupReq)
+		return s.catchupReq, err
+	case kindCatchupResp:
+		s.catchupResp = CatchupResp{}
+		err := d.dec.Decode(&s.catchupResp)
+		return s.catchupResp, err
 	case kindLockReq:
 		s.lockReq = LockReq{}
 		err := d.dec.Decode(&s.lockReq)

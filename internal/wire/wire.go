@@ -138,6 +138,45 @@ type LogEntry struct {
 	Ver model.Version
 }
 
+// ObjSince names one out-of-date copy in a batched catch-up request:
+// the object, the version the requester's copy already holds (its §5
+// "date"), and the per-object refresh sequence number that guards the
+// reply against stale rounds.
+type ObjSince struct {
+	Obj   model.ObjectID
+	Since model.Version
+	Seq   uint64
+}
+
+// CatchupReq is the batched form of RecoverLog, the default R5 path: a
+// rejoining node presents its virtual partition id and, per object, the
+// date vector of its copies, and asks one peer for every missed-write
+// delta in a single frame. Peers answer from their in-memory write log
+// or, when that has evicted the range, from the retained segments of
+// their write-ahead journal; only when both are truncated below Since
+// does the requester fall back to full-copy RecoverRead for that
+// object.
+type CatchupReq struct {
+	VP   model.VPID
+	Objs []ObjSince
+}
+
+// ObjDelta is one object's slice of a CatchupResp.
+type ObjDelta struct {
+	Obj      model.ObjectID
+	Seq      uint64
+	Busy     bool // copy has a prepared write; retry later (§6 condition (3))
+	Complete bool // false: log truncated below Since; requester must full-copy
+	Entries  []LogEntry
+}
+
+// CatchupResp answers a CatchupReq. OK false means the responder is not
+// assigned to the requester's partition and the whole batch is void.
+type CatchupResp struct {
+	OK   bool
+	Objs []ObjDelta
+}
+
 // ---------------------------------------------------------------------------
 // Transaction processing (locks + two-phase commit)
 // ---------------------------------------------------------------------------
@@ -362,6 +401,10 @@ func Kind(m Message) string {
 		return "recoverlog"
 	case RecoverLogResp:
 		return "recoverlogresp"
+	case CatchupReq:
+		return "catchupreq"
+	case CatchupResp:
+		return "catchupresp"
 	case LockReq:
 		return "lockreq"
 	case LockResp:

@@ -63,10 +63,17 @@ type Config struct {
 	Pi time.Duration
 	// InitValue is the initial value of every copy (default 0).
 	InitValue int64
-	// UsePrevOpt, UseLogCatchup and WeakR4 enable the §6 optimizations.
-	UsePrevOpt    bool
-	UseLogCatchup bool
-	WeakR4        bool
+	// UsePrevOpt and WeakR4 enable the corresponding §6 optimizations.
+	UsePrevOpt bool
+	WeakR4     bool
+	// The §6 log-based catch-up is the DEFAULT R5 refresh path: a
+	// rejoining processor receives only the writes it missed, falling
+	// back to a full copy when peers' logs were truncated past its date.
+	// Set FullCopyRefresh to force the full-copy path for every refresh.
+	// UseLogCatchup is kept for compatibility and is now a no-op unless
+	// FullCopyRefresh is also set (it then wins, re-enabling log mode).
+	FullCopyRefresh bool
+	UseLogCatchup   bool
 	// MergeableCounters switches every object into the §7 commutative
 	// update mode: ANY copy in a view makes an object accessible, so
 	// even minority partitions keep accepting increments; writes must be
@@ -228,7 +235,7 @@ func New(cfg Config) (*Cluster, error) {
 		},
 		Pi:            cfg.Pi,
 		UsePrevOpt:    cfg.UsePrevOpt,
-		UseLogCatchup: cfg.UseLogCatchup,
+		UseLogCatchup: !cfg.FullCopyRefresh || cfg.UseLogCatchup,
 		WeakR4:        cfg.WeakR4,
 		Mergeable:     cfg.MergeableCounters,
 	}
