@@ -276,6 +276,14 @@ func (n *Node) armProbe(rt net.Runtime, d time.Duration) {
 
 // OnMessage implements net.Handler.
 func (n *Node) OnMessage(rt net.Runtime, from model.ProcID, m wire.Message) {
+	if n.Halted() {
+		// A failed durability barrier crashed this processor to the
+		// protocol (see node.Base.Halted). The management protocol must go
+		// silent too: acking a view change or serving a catch-up read
+		// would let the partition count on max-id and copies a dead
+		// journal can no longer preserve across the real restart.
+		return
+	}
 	switch msg := m.(type) {
 	case wire.NewVP:
 		n.onNewVP(rt, from, msg)
@@ -306,6 +314,9 @@ func (n *Node) OnMessage(rt net.Runtime, from model.ProcID, m wire.Message) {
 
 // OnTimer implements net.Handler.
 func (n *Node) OnTimer(rt net.Runtime, key any) {
+	if n.Halted() {
+		return // crashed to the protocol: let every timer lapse
+	}
 	switch k := key.(type) {
 	case probeTick:
 		n.onProbeTick(rt)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -88,7 +89,7 @@ type RecoveryStats struct {
 	Torn      bool          // a torn tail was found and repaired
 	Snapshot  bool          // replay started from a snapshot
 	Migrated  bool          // a legacy single-file wal.gob was converted
-	Resolved  int           // staged txns dropped on decide evidence (see Open)
+	Resolved  int           // staged txns finished on decide evidence (see Open)
 }
 
 // LogRec is one committed write replayed from the retained WAL tail,
@@ -281,9 +282,20 @@ func OpenOptions(dir string, o Options) (*State, *FileJournal, error) {
 		j.seg = f
 	}
 
-	j.stats.Resolved = resolveDecidedStages(st)
+	resolved, repairs := resolveDecidedStages(st)
+	j.stats.Resolved = resolved
 	j.shadow = cloneState(st)
 	j.mu.Lock()
+	// Make the resolution durable: append the applies and drop-stages the
+	// torn batch lost, so the on-disk log agrees with the recovered state
+	// (LogSince serves catch-up deltas straight from the segments, and a
+	// re-crash replays the repair instead of re-deriving it). The shadow
+	// already reflects the resolved state, so the frames are buffered
+	// directly; the next group commit lands them.
+	for i := range repairs {
+		j.buf = appendFrame(j.buf, &repairs[i])
+		j.pending++
+	}
 	j.pruneLocked()
 	j.mu.Unlock()
 	j.stats.Duration = time.Since(start)
@@ -295,32 +307,81 @@ func OpenOptions(dir string, o Options) (*State, *FileJournal, error) {
 	return st, j, nil
 }
 
-// resolveDecidedStages drops staged transactions whose decide is
-// already evidenced in the copies, returning how many were resolved. A
-// Decide applies every staged write and then drops the stage in one
-// batch; a torn tail can eat the drop-stage record while an apply from
-// the same batch survives, which would resurrect an already-decided
-// transaction as prepared — and its coordinator, having been acked,
-// has legitimately forgotten it. A copy at or past a staged write's
-// version can only exist if that transaction's decide ran (the staged
-// write held an exclusive lock until then), so any such write proves
-// the whole transaction was decided: drop its stage. Stages with no
-// evidence are genuinely undecided and are restored as prepared,
-// blocking until the retransmitted Decide — the only sound behavior (a
-// timeout would abort a transaction a partitioned coordinator may have
-// committed).
-func resolveDecidedStages(st *State) int {
+// resolveDecidedStages finishes staged transactions whose decide is
+// already evidenced in the copies, returning how many were resolved
+// plus the records that make the resolution explicit on disk. A Decide
+// applies every staged write and then drops the stage in one batch; a
+// torn tail can eat the drop-stage record while an apply from the same
+// batch survives, which would resurrect an already-decided transaction
+// as prepared — and its coordinator, having been acked, has
+// legitimately forgotten it. A copy at or past a staged write's version
+// can only exist if that transaction's decide ran (the staged write
+// held an exclusive lock until then), so any such write proves the
+// whole transaction was decided — and decided COMMIT: an abort's
+// drop-stage is journaled before its locks release, so no later apply
+// can survive a tear that ate it. The tear may also have eaten some of
+// the transaction's OTHER applies, so every staged write not yet
+// reflected in its copy is installed before the stage is dropped;
+// merely dropping it would leave this replica permanently stale on
+// those objects — the retransmitted Decide is acked without applying
+// (the txn is no longer prepared) and rule R5 has them in no MissedBy
+// set. Stages with no evidence are genuinely undecided and are restored
+// as prepared, blocking until the retransmitted Decide — the only sound
+// behavior (a timeout would abort a transaction a partitioned
+// coordinator may have committed).
+func resolveDecidedStages(st *State) (int, []record) {
+	// Iterate in sorted order so the repair records land on disk in a
+	// deterministic sequence.
+	txns := make([]model.TxnID, 0, len(st.Staged))
+	for txn := range st.Staged {
+		txns = append(txns, txn)
+	}
+	sort.Slice(txns, func(i, j int) bool { return txns[i].Less(txns[j]) })
 	resolved := 0
-	for txn, ws := range st.Staged {
+	var repairs []record
+	for _, txn := range txns {
+		ws := st.Staged[txn]
+		evidenced := false
 		for obj, w := range ws {
 			if c, ok := st.Copies[obj]; ok && !c.Ver.Less(w.Ver) {
-				delete(st.Staged, txn)
-				resolved++
+				evidenced = true
 				break
 			}
 		}
+		if !evidenced {
+			continue
+		}
+		for _, obj := range sortedObjs(ws) {
+			w := ws[obj]
+			c := st.Copies[obj]
+			if !c.Ver.Less(w.Ver) {
+				continue // this write's apply survived the tear
+			}
+			if w.Delta {
+				c.Val += w.Val // mergeable mode stages the increment
+			} else {
+				c.Val = w.Val
+			}
+			c.Ver = w.Ver
+			st.Copies[obj] = c
+			ver := w.Ver
+			repairs = append(repairs, record{ApplyObj: obj, ApplyVal: c.Val, ApplyVer: &ver})
+		}
+		id := txn
+		repairs = append(repairs, record{DropTxn: &id})
+		delete(st.Staged, txn)
+		resolved++
 	}
-	return resolved
+	return resolved, repairs
+}
+
+func sortedObjs(ws map[model.ObjectID]StagedWrite) []model.ObjectID {
+	objs := make([]model.ObjectID, 0, len(ws))
+	for o := range ws {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	return objs
 }
 
 // replayLegacy reads the pre-segmented single-file gob journal. A
@@ -612,27 +673,38 @@ func (j *FileJournal) Pending() int {
 // full copy.
 func (j *FileJournal) LogSince(obj model.ObjectID, since model.Version) ([]LogRec, bool) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.err != nil || len(j.ring) == 0 {
+		j.mu.Unlock()
 		return nil, false
 	}
 	if base, ok := j.ring[0].vers[obj]; ok && since.Less(base) {
+		j.mu.Unlock()
 		return nil, false // writes older than the retained tail are gone
 	}
 	j.flushLocked() // segments on disk must include the pending batch
 	if j.err != nil {
+		j.mu.Unlock()
 		return nil, false
 	}
+	first, last, lastSize := j.ring[0].base, j.segIndex, j.segSize
+	reg := j.reg
+	j.mu.Unlock()
+	// The disk scan runs without j.mu so rejoin storms never stall the
+	// group-commit path: rolled segments are immutable, and of the live
+	// segment only the lastSize bytes the flush above made durable are
+	// read, so concurrent appends past that point are invisible. A
+	// segment pruned by a concurrent roll reads as missing; completeness
+	// can no longer be proven then, and the caller falls back.
 	var out []LogRec
-	for idx := j.ring[0].base; idx <= j.segIndex; idx++ {
+	for idx := first; idx <= last; idx++ {
 		data, err := j.opts.FS.ReadFile(filepath.Join(j.dir, segName(idx)))
 		if err != nil {
-			if IsNotExist(err) {
-				continue // pre-snapshot crash window: segment never created
-			}
 			return nil, false
 		}
-		_, _, werr := walkFrames(data, func(payload []byte) error {
+		if idx == last && int64(len(data)) > lastSize {
+			data = data[:lastSize]
+		}
+		_, torn, werr := walkFrames(data, func(payload []byte) error {
 			var r record
 			if !parseRecord(payload, &r) {
 				return errors.New("malformed record")
@@ -642,12 +714,12 @@ func (j *FileJournal) LogSince(obj model.ObjectID, since model.Version) ([]LogRe
 			}
 			return nil
 		})
-		if werr != nil {
+		if werr != nil || torn {
 			return nil, false
 		}
 	}
-	if j.reg != nil {
-		j.reg.Inc(metrics.CJournalCatchupScans, 1)
+	if reg != nil {
+		reg.Inc(metrics.CJournalCatchupScans, 1)
 	}
 	return out, true
 }

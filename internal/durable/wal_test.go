@@ -328,6 +328,88 @@ func TestResolveStagedOnDecideEvidence(t *testing.T) {
 	}
 }
 
+// TestTornDecideBatchInstallsLostWrites: a commit's decide batch is
+// [Apply(a), Apply(b), DropStage], and a tear can cut mid-batch so
+// Apply(a) survives while Apply(b) and the drop-stage are lost. The
+// surviving apply proves the decide committed, so recovery must not
+// drop b's staged write with the stage — it installs it (honoring delta
+// merge) and re-journals the repair, or this replica would serve a
+// permanently stale b: the retransmitted Decide is acked without
+// applying and rule R5 has b in no MissedBy set.
+func TestTornDecideBatchInstallsLostWrites(t *testing.T) {
+	dir := t.TempDir()
+	_, j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Apply("a", 1, ver(1, 1))
+	j.Apply("b", 10, ver(1, 2))
+	// Prepare: stage a plain write on a and a delta (+5) on b, synced for
+	// the yes-vote.
+	j.Stage(txn(9), "a", StagedWrite{Val: 2, Ver: ver(1, 3)})
+	j.Stage(txn(9), "b", StagedWrite{Val: 5, Ver: ver(1, 4), Delta: true})
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Decide commit: both applies plus the drop-stage in one batch.
+	j.Apply("a", 2, ver(1, 3))
+	j.Apply("b", 15, ver(1, 4))
+	j.DropStage(txn(9), "")
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	j.HardCrash()
+	// Tear the batch in the middle: everything past Apply(a, 2) is lost.
+	seg, err := os.ReadFile(filepath.Join(dir, segName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ends := frameOffsets(t, seg)
+	if err := os.Truncate(filepath.Join(dir, segName(1)), int64(ends[len(ends)-3])); err != nil {
+		t.Fatal(err)
+	}
+
+	st, j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Staged[txn(9)]; ok {
+		t.Fatal("decided transaction resurrected as prepared")
+	}
+	if c := st.Copies["a"]; c.Val != 2 || c.Ver != ver(1, 3) {
+		t.Fatalf("a = %+v, want {2 %v}", c, ver(1, 3))
+	}
+	// The lost delta apply is reconstructed: 10 + 5 at the staged version.
+	if c := st.Copies["b"]; c.Val != 15 || c.Ver != ver(1, 4) {
+		t.Fatalf("b = %+v, want {15 %v}", c, ver(1, 4))
+	}
+	if rs := j2.Recovery(); rs.Resolved != 1 {
+		t.Fatalf("Resolved = %d, want 1", rs.Resolved)
+	}
+	// The repair is re-journaled, so log catch-up serves the installed
+	// write instead of silently omitting it.
+	recs, ok := j2.LogSince("b", ver(1, 2))
+	if !ok || len(recs) != 1 || recs[0].Val != 15 || recs[0].Ver != ver(1, 4) {
+		t.Fatalf("LogSince(b) = %+v ok=%v, want the installed write", recs, ok)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A second restart replays the durable repair instead of re-deriving
+	// it: nothing left to resolve, same state.
+	st2, j3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if j3.Recovery().Resolved != 0 {
+		t.Fatalf("repair not durable: Resolved = %d on reopen", j3.Recovery().Resolved)
+	}
+	if !stateEqual(st, st2) {
+		t.Fatalf("reopen diverged:\n%+v\n%+v", st, st2)
+	}
+}
+
 // The evidence rule must only fire on decided transactions: a stage
 // beyond the copy's version (the normal prepared shape) is restored.
 func TestUndecidedStageSurvivesRecovery(t *testing.T) {

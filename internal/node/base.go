@@ -44,7 +44,21 @@ type Base struct {
 	// spanSeq counts spans minted at this node. Only advanced for traced
 	// transactions, so untraced runs stay byte-identical.
 	spanSeq uint32
+
+	// halted marks the processor as crashed to the protocol: a journal
+	// Sync failed at a barrier whose outcome had already been applied, so
+	// no further promise this node makes can be backed by disk. A halted
+	// node goes silent (messages and timers are dropped) until a real
+	// restart replays the journal's last durable prefix.
+	halted bool
 }
+
+// Halted reports whether a failed durability barrier has taken this node
+// out of the protocol. Embedding nodes must drop all traffic — including
+// non-transaction traffic such as partition management — once set: a
+// halted node acking anything (a view change, a decide) would externalize
+// promises its dead journal can no longer keep.
+func (b *Base) Halted() bool { return b.halted }
 
 // nextSpan mints a node-unique span id: the processor id in the high
 // byte keeps concurrently minted ids from colliding across nodes while
@@ -160,6 +174,9 @@ func (b *Base) RestoreDurable(st *durable.State) {
 // false when the message is not transaction traffic, so the caller can
 // route it elsewhere (the VP management protocol).
 func (b *Base) HandleMessage(rt net.Runtime, from model.ProcID, m wire.Message) bool {
+	if b.halted {
+		return true // crashed to the protocol: swallow everything
+	}
 	switch msg := m.(type) {
 	case wire.ClientTxn:
 		b.startTxn(rt, msg)
@@ -175,6 +192,8 @@ func (b *Base) HandleMessage(rt net.Runtime, from model.ProcID, m wire.Message) 
 		b.handleDecide(rt, from, msg)
 	case wire.DecideAck:
 		b.handleDecideAck(rt, from, msg)
+	case wire.DecideQuery:
+		b.handleDecideQuery(rt, from, msg)
 	case wire.Release:
 		b.handleRelease(rt, from, msg)
 	default:
@@ -186,6 +205,13 @@ func (b *Base) HandleMessage(rt net.Runtime, from model.ProcID, m wire.Message) 
 // HandleTimer processes a transaction-related timer. It returns false
 // for keys it does not own.
 func (b *Base) HandleTimer(rt net.Runtime, key any) bool {
+	if b.halted {
+		switch key.(type) {
+		case opTimeout, voteTimeout, decideRetry, leaseSweep:
+			return true // crashed to the protocol: let every timer lapse
+		}
+		return false
+	}
 	switch k := key.(type) {
 	case opTimeout:
 		b.handleOpTimeout(rt, k)

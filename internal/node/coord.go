@@ -527,12 +527,22 @@ func (b *Base) decide(rt net.Runtime, t *txn, commit bool, reason string) {
 		// can learn it, or a coordinator crash between the sends below and
 		// the next group commit would restart with an undecided journal
 		// while participants already applied the outcome. On sync failure
-		// the journal is sticky-failed — this processor's durability
-		// promises are void and the error stays visible on every later
-		// barrier; the decision itself is already fixed in memory, so
-		// driving participants to it remains consistent.
+		// the decision must therefore not be externalized at all: with no
+		// durable Decide record a restart never resumes retransmission
+		// (b.resumed stays empty), so any participant that missed the
+		// first send would stay prepared forever, holding exclusive locks.
+		// Halt instead — the same treat-as-crashed rule the participant
+		// barriers apply. Participants that voted yes stay prepared,
+		// exactly as for a coordinator that crashed an instant earlier,
+		// until their lease-sweep DecideQuery reaches this processor's
+		// restart, which finds no record and answers abort (presumed
+		// abort, see handleDecideQuery). That is strictly better than
+		// externalizing an outcome this processor can neither remember
+		// nor finish driving.
 		if err := b.Journal.Sync(); err != nil {
-			rt.Logf("decide %v: journal sync failed: %v", t.id, err)
+			rt.Logf("decide %v: journal sync failed; halting node: %v", t.id, err)
+			b.halted = true
+			return
 		}
 		if !t.ctx.IsZero() {
 			// In a durable deployment this span is the decision-record
@@ -576,6 +586,32 @@ func (b *Base) handleDecideAck(rt net.Runtime, from model.ProcID, a wire.DecideA
 			b.Journal.DecideDone(t.id)
 		}
 	}
+}
+
+// handleDecideQuery answers a participant stuck in the prepared state
+// (see sweepLeases). The coordinator syncs its Decide record before the
+// first Decide send (see decide), which makes the journal authoritative:
+// if this node holds no record of the transaction, no commit decision
+// was ever externalized, so answering abort is sound — presumed abort.
+// The other direction is covered too: a participant only stays prepared
+// while its DecideAck is unsent, and the ack is only sent after the
+// outcome is durable there, so a transaction this coordinator already
+// forgot (fully acknowledged, DecideDone) can never be the subject of a
+// legitimate query — a stale one gets an abort answer that the
+// no-longer-prepared participant treats as a no-op.
+func (b *Base) handleDecideQuery(rt net.Runtime, from model.ProcID, q wire.DecideQuery) {
+	if q.Txn.P != b.ID {
+		return // misrouted: only the transaction's coordinator may answer
+	}
+	if t, ok := b.active[q.Txn]; ok {
+		if t.phase == phaseDeciding {
+			rt.SendCtx(from, wire.Decide{Txn: t.id, Commit: t.commit}, t.decCtx)
+		}
+		// Running or voting: the decision is still being made and will be
+		// delivered by the normal protocol; stay silent.
+		return
+	}
+	rt.Send(from, wire.Decide{Txn: q.Txn, Commit: false})
 }
 
 func (b *Base) handleDecideRetry(rt net.Runtime, k decideRetry) {

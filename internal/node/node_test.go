@@ -63,6 +63,7 @@ type fixture struct {
 	topo    *net.Topology
 	cluster *net.SimCluster
 	hist    *onecopy.History
+	bases   map[model.ProcID]*Base
 	results map[uint64]wire.ClientResult
 	nextTag uint64
 }
@@ -75,11 +76,13 @@ func newFixture(t *testing.T, n int, objects ...model.ObjectID) *fixture {
 		topo:    topo,
 		cluster: net.NewSimCluster(topo, 42),
 		hist:    onecopy.NewHistory(),
+		bases:   make(map[model.ProcID]*Base),
 		results: make(map[uint64]wire.ClientResult),
 	}
 	cfg := Config{Delta: 2 * time.Millisecond}
 	for _, p := range topo.Procs() {
 		base := NewBase(p, cfg, cat, &rowaStrategy{cat: cat}, f.hist)
+		f.bases[p] = base
 		f.cluster.AddNode(p, NewSimpleNode(base))
 	}
 	f.cluster.OnClientResult = func(from model.ProcID, res wire.ClientResult) {

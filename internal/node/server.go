@@ -233,13 +233,17 @@ func (b *Base) handleDecide(rt net.Runtime, from model.ProcID, d wire.Decide) {
 			// forget the decision, so the outcome must be durable here first
 			// — a restart that resurrects this transaction as prepared would
 			// hold its exclusive locks forever, with no coordinator left to
-			// resolve it. On sync failure withhold the ack; the coordinator
-			// keeps retransmitting Decide, and this journal is sticky-dead
-			// to every later barrier anyway.
+			// resolve it. On sync failure the ack must never be sent — not
+			// now and not for any retransmission (the ack below is
+			// unconditional for transactions no longer prepared, so merely
+			// withholding it once is not enough). Halt: keep the prepared
+			// entry and its locks and go silent, exactly as if the
+			// processor crashed here. A restart resurrects the transaction
+			// from the journal's durable prefix and the retransmitted
+			// Decide finishes the job against a working disk.
 			if err := b.Journal.Sync(); err != nil {
-				rt.Logf("decide %v: journal sync failed: %v", d.Txn, err)
-				delete(b.prepared, d.Txn)
-				b.releaseTxnLocally(rt, d.Txn)
+				rt.Logf("decide %v: journal sync failed; halting node: %v", d.Txn, err)
+				b.halted = true
 				return
 			}
 		}
@@ -309,6 +313,19 @@ func (b *Base) sweepLeases(rt net.Runtime) {
 	cutoff := int64(rt.Now()) - int64(3*b.Cfg.LockTimeout)
 	for _, txn := range b.Locks.Txns() {
 		if _, isPrepared := b.prepared[txn]; isPrepared {
+			// A prepared transaction may only be resolved by its
+			// coordinator, so its locks are never swept. But one that has
+			// sat past the lease has lost its coordinator's retransmission
+			// stream — the coordinator halted at a failed decide barrier,
+			// or restarted without a durable Decide record and cannot know
+			// to resume. Ask it directly; a coordinator with no record
+			// answers abort (presumed abort, see handleDecideQuery), which
+			// unblocks these locks. Transactions resurrected by
+			// RestoreDurable have no activity entry and query on the first
+			// sweep after restart.
+			if last, ok := b.activity[txn]; !ok || last < cutoff {
+				rt.Send(txn.P, wire.DecideQuery{Txn: txn, From: b.ID})
+			}
 			continue
 		}
 		if _, isLocal := b.active[txn]; isLocal {

@@ -213,6 +213,12 @@ func (s *Store) Restore(copies map[model.ObjectID]model.Copy,
 	for obj, c := range copies {
 		if sp, st, ok := s.tryLock(obj); ok {
 			st.copyVal = c
+			// The in-memory log restarts empty, so it can prove nothing
+			// about writes older than the restored copy: floor it at the
+			// copy's version or LogSince would claim a complete, empty
+			// delta for pre-restart ranges. Older ranges route to the
+			// journal's retained segments (or a full-copy fallback).
+			st.logBase = c.Ver
 			sp.mu.Unlock()
 		}
 	}

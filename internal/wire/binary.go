@@ -408,6 +408,9 @@ func appendEnvelope(b []byte, env *Envelope) ([]byte, error) {
 	case DecideAck:
 		b = appendTxnID(b, m.Txn)
 		b = appendProc(b, m.From)
+	case DecideQuery:
+		b = appendTxnID(b, m.Txn)
+		b = appendProc(b, m.From)
 	case Release:
 		b = appendTxnID(b, m.Txn)
 		b = appendString(b, string(m.Obj))
@@ -762,6 +765,8 @@ func (d *BinaryDecoder) decode(frame []byte, env *Envelope, borrowed bool) error
 		msg = Decide{Txn: c.txn(), Commit: c.bool()}
 	case kindDecideAck:
 		msg = DecideAck{Txn: c.txn(), From: c.proc()}
+	case kindDecideQuery:
+		msg = DecideQuery{Txn: c.txn(), From: c.proc()}
 	case kindRelease:
 		msg = Release{Txn: c.txn(), Obj: d.obj(&c)}
 	case kindClientTxn:

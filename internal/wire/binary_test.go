@@ -41,6 +41,7 @@ func binaryEnvelopes() []Envelope {
 		{From: 2, To: 1, Msg: Vote{Txn: txn, From: 2, OK: true, Epoch: vp, HasEpoch: true}},
 		{From: 1, To: 2, Msg: Decide{Txn: txn, Commit: true}},
 		{From: 2, To: 1, Msg: DecideAck{Txn: txn, From: 2}},
+		{From: 2, To: 1, Msg: DecideQuery{Txn: txn, From: 2}},
 		{From: 1, To: 2, Msg: Release{Txn: txn, Obj: ""}},
 		{From: 0, To: 1, Msg: ClientTxn{Tag: 3, Ops: IncrementOps("x", -1)}},
 		{From: 1, To: 0, Msg: ClientResult{Tag: 3, Txn: txn, Committed: false, Denied: true,

@@ -30,6 +30,7 @@ func init() {
 	gob.Register(Vote{})
 	gob.Register(Decide{})
 	gob.Register(DecideAck{})
+	gob.Register(DecideQuery{})
 	gob.Register(Release{})
 	gob.Register(ClientTxn{})
 	gob.Register(ClientResult{})
@@ -74,6 +75,7 @@ const (
 	kindClientResult
 	kindCatchupReq
 	kindCatchupResp
+	kindDecideQuery
 )
 
 func kindOf(m Message) kindID {
@@ -112,6 +114,8 @@ func kindOf(m Message) kindID {
 		return kindDecide
 	case DecideAck:
 		return kindDecideAck
+	case DecideQuery:
+		return kindDecideQuery
 	case Release:
 		return kindRelease
 	case ClientTxn:
@@ -146,6 +150,7 @@ type msgScratch struct {
 	vote            Vote
 	decide          Decide
 	decideAck       DecideAck
+	decideQuery     DecideQuery
 	release         Release
 	clientTxn       ClientTxn
 	clientResult    ClientResult
@@ -289,6 +294,9 @@ func (e *StreamEncoder) encodeMsg(k kindID, m Message) error {
 	case DecideAck:
 		s.decideAck = v
 		return e.enc.Encode(&s.decideAck)
+	case DecideQuery:
+		s.decideQuery = v
+		return e.enc.Encode(&s.decideQuery)
 	case Release:
 		s.release = v
 		return e.enc.Encode(&s.release)
@@ -453,6 +461,10 @@ func (d *StreamDecoder) decodeMsg(k kindID) (Message, error) {
 		s.decideAck = DecideAck{}
 		err := d.dec.Decode(&s.decideAck)
 		return s.decideAck, err
+	case kindDecideQuery:
+		s.decideQuery = DecideQuery{}
+		err := d.dec.Decode(&s.decideQuery)
+		return s.decideQuery, err
 	case kindRelease:
 		s.release = Release{}
 		err := d.dec.Decode(&s.release)

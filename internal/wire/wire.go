@@ -285,6 +285,20 @@ type DecideAck struct {
 	From model.ProcID
 }
 
+// DecideQuery asks a transaction's coordinator for its phase-two
+// outcome. A participant sends it for a transaction that has sat
+// prepared past its lock lease: the coordinator's retransmission stream
+// is gone — it halted at a failed decide barrier, or restarted without a
+// durable Decide record and so cannot know to resume. The answer is an
+// ordinary Decide. A coordinator with no record answers abort, which is
+// sound (presumed abort) because the Decide record is synced before the
+// first Decide send: a forgotten transaction's commit was never
+// externalized to anyone.
+type DecideQuery struct {
+	Txn  model.TxnID
+	From model.ProcID
+}
+
 // Release frees locks a transaction holds at the recipient without a
 // write decision (read-only participants, cleanup after an abort decided
 // before prepare, or a straggler grant the coordinator no longer wants).
@@ -417,6 +431,8 @@ func Kind(m Message) string {
 		return "decide"
 	case DecideAck:
 		return "decideack"
+	case DecideQuery:
+		return "decidequery"
 	case Release:
 		return "release"
 	case ClientTxn:

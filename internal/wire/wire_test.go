@@ -12,7 +12,7 @@ func TestKindCoversAllMessages(t *testing.T) {
 		NewVP{}, AcceptVP{}, CommitVP{}, Probe{}, ProbeAck{},
 		RecoverRead{}, RecoverReadResp{}, RecoverLog{}, RecoverLogResp{},
 		LockReq{}, LockResp{}, Prepare{}, Vote{}, Decide{}, DecideAck{},
-		Release{}, ClientTxn{}, ClientResult{},
+		DecideQuery{}, Release{}, ClientTxn{}, ClientResult{},
 	}
 	seen := map[string]bool{}
 	for _, m := range msgs {
@@ -66,6 +66,7 @@ func TestGobRoundTripAllTypes(t *testing.T) {
 		{From: 2, To: 1, Msg: Vote{Txn: txn, From: 2, OK: true}},
 		{From: 1, To: 2, Msg: Decide{Txn: txn, Commit: true}},
 		{From: 2, To: 1, Msg: DecideAck{Txn: txn, From: 2}},
+		{From: 2, To: 1, Msg: DecideQuery{Txn: txn, From: 2}},
 		{From: 1, To: 2, Msg: Release{Txn: txn}},
 		{From: 0, To: 1, Msg: ClientTxn{Tag: 3, Ops: IncrementOps("x", 1)}},
 		{From: 1, To: 0, Msg: ClientResult{Tag: 3, Txn: txn, Committed: true,
