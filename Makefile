@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-wire bench-hotpath bench-observability bench-durable trace-check trace-e2e chaos loadtest bench-gateway golden campaign-smoke campaign campaign-live recovery-check
+.PHONY: check build vet test race bench bench-wire bench-hotpath bench-observability bench-durable trace-check trace-e2e chaos loadtest bench-gateway bench-shard golden campaign-smoke campaign campaign-live recovery-check shard-check
 
 check: build vet test
 
@@ -113,6 +113,30 @@ bench-gateway:
 	$(GO) run ./cmd/vpload -local 3 -compare -codec-compare -clients 32 -rate 1500 \
 		-duration 8s -read-fraction 0 -objects 1 -out BENCH_gateway.json
 	@cat BENCH_gateway.json
+
+# Shard subsystem gate: shard-map determinism, per-shard view isolation,
+# cross-shard 2PC atomicity (incl. coordinator crash mid-decide), the
+# gateway's per-shard conveyor lanes and the shard campaign matrix — a
+# 5-node cluster with 4 shards must keep committing on 3 shards while
+# the nemesis partitions the 4th shard's majority, gated on 1SR,
+# S1–S3/R2/R3 replay, shard isolation and post-heal liveness. Unit and
+# integration tests run under the race detector. Used by CI.
+shard-check:
+	$(GO) test -race -count=1 ./internal/shard/...
+	$(GO) test -race -count=1 -run 'TestShard' ./internal/gateway ./internal/campaign
+	$(GO) run ./cmd/vpcampaign -spec specs/campaign-shard.json
+
+# Regenerate BENCH_shard.json: the shard scale-out ablation. The same
+# closed-loop load runs against a fresh local 5-node cluster twice —
+# one global virtual partition, then 4 per-shard partitions (3 copies
+# each) with -spread 1 keying every client to its home shard — and the
+# report carries per-shard throughput/latency plus the gateway's
+# per-lane group-commit rounds.
+bench-shard:
+	$(GO) run ./cmd/vpload -local 5 -shards 4 -shard-replicas 3 -spread 1 \
+		-clients 16 -duration 6s -read-fraction 0.5 -objects 16 \
+		-shard-compare -out BENCH_shard.json
+	@cat BENCH_shard.json
 
 # Regenerate BENCH_durable.json: journal recovery time (newest snapshot
 # + segment-tail replay) and R5 catch-up cost at 1e3→1e5 objects, delta

@@ -62,6 +62,9 @@ func parseArgs(args []string) (*options, error) {
 		codec       = fs.String("codec", "binary", "outbound wire codec for node connections: binary or gob")
 		traceSamp   = fs.Int("trace-sample", 0, "causally trace 1-in-N client requests end to end (0 disables)")
 		traceOut    = fs.String("trace", "", "write the gateway's trace (incl. spans) as JSONL here on shutdown")
+		shards      = fs.Int("shards", 1, "route by shard: must match the cluster's -shards")
+		shardSeed   = fs.Int64("shard-seed", 1, "shard placement seed (must match the cluster)")
+		shardRep    = fs.Int("shard-replicas", 0, "copies per shard (must match the cluster; 0 = all)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -92,7 +95,11 @@ func parseArgs(args []string) (*options, error) {
 			MaxInflight: *maxInflight, MaxQueue: *maxQueue,
 			PerTry: *perTry, Deadline: *deadline, SessionMarks: *marks,
 			Codec: codecID, TraceSample: *traceSamp,
+			Shards: *shards, ShardSeed: *shardSeed, ShardReplicas: *shardRep,
 		},
+	}
+	if opt.cfg.Shards < 1 {
+		return nil, fmt.Errorf("-shards must be >= 1")
 	}
 	if opt.cfg.TraceSample > 0 || opt.traceOut != "" {
 		rec := trace.New(trace.DefaultCap)
@@ -139,8 +146,12 @@ func main() {
 	if opt.cfg.Batching {
 		mode = fmt.Sprintf("window=%v max=%d", opt.cfg.BatchWindow, opt.cfg.BatchMax)
 	}
-	fmt.Printf("vpgateway serving on http://%s (%d nodes, batching %s, inflight<=%d)\n",
-		addr, len(opt.cfg.Cluster), mode, opt.cfg.MaxInflight)
+	shardInfo := ""
+	if opt.cfg.Shards > 1 {
+		shardInfo = fmt.Sprintf(", %d shards", opt.cfg.Shards)
+	}
+	fmt.Printf("vpgateway serving on http://%s (%d nodes%s, batching %s, inflight<=%d)\n",
+		addr, len(opt.cfg.Cluster), shardInfo, mode, opt.cfg.MaxInflight)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -19,6 +19,10 @@
 //	                                             # on; write the ablation comparison
 //	vpload -local 3 -codec-compare               # run the same load with the gob codec and
 //	                                             # the binary codec (batching on in both)
+//	vpload -local 5 -shards 4 -shard-replicas 3 -shard-compare -out BENCH_shard.json
+//	                                             # run the same load unsharded and with 4
+//	                                             # per-shard virtual partitions; write the
+//	                                             # scale-out ablation with per-shard stats
 //	vpload -local 3 -trace trace.jsonl           # causally trace sampled requests across the
 //	                                             # gateway and every node; write the merged
 //	                                             # capture for `vptrace spans`
@@ -45,6 +49,7 @@ import (
 	vnet "github.com/virtualpartitions/vp/internal/net"
 	"github.com/virtualpartitions/vp/internal/node"
 	"github.com/virtualpartitions/vp/internal/onecopy"
+	"github.com/virtualpartitions/vp/internal/shard"
 	"github.com/virtualpartitions/vp/internal/trace"
 	"github.com/virtualpartitions/vp/internal/wire"
 	"github.com/virtualpartitions/vp/internal/workload"
@@ -73,6 +78,12 @@ type options struct {
 	delta        time.Duration
 	traceOut     string
 	traceSample  int
+
+	shards        int
+	shardSeed     int64
+	shardReplicas int
+	spread        int
+	shardCompare  bool
 }
 
 func parseArgs(args []string) (*options, error) {
@@ -98,6 +109,11 @@ func parseArgs(args []string) (*options, error) {
 		delta        = fs.Duration("delta", 20*time.Millisecond, "-local only: cluster message delay bound δ")
 		traceOut     = fs.String("trace", "", "-local only: record causal traces on the gateway and every node; write the merged JSONL capture here on exit (feed to `vptrace spans`)")
 		traceSample  = fs.Int("trace-sample", 0, "-local only: trace 1-in-N gateway requests (0 with -trace means every request)")
+		shards       = fs.Int("shards", 1, "shard the object namespace this many ways: -local boots a sharded cluster+gateway; against -addr it must match the target's sharding and enables the per-shard report")
+		shardSeed    = fs.Int64("shard-seed", 1, "shard placement seed (must match the target cluster)")
+		shardRep     = fs.Int("shard-replicas", 0, "-local only: copies per shard (0 = every node hosts every shard)")
+		spread       = fs.Int("spread", 0, "keyspace spread: each client confines its keys to this many shards, starting from its home shard (0 = uniform over the whole keyspace); 1 makes every transaction single-shard")
+		shardCompare = fs.Bool("shard-compare", false, "-local only: run the same load unsharded then with -shards and report both (BENCH_shard.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -130,6 +146,21 @@ func parseArgs(args []string) (*options, error) {
 	if *rate < 0 {
 		return nil, fmt.Errorf("-rate must be >= 0")
 	}
+	if *shards < 1 {
+		return nil, fmt.Errorf("-shards must be >= 1")
+	}
+	if *spread < 0 || *spread > *shards {
+		return nil, fmt.Errorf("-spread must be in [0, -shards]")
+	}
+	if *shardCompare && *local == 0 {
+		return nil, fmt.Errorf("-shard-compare needs -local (it reboots the cluster between runs)")
+	}
+	if *shardCompare && *shards < 2 {
+		return nil, fmt.Errorf("-shard-compare needs -shards >= 2 for the sharded side")
+	}
+	if *shardCompare && (*compare || *codecCompare) {
+		return nil, fmt.Errorf("-shard-compare does not combine with -compare/-codec-compare")
+	}
 	if *addr != "" && !strings.Contains(*addr, "://") {
 		// Accept bare host:port; without a scheme http.Client fails every
 		// request instantly and the whole run reads as "failed".
@@ -144,6 +175,8 @@ func parseArgs(args []string) (*options, error) {
 		codec: codecID, codecCompare: *codecCompare,
 		out: *out, delta: *delta,
 		traceOut: *traceOut, traceSample: *traceSample,
+		shards: *shards, shardSeed: *shardSeed, shardReplicas: *shardRep,
+		spread: *spread, shardCompare: *shardCompare,
 	}, nil
 }
 
@@ -159,6 +192,8 @@ type report struct {
 		Seed         int64   `json:"seed"`
 		Batching     bool    `json:"batching"`
 		Codec        string  `json:"codec,omitempty"`
+		Shards       int     `json:"shards,omitempty"`
+		Spread       int     `json:"spread,omitempty"`
 	} `json:"config"`
 	ElapsedMS     int64   `json:"elapsed_ms"`
 	Committed     int64   `json:"committed"`
@@ -171,8 +206,25 @@ type report struct {
 	LatencyMS     latency `json:"latency_ms"`
 	ReadLatencyMS latency `json:"read_latency_ms"`
 
+	// PerShard breaks committed throughput and latency down by owning
+	// shard (requests classified client-side by the same pure placement
+	// hash the cluster uses). Present only with -shards > 1.
+	PerShard map[string]*shardSide `json:"per_shard,omitempty"`
+
 	// Gateway-side ablation numbers, scraped from /gw/stats.
 	Gateway *gwSide `json:"gateway,omitempty"`
+}
+
+// shardSide is the per-shard slice of a run: how much of the committed
+// load landed on the shard and what it cost.
+type shardSide struct {
+	Committed    int64   `json:"committed"`
+	CommittedTPS float64 `json:"committed_tps"`
+	LatencyMS    latency `json:"latency_ms"`
+	// BatchRounds is the gateway's group-commit round count for this
+	// shard's conveyor lane (0 when batching is off or the target does
+	// not expose stats).
+	BatchRounds int64 `json:"batch_rounds,omitempty"`
 }
 
 type latency struct {
@@ -209,6 +261,9 @@ type client struct {
 	gen     *workload.Generator
 	session string
 	marks   map[string]gateway.VerRef
+	// shardOf classifies an object to its owning shard for the per-shard
+	// report; nil when the run is unsharded.
+	shardOf func(model.ObjectID) model.ShardID
 }
 
 func (c *client) versionLess(a, b gateway.VerRef) bool {
@@ -280,6 +335,11 @@ func (c *client) step(res *runStats, reg *metrics.Registry, sched time.Time) {
 	}
 
 	reg.ObserveDuration("load.latency", elapsed)
+	var sh model.ShardID
+	if c.shardOf != nil {
+		sh = c.shardOf(t.Request.Ops[0].Obj)
+		reg.ObserveDuration(fmt.Sprintf("load.latency.s%d", sh), elapsed)
+	}
 	violation := false
 	if t.ReadOnly {
 		reg.ObserveDuration("load.read.latency", elapsed)
@@ -308,18 +368,25 @@ func (c *client) step(res *runStats, reg *metrics.Registry, sched time.Time) {
 		if violation {
 			s.violations++
 		}
+		if sh != model.NoShard {
+			if s.shardCommitted == nil {
+				s.shardCommitted = make(map[model.ShardID]int64)
+			}
+			s.shardCommitted[sh]++
+		}
 	})
 }
 
 // runStats accumulates outcomes across clients.
 type runStats struct {
-	mu         sync.Mutex
-	committed  int64
-	reads      int64
-	writes     int64
-	failed     int64
-	shed       int64
-	violations int64
+	mu             sync.Mutex
+	committed      int64
+	reads          int64
+	writes         int64
+	failed         int64
+	shed           int64
+	violations     int64
+	shardCommitted map[model.ShardID]int64
 }
 
 func (s *runStats) add(f func(*runStats)) {
@@ -339,6 +406,45 @@ func runLoad(opt *options, url string, batching bool, codec string) (*report, er
 	transport := &http.Transport{MaxIdleConnsPerHost: opt.clients}
 	defer transport.CloseIdleConnections()
 
+	// Placement is a pure hash of (seed, shard count), so the load
+	// generator classifies per shard with the same function the cluster
+	// places by — no metadata exchange, works against external targets.
+	var smap *shard.Map
+	if opt.shards > 1 {
+		var err error
+		smap, err = shard.NewMap(shard.Config{
+			Shards: opt.shards, Seed: opt.shardSeed,
+			Procs: []model.ProcID{1}, Objects: objs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("shard map: %w", err)
+		}
+	}
+	// objsFor is client i's keyspace. With -spread S each client stays
+	// on S shards starting at its home shard (1 + i mod K), so S=1 makes
+	// every transaction single-shard (pure conveyor-lane locality) and
+	// S=K is uniform again.
+	objsFor := func(i int) []model.ObjectID {
+		if smap == nil || opt.spread == 0 || opt.spread >= opt.shards {
+			return objs
+		}
+		allowed := make(map[model.ShardID]bool, opt.spread)
+		home := i % opt.shards
+		for j := 0; j < opt.spread; j++ {
+			allowed[model.ShardID(1+(home+j)%opt.shards)] = true
+		}
+		var mine []model.ObjectID
+		for _, o := range objs {
+			if allowed[smap.ShardOf(o)] {
+				mine = append(mine, o)
+			}
+		}
+		if len(mine) == 0 {
+			return objs // the chosen shards own no objects; stay uniform
+		}
+		return mine
+	}
+
 	stop := time.Now().Add(opt.ramp + opt.duration)
 	var wg sync.WaitGroup
 	began := time.Now()
@@ -355,8 +461,11 @@ func runLoad(opt *options, url string, batching bool, codec string) (*report, er
 				hc:  &http.Client{Transport: transport, Timeout: 30 * time.Second},
 				// Per-client seeds keep every client's stream independent
 				// and the whole run reproducible.
-				gen:   workload.NewGenerator(opt.seed+int64(i), objs, []model.ProcID{1}, mix, opt.zipf),
+				gen:   workload.NewGenerator(opt.seed+int64(i), objsFor(i), []model.ProcID{1}, mix, opt.zipf),
 				marks: map[string]gateway.VerRef{},
+			}
+			if smap != nil {
+				c.shardOf = smap.ShardOf
 			}
 			if opt.rate <= 0 {
 				for time.Now().Before(stop) {
@@ -393,6 +502,10 @@ func runLoad(opt *options, url string, batching bool, codec string) (*report, er
 	rep.Config.Seed = opt.seed
 	rep.Config.Batching = batching
 	rep.Config.Codec = codec
+	if opt.shards > 1 {
+		rep.Config.Shards = opt.shards
+		rep.Config.Spread = opt.spread
+	}
 	rep.ElapsedMS = elapsed.Milliseconds()
 	rep.Committed = stats.committed
 	rep.CommittedTPS = float64(stats.committed) / elapsed.Seconds()
@@ -401,21 +514,37 @@ func runLoad(opt *options, url string, batching bool, codec string) (*report, er
 	rep.Violations = stats.violations
 	rep.LatencyMS = toLatency(reg.Samples("load.latency"))
 	rep.ReadLatencyMS = toLatency(reg.Samples("load.read.latency"))
-	rep.Gateway = scrapeGateway(url)
+	gw, counters := scrapeGateway(url)
+	rep.Gateway = gw
+	if smap != nil {
+		rep.PerShard = make(map[string]*shardSide, opt.shards)
+		for s := model.ShardID(1); int(s) <= opt.shards; s++ {
+			side := &shardSide{
+				Committed: stats.shardCommitted[s],
+				LatencyMS: toLatency(reg.Samples(fmt.Sprintf("load.latency.s%d", s))),
+			}
+			side.CommittedTPS = float64(side.Committed) / elapsed.Seconds()
+			if counters != nil {
+				side.BatchRounds = counters[fmt.Sprintf("%s.s%d", metrics.CGwBatchRounds, s)]
+			}
+			rep.PerShard[fmt.Sprintf("s%d", s)] = side
+		}
+	}
 	return rep, nil
 }
 
 // scrapeGateway pulls the ablation counters from /gw/stats; absence is
-// not an error (the target may not expose stats).
-func scrapeGateway(url string) *gwSide {
+// not an error (the target may not expose stats). The raw counter map
+// is returned alongside for per-shard lane breakdowns.
+func scrapeGateway(url string) (*gwSide, map[string]int64) {
 	resp, err := http.Get(url + "/gw/stats")
 	if err != nil {
-		return nil
+		return nil, nil
 	}
 	defer resp.Body.Close()
 	var st gateway.Stats
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return nil
+		return nil, nil
 	}
 	g := &gwSide{
 		WriteTxns:      st.Counters[metrics.CGwWriteTxns],
@@ -428,7 +557,7 @@ func scrapeGateway(url string) *gwSide {
 	if g.WriteCommitted > 0 {
 		g.RoundsPerWrite = float64(g.WriteTxns) / float64(g.WriteCommitted)
 	}
-	return g
+	return g, st.Counters
 }
 
 // localCluster is an in-process real-TCP cluster plus gateway.
@@ -458,9 +587,25 @@ func bootLocal(opt *options, batching bool, codec wire.CodecID) (*localCluster, 
 		addrs[model.ProcID(i+1)] = l.Addr().String()
 		l.Close()
 	}
-	cat := model.FullyReplicated(n, workload.Objects(opt.objects)...)
+	objs := workload.Objects(opt.objects)
+	cat := model.FullyReplicated(n, objs...)
 	hist := onecopy.NewHistory()
 	cfg := core.Config{Config: node.Config{Delta: opt.delta, LogCap: 256, TraceSample: opt.traceSample}, UseLogCatchup: true}
+	var smap *shard.Map
+	if opt.shards > 1 {
+		procs := make([]model.ProcID, n)
+		for i := range procs {
+			procs[i] = model.ProcID(i + 1)
+		}
+		var err error
+		smap, err = shard.NewMap(shard.Config{
+			Shards: opt.shards, Replicas: opt.shardReplicas, Seed: opt.shardSeed,
+			Procs: procs, Objects: objs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("shard map: %w", err)
+		}
+	}
 	var (
 		nodes []*vnet.TCPNode
 		recs  []*trace.Recorder
@@ -476,10 +621,15 @@ func bootLocal(opt *options, batching bool, codec wire.CodecID) (*localCluster, 
 	}
 	gwRec := newRec()
 	for id := model.ProcID(1); id <= model.ProcID(n); id++ {
-		var nd *core.Node
-		if opt.traceSample > 0 {
+		var nd vnet.Handler
+		switch {
+		case smap != nil && opt.traceSample > 0:
+			nd = shard.NewRouterDurable(id, cfg, smap, hist, durable.NewMemJournal())
+		case smap != nil:
+			nd = shard.NewRouter(id, cfg, smap, hist)
+		case opt.traceSample > 0:
 			nd = core.NewDurable(id, cfg, cat, hist, durable.NewMemJournal())
-		} else {
+		default:
 			nd = core.New(id, cfg, cat, hist)
 		}
 		tcp := vnet.NewTCPNodeConfig(id, addrs, nd, vnet.TCPConfig{Codec: codec})
@@ -498,6 +648,11 @@ func bootLocal(opt *options, batching bool, codec wire.CodecID) (*localCluster, 
 		Cluster: addrs, Batching: batching, BatchWindow: opt.batchWindow,
 		PerTry: time.Second, Deadline: 20 * time.Second, Codec: codec,
 		Tracer: gwRec, TraceSample: opt.traceSample,
+	}
+	if smap != nil {
+		gwCfg.Shards = opt.shards
+		gwCfg.ShardSeed = opt.shardSeed
+		gwCfg.ShardReplicas = opt.shardReplicas
 	}
 	g := gateway.New(gwCfg)
 	srv, addr, err := g.Serve("127.0.0.1:0")
@@ -538,6 +693,17 @@ type codecCompareReport struct {
 	P50RatioBinary float64 `json:"p50_binary_over_gob"`
 	TPSRatioBinary float64 `json:"tps_binary_over_gob"`
 	Description    string  `json:"description"`
+}
+
+// shardCompareReport is the BENCH_shard.json shape: the same load
+// against an unsharded cluster and a sharded one.
+type shardCompareReport struct {
+	Bench           string  `json:"bench"`
+	Unsharded       *report `json:"unsharded"`
+	Sharded         *report `json:"sharded"`
+	TPSRatioSharded float64 `json:"tps_sharded_over_unsharded"`
+	P50RatioSharded float64 `json:"p50_sharded_over_unsharded"`
+	Description     string  `json:"description"`
 }
 
 // compareReport is the BENCH_gateway.json shape: the same load with
@@ -682,7 +848,45 @@ func run(opt *options, w io.Writer) error {
 		return cmp, []*report{off, on}, nil
 	}
 
+	runShardCompare := func() (*shardCompareReport, []*report, error) {
+		base := *opt
+		base.shards, base.spread = 1, 0
+		un, err := runOnce(&base, opt.batch, opt.codec)
+		if err != nil {
+			return nil, nil, err
+		}
+		sh, err := runOnce(opt, opt.batch, opt.codec)
+		if err != nil {
+			return nil, nil, err
+		}
+		cmp := &shardCompareReport{
+			Bench:     "shard scale-out ablation",
+			Unsharded: un, Sharded: sh,
+			Description: "identical load against a fresh local cluster, one global virtual partition vs " +
+				"-shards independent per-shard partitions (same node count; -spread confines each " +
+				"client's keys to its home shards, so single-shard transactions commit in their own " +
+				"conveyor lane and never pay cross-shard 2PC); per_shard breaks the sharded side down " +
+				"by owning shard",
+		}
+		if un.CommittedTPS > 0 {
+			cmp.TPSRatioSharded = sh.CommittedTPS / un.CommittedTPS
+		}
+		if un.LatencyMS.P50 > 0 {
+			cmp.P50RatioSharded = sh.LatencyMS.P50 / un.LatencyMS.P50
+		}
+		return cmp, []*report{un, sh}, nil
+	}
+
 	switch {
+	case opt.shardCompare:
+		cmp, reps, err := runShardCompare()
+		if err != nil {
+			return err
+		}
+		if err := emit(cmp); err != nil {
+			return err
+		}
+		return smokeCheck(reps...)
 	case opt.compare && opt.codecCompare:
 		// The full BENCH_gateway.json: both ablations over the same load.
 		batch, reps1, err := runBatchCompare()

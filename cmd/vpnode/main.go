@@ -29,6 +29,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -39,6 +40,7 @@ import (
 	"github.com/virtualpartitions/vp/internal/model"
 	"github.com/virtualpartitions/vp/internal/net"
 	"github.com/virtualpartitions/vp/internal/node"
+	"github.com/virtualpartitions/vp/internal/shard"
 	"github.com/virtualpartitions/vp/internal/trace"
 	"github.com/virtualpartitions/vp/internal/wire"
 )
@@ -46,20 +48,23 @@ import (
 // options is the parsed command line, separated from main so flag
 // handling is testable without forking a process.
 type options struct {
-	id        model.ProcID
-	addrs     map[model.ProcID]string
-	objects   []model.ObjectID
-	delta     time.Duration
-	pi        time.Duration
-	dataDir     string
-	fsync       bool
-	fsyncEvery  time.Duration
-	fullCopyR5  bool
-	verbose     bool
-	debugAddr   string
-	traceOut    string
-	traceSample int
-	tcp         net.TCPConfig
+	id            model.ProcID
+	addrs         map[model.ProcID]string
+	objects       []model.ObjectID
+	delta         time.Duration
+	pi            time.Duration
+	dataDir       string
+	fsync         bool
+	fsyncEvery    time.Duration
+	fullCopyR5    bool
+	verbose       bool
+	debugAddr     string
+	traceOut      string
+	traceSample   int
+	shards        int
+	shardSeed     int64
+	shardReplicas int
+	tcp           net.TCPConfig
 }
 
 // parseArgs parses argv (without the program name) into options.
@@ -84,6 +89,9 @@ func parseArgs(args []string) (*options, error) {
 		reconMax  = fs.Duration("reconnect-max", 0, "maximum peer redial backoff (default 2s)")
 		queueLen  = fs.Int("peer-queue", 0, "bounded per-peer outbound queue length (default 1024)")
 		codec     = fs.String("codec", "binary", "outbound wire codec: binary or gob (reads auto-detect)")
+		shards    = fs.Int("shards", 1, "shard the object namespace this many ways; >1 runs one virtual-partition lifecycle per hosted shard (every node needs identical -shards/-shard-seed/-shard-replicas)")
+		shardSeed = fs.Int64("shard-seed", 1, "shard placement seed (must match across the cluster)")
+		shardRep  = fs.Int("shard-replicas", 0, "copies per shard (0 = every node hosts every shard)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -114,12 +122,16 @@ func parseArgs(args []string) (*options, error) {
 	if *r5 != "log" && *r5 != "full" {
 		return nil, fmt.Errorf("-r5 must be log or full, got %q", *r5)
 	}
+	if *shards < 1 {
+		return nil, fmt.Errorf("-shards must be >= 1")
+	}
 	return &options{
 		id: me, addrs: addrs, objects: objNames,
 		delta: *delta, pi: *pi,
 		dataDir: *dataDir, fsync: *fsync, fsyncEvery: *fsyncInt,
 		fullCopyR5: *r5 == "full", verbose: *verbose,
 		debugAddr: *debugAddr, traceOut: *traceOut, traceSample: sample,
+		shards: *shards, shardSeed: *shardSeed, shardReplicas: *shardRep,
 		tcp: net.TCPConfig{DialTimeout: *dialTO, ReconnectMin: *reconMin,
 			ReconnectMax: *reconMax, QueueLen: *queueLen, Codec: codecID},
 	}, nil
@@ -131,21 +143,76 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vpnode:", err)
 		os.Exit(2)
 	}
-	cat := model.FullyReplicated(len(opt.addrs), opt.objects...)
-
 	cfg := core.Config{
 		Config:        node.Config{Delta: opt.delta, LogCap: 1024, TraceSample: opt.traceSample},
 		Pi:            opt.pi,
 		UseLogCatchup: !opt.fullCopyR5,
 	}
-	var nd *core.Node
+
+	var smap *shard.Map
+	if opt.shards > 1 {
+		procs := make([]model.ProcID, 0, len(opt.addrs))
+		for p := range opt.addrs {
+			procs = append(procs, p)
+		}
+		var err error
+		smap, err = shard.NewMap(shard.Config{
+			Shards: opt.shards, Replicas: opt.shardReplicas, Seed: opt.shardSeed,
+			Procs: procs, Objects: opt.objects,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpnode:", err)
+			os.Exit(1)
+		}
+	}
+	cat := model.FullyReplicated(len(opt.addrs), opt.objects...)
+
+	// newHandler builds the protocol handler: a single core.Node in the
+	// default (unsharded) deployment, a shard.Router — one VP lifecycle
+	// per hosted shard plus a cross-shard coordinator — when -shards > 1.
+	// restored is nil for a volatile or fresh durable start.
+	newHandler := func(j durable.Journal, restored *durable.State) net.Handler {
+		if smap != nil {
+			switch {
+			case restored != nil:
+				return shard.NewRouterRestored(opt.id, cfg, smap, nil, restored, j)
+			case j != nil:
+				return shard.NewRouterDurable(opt.id, cfg, smap, nil, j)
+			default:
+				return shard.NewRouter(opt.id, cfg, smap, nil)
+			}
+		}
+		switch {
+		case restored != nil:
+			return core.NewRestored(opt.id, cfg, cat, nil, restored, j)
+		case j != nil:
+			return core.NewDurable(opt.id, cfg, cat, nil, j)
+		default:
+			return core.New(opt.id, cfg, cat, nil)
+		}
+	}
+
+	var handler net.Handler
 	var journal *durable.FileJournal
 	if opt.dataDir != "" {
 		var state *durable.State
 		var err error
-		state, journal, err = durable.OpenOptions(opt.dataDir, durable.Options{
-			FlushInterval: opt.fsyncEvery,
-		})
+		dopts := durable.Options{FlushInterval: opt.fsyncEvery}
+		if smap != nil {
+			// Scope the journal to the objects of this node's hosted
+			// shards: snapshots then attest the universe they covered, so
+			// restarting under a grown shard map can't mistake "never
+			// hosted" for "no writes" when serving R5 catch-up deltas.
+			hosted := smap.HostedObjects(opt.id)
+			scope := []model.ObjectID{}
+			for _, o := range opt.objects {
+				if hosted(o) {
+					scope = append(scope, o)
+				}
+			}
+			dopts.Scope = scope
+		}
+		state, journal, err = durable.OpenOptions(opt.dataDir, dopts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vpnode:", err)
 			os.Exit(1)
@@ -158,39 +225,74 @@ func main() {
 		}
 		fresh := state.MaxID.IsZero() && len(state.Copies) == 0
 		if fresh {
-			nd = core.NewDurable(opt.id, cfg, cat, nil, journal)
+			handler = newHandler(journal, nil)
 			fmt.Printf("vpnode %v: fresh durable state in %s\n", opt.id, opt.dataDir)
 		} else {
-			nd = core.NewRestored(opt.id, cfg, cat, nil, state, journal)
+			handler = newHandler(journal, state)
 			fmt.Printf("vpnode %v: restored from %s in %v (max-id %v, %d copies, %d records replayed)\n",
 				opt.id, opt.dataDir, rs.Duration.Round(time.Microsecond), state.MaxID, len(state.Copies), rs.Records)
 		}
 	} else {
-		nd = core.New(opt.id, cfg, cat, nil)
+		handler = newHandler(nil, nil)
 	}
 	var health *debughttp.Health
 	if opt.debugAddr != "" {
 		health = &debughttp.Health{}
-		health.Set(nd.Assigned(), nd.CurID(), nd.View().Sorted())
 	}
-	if opt.verbose || health != nil {
-		me, verbose := opt.id, opt.verbose
-		nd.Observer = func(ev any) {
-			switch e := ev.(type) {
-			case core.JoinEvent:
-				health.Set(true, e.VP, e.View.Sorted())
-				if verbose {
-					fmt.Printf("vpnode %v: joined %v view=%v\n", me, e.VP, e.View)
+	switch h := handler.(type) {
+	case *core.Node:
+		if health != nil {
+			health.Set(h.Assigned(), h.CurID(), h.View().Sorted())
+		}
+		if opt.verbose || health != nil {
+			me, verbose := opt.id, opt.verbose
+			h.Observer = func(ev any) {
+				switch e := ev.(type) {
+				case core.JoinEvent:
+					health.Set(true, e.VP, e.View.Sorted())
+					if verbose {
+						fmt.Printf("vpnode %v: joined %v view=%v\n", me, e.VP, e.View)
+					}
+				case core.DepartEvent:
+					health.Set(false, e.VP, nil)
+					if verbose {
+						fmt.Printf("vpnode %v: departed %v\n", me, e.VP)
+					}
 				}
-			case core.DepartEvent:
-				health.Set(false, e.VP, nil)
-				if verbose {
-					fmt.Printf("vpnode %v: departed %v\n", me, e.VP)
+			}
+		}
+	case *shard.Router:
+		if opt.verbose || health != nil {
+			me, verbose := opt.id, opt.verbose
+			hosted := len(h.Hosted())
+			var mu sync.Mutex
+			up := make(map[model.ShardID]bool)
+			h.Observer = func(s model.ShardID, ev any) {
+				switch e := ev.(type) {
+				case core.JoinEvent:
+					mu.Lock()
+					up[s] = true
+					n := len(up)
+					mu.Unlock()
+					// Healthy once every hosted shard sits in a partition;
+					// the reported view is the latest shard's.
+					health.Set(n == hosted, e.VP, e.View.Sorted())
+					if verbose {
+						fmt.Printf("vpnode %v: shard %v joined %v view=%v\n", me, s, e.VP, e.View)
+					}
+				case core.DepartEvent:
+					mu.Lock()
+					delete(up, s)
+					mu.Unlock()
+					health.Set(false, e.VP, nil)
+					if verbose {
+						fmt.Printf("vpnode %v: shard %v departed %v\n", me, s, e.VP)
+					}
 				}
 			}
 		}
 	}
-	tcp := net.NewTCPNodeConfig(opt.id, opt.addrs, nd, opt.tcp)
+	tcp := net.NewTCPNodeConfig(opt.id, opt.addrs, handler, opt.tcp)
 	if journal != nil {
 		journal.SetMetrics(tcp.Metrics())
 		tcp.Metrics().ObserveDuration(metrics.SRecovery, journal.Recovery().Duration)
@@ -214,7 +316,12 @@ func main() {
 		defer srv.Close()
 		fmt.Printf("vpnode %v debug endpoints on http://%s/metrics\n", opt.id, addr)
 	}
-	fmt.Printf("vpnode %v serving on %s (δ=%v, objects %v)\n", opt.id, opt.addrs[opt.id], opt.delta, opt.objects)
+	if smap != nil {
+		fmt.Printf("vpnode %v serving on %s (δ=%v, %d objects over %d shards, hosting %v)\n",
+			opt.id, opt.addrs[opt.id], opt.delta, len(opt.objects), smap.NumShards(), smap.Hosted(opt.id))
+	} else {
+		fmt.Printf("vpnode %v serving on %s (δ=%v, objects %v)\n", opt.id, opt.addrs[opt.id], opt.delta, opt.objects)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -13,6 +13,7 @@ import (
 	"github.com/virtualpartitions/vp/internal/model"
 	"github.com/virtualpartitions/vp/internal/nemesis"
 	"github.com/virtualpartitions/vp/internal/onecopy"
+	"github.com/virtualpartitions/vp/internal/shard"
 	"github.com/virtualpartitions/vp/internal/trace"
 	"github.com/virtualpartitions/vp/internal/wire"
 	"github.com/virtualpartitions/vp/internal/workload"
@@ -26,6 +27,44 @@ const probeTagBase = uint64(1) << 62
 // gate needs one commit, the spread tolerates individual wedged
 // coordinators.
 const probeCount = 6
+
+// shardProbeTagBase marks the sub-range of probe tags used by
+// DURING-fault shard-isolation probes (still >= probeTagBase, so every
+// platform treats them as probes). The shard id rides in bits 16+.
+const shardProbeTagBase = probeTagBase | uint64(1)<<61
+
+// shardProbeSpread is how many isolation probes each live shard gets
+// inside the partition window.
+const shardProbeSpread = 3
+
+func shardProbeTag(s model.ShardID, i int) uint64 {
+	return shardProbeTagBase + uint64(s)<<16 + uint64(i)
+}
+
+// shardTopology derives a sharded cell's placement map and the fault's
+// target shard: the lowest-numbered shard that owns at least one object
+// (cutting an empty shard would assert nothing).
+func shardTopology(c Cell) (*shard.Map, model.ShardID) {
+	procs := make([]model.ProcID, c.N)
+	for i := range procs {
+		procs[i] = model.ProcID(i + 1)
+	}
+	m, err := shard.NewMap(shard.Config{
+		Shards: c.Shards, Replicas: c.ShardReplicas, Seed: c.Seed,
+		Procs: procs, Objects: workload.Objects(c.Objects),
+	})
+	if err != nil {
+		panic(fmt.Sprintf("campaign: shard map: %v", err)) // inputs validated at expansion
+	}
+	target := model.ShardID(1)
+	for s := 1; s <= c.Shards; s++ {
+		if len(m.ShardCatalog(model.ShardID(s)).Objects()) > 0 {
+			target = model.ShardID(s)
+			break
+		}
+	}
+	return m, target
+}
 
 // BuildPlan expands a cell into its phased experiment plan. All times
 // are offsets from cluster start:
@@ -91,6 +130,42 @@ func BuildPlan(c Cell) Plan {
 			},
 		})
 	}
+	// Shard-isolation probes: while the target shard's majority is cut,
+	// every OTHER object-owning shard must keep committing. The probes
+	// run INSIDE the partition window (strictly between the cut and the
+	// heal), coordinated by a member of the probed shard, writing one of
+	// that shard's own objects. The isolation gate requires each probed
+	// shard to commit at least one before the heal.
+	if c.Shards > 1 && c.Nemesis == NemesisShard {
+		m, target := shardTopology(c)
+		window := healStart - faultStart
+		cutAt := faultStart + window/4    // matches nemesis.GenerateShard
+		healAt := faultStart + 3*window/4 // "
+		for s := 1; s <= c.Shards; s++ {
+			sid := model.ShardID(s)
+			if sid == target {
+				continue
+			}
+			sobjs := m.ShardCatalog(sid).Objects()
+			if len(sobjs) == 0 {
+				continue
+			}
+			members := m.MemberList(sid)
+			for i := 0; i < shardProbeSpread; i++ {
+				at := cutAt + (healAt-cutAt)*time.Duration(i+1)/time.Duration(shardProbeSpread+1)
+				probes = append(probes, workload.ScheduledTxn{
+					At: at,
+					Txn: workload.Txn{
+						Coordinator: members[i%len(members)],
+						Request: wire.ClientTxn{
+							Tag: shardProbeTag(sid, i),
+							Ops: wire.IncrementOps(sobjs[i%len(sobjs)], 1),
+						},
+					},
+				})
+			}
+		}
+	}
 	return Plan{Txns: txns, Faults: faults, Probes: probes, End: end}
 }
 
@@ -107,6 +182,19 @@ func buildNemesis(c Cell, start, end time.Duration) nemesis.Schedule {
 		procs[i] = model.ProcID(i + 1)
 	}
 	window := end - start
+	if c.Nemesis == NemesisShard {
+		// One surgical fault: split the target shard's copy set into
+		// singletons (no group retains a weighted majority, so the shard
+		// stalls by rule R1) for the shard's frames only; the rest of the
+		// network never notices.
+		m, target := shardTopology(c)
+		members := m.MemberList(target)
+		groups := make([][]model.ProcID, 0, len(members))
+		for _, p := range members {
+			groups = append(groups, []model.ProcID{p})
+		}
+		return nemesis.GenerateShard(target, groups, start, window)
+	}
 	opts := nemesis.Options{
 		Procs:    procs,
 		Start:    start,
@@ -165,11 +253,15 @@ type Gates struct {
 	// Liveness: a post-heal probe write committed within the heal
 	// window (the paper's Δ = π + 8δ recovery bound, with slack).
 	Liveness bool `json:"liveness"`
+	// ShardIsolation: while one shard's weighted majority was
+	// partitioned, every other object-owning shard committed a probe
+	// before the heal. Vacuously true for cells without shard probes.
+	ShardIsolation bool `json:"shard_isolation"`
 }
 
 // OK reports whether every gate passed.
 func (g Gates) OK() bool {
-	return g.Progress && g.OneSR && g.TraceInvariants && g.Liveness
+	return g.Progress && g.OneSR && g.TraceInvariants && g.Liveness && g.ShardIsolation
 }
 
 // CellResult is one cell's outcome: identity, throughput/latency
@@ -250,7 +342,8 @@ func RunCell(c Cell) CellResult {
 	cfg := ClusterConfig{
 		N: c.N, Objects: c.Objects, Seed: c.Seed, Delta: c.Delta,
 		Codec: c.CodecID(), GroupCommit: c.GroupCommit,
-		Kill9: c.Nemesis == NemesisKill9,
+		Kill9:  c.Nemesis == NemesisKill9,
+		Shards: c.Shards, ShardReplicas: c.ShardReplicas,
 	}
 	if err := p.Start(cfg); err != nil {
 		res.Failures = append(res.Failures, fmt.Sprintf("start: %v", err))
@@ -341,15 +434,47 @@ func evaluate(res *CellResult, plan Plan, snap *Snapshot) {
 			res.Failures = append(res.Failures, "trace: "+v.String())
 		}
 	}
+	healProbes := 0
 	for _, s := range plan.Probes {
-		if snap.Results[s.Txn.Request.Tag].Committed {
+		tag := s.Txn.Request.Tag
+		if tag >= shardProbeTagBase {
+			continue // during-fault shard probe; judged by the isolation gate
+		}
+		healProbes++
+		if snap.Results[tag].Committed {
 			res.Gates.Liveness = true
-			break
 		}
 	}
 	if !res.Gates.Liveness {
 		res.Failures = append(res.Failures,
-			fmt.Sprintf("liveness: none of %d post-heal probes committed", len(plan.Probes)))
+			fmt.Sprintf("liveness: none of %d post-heal probes committed", healProbes))
+	}
+
+	// Shard isolation: every probed live shard must commit at least one
+	// probe BEFORE the heal (a commit that only lands after the network
+	// heals proves recovery, not isolation).
+	res.Gates.ShardIsolation = true
+	shardSeen := map[model.ShardID]bool{}
+	shardOK := map[model.ShardID]bool{}
+	for _, s := range plan.Probes {
+		tag := s.Txn.Request.Tag
+		if tag < shardProbeTagBase {
+			continue
+		}
+		sid := model.ShardID((tag - shardProbeTagBase) >> 16)
+		shardSeen[sid] = true
+		if snap.Results[tag].Committed {
+			if lat, ok := snap.Latency[tag]; ok && s.At+lat <= plan.Faults.End {
+				shardOK[sid] = true
+			}
+		}
+	}
+	for sid := range shardSeen {
+		if !shardOK[sid] {
+			res.Gates.ShardIsolation = false
+			res.Failures = append(res.Failures,
+				fmt.Sprintf("shard-isolation: shard %v committed no probe during the partition", sid))
+		}
 	}
 	res.Digest = digest(snap)
 }

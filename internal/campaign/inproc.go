@@ -12,6 +12,7 @@ import (
 	vnet "github.com/virtualpartitions/vp/internal/net"
 	"github.com/virtualpartitions/vp/internal/node"
 	"github.com/virtualpartitions/vp/internal/onecopy"
+	"github.com/virtualpartitions/vp/internal/shard"
 	"github.com/virtualpartitions/vp/internal/trace"
 	"github.com/virtualpartitions/vp/internal/wire"
 	"github.com/virtualpartitions/vp/internal/workload"
@@ -50,21 +51,42 @@ func (p *inprocPlatform) Start(cfg ClusterConfig) error {
 		return fmt.Errorf("campaign/inproc: Start on a started platform")
 	}
 	objs := workload.Objects(cfg.Objects)
-	cat := model.FullyReplicated(cfg.N, objs...)
 	p.topo = vnet.NewTopology(cfg.N, cfg.Delta/4)
 	p.c = vnet.NewRealCluster(p.topo)
 	p.rec = trace.New(1 << 18)
 	p.rec.SetEnabled(true)
-	for _, obj := range cat.Objects() {
-		p.rec.Record(trace.Event{Kind: trace.EvPlacement, Obj: obj, Procs: cat.Copies(obj).Sorted()})
-	}
-	p.c.Rec = p.rec
 	p.hist = onecopy.NewHistory()
 	p.inj = nemesis.NewInjector(cfg.Seed)
 	p.c.Icpt = p.inj
 	ccfg := core.Config{Config: node.Config{Delta: cfg.Delta, LogCap: 256}, UseLogCatchup: true}
-	for _, proc := range p.topo.Procs() {
-		p.c.AddNode(proc, core.New(proc, ccfg, cat, p.hist))
+	if cfg.Shards > 1 {
+		// Sharded cell: every node is a shard.Router over the same
+		// deterministic map — each hosted shard runs its own VP
+		// lifecycle, multi-shard transactions 2PC across shards.
+		m, err := shard.NewMap(shard.Config{
+			Shards: cfg.Shards, Replicas: cfg.ShardReplicas, Seed: cfg.Seed,
+			Procs: p.topo.Procs(), Objects: objs,
+		})
+		if err != nil {
+			return fmt.Errorf("campaign/inproc: shard map: %w", err)
+		}
+		cat := m.Catalog()
+		for _, obj := range cat.Objects() {
+			p.rec.Record(trace.Event{Kind: trace.EvPlacement, Obj: obj, Procs: cat.Copies(obj).Sorted()})
+		}
+		p.c.Rec = p.rec
+		for _, proc := range p.topo.Procs() {
+			p.c.AddNode(proc, shard.NewRouter(proc, ccfg, m, p.hist))
+		}
+	} else {
+		cat := model.FullyReplicated(cfg.N, objs...)
+		for _, obj := range cat.Objects() {
+			p.rec.Record(trace.Event{Kind: trace.EvPlacement, Obj: obj, Procs: cat.Copies(obj).Sorted()})
+		}
+		p.c.Rec = p.rec
+		for _, proc := range p.topo.Procs() {
+			p.c.AddNode(proc, core.New(proc, ccfg, cat, p.hist))
+		}
 	}
 	p.results = make(map[uint64]wire.ClientResult)
 	p.latency = make(map[uint64]time.Duration)

@@ -57,6 +57,12 @@ type ClusterConfig struct {
 	// before the kill, its disk freezes mid group-commit, and bytes are
 	// torn off the journal tail before restart (live only).
 	Kill9 bool
+	// Shards, when > 1, runs the cluster sharded: every node is a
+	// shard.Router over the same deterministic map (seed = Seed), each
+	// hosted shard with its own virtual-partition lifecycle (inproc
+	// only). ShardReplicas is the per-shard copy-set size (0 = all).
+	Shards        int
+	ShardReplicas int
 }
 
 // Plan is the engine's precomputed experiment: all times are offsets

@@ -37,6 +37,15 @@ const (
 	// group-commit, and a torn journal tail to recover from on restart.
 	// Live backend only — the damage is real bytes in a real journal.
 	NemesisKill9 = "kill9"
+	// NemesisShard partitions exactly one shard's weighted majority
+	// (every member of the target shard isolated from every other, for
+	// that shard's frames only) while the rest of the network stays
+	// healthy. The cell then asserts the sharded deployment's central
+	// claim: every OTHER shard keeps committing during the fault
+	// (shard-isolation gate), and the target shard recovers after the
+	// heal (liveness gate). Requires shards > 1 on the inproc backend —
+	// the injector must inspect frames to scope the cut.
+	NemesisShard = "shard-partition"
 )
 
 // Injection hooks for Spec.Inject; see injectViolation. Used by tests
@@ -70,6 +79,10 @@ type Spec struct {
 	// Inject seeds a deliberate violation into every cell (see the
 	// Inject* constants); the campaign must then fail. Test hook.
 	Inject string `json:"inject,omitempty"`
+	// ShardReplicas is the copy-set size per shard for sharded cells
+	// (0 = every processor holds every shard). Ignored when the shards
+	// axis is absent.
+	ShardReplicas int `json:"shard_replicas,omitempty"`
 }
 
 // Axes are the sweep dimensions. Each slice is one axis of the cross
@@ -83,6 +96,7 @@ type Axes struct {
 	GroupCommit  []bool    `json:"group_commit,omitempty"`  // gateway batching, default [false]
 	Codec        []string  `json:"codec,omitempty"`         // binary | gob, default [binary]
 	Nemesis      []string  `json:"nemesis,omitempty"`       // default [mixed]
+	Shards       []int     `json:"shards,omitempty"`        // shard count, default [1] (unsharded)
 }
 
 // Phases are the per-cell phase durations in milliseconds.
@@ -139,6 +153,9 @@ func (a Axes) withDefaults() Axes {
 	if len(a.Nemesis) == 0 {
 		a.Nemesis = []string{NemesisMixed}
 	}
+	if len(a.Shards) == 0 {
+		a.Shards = []int{1}
+	}
 	return a
 }
 
@@ -168,11 +185,15 @@ type Cell struct {
 	GroupCommit  bool          `json:"group_commit"`
 	Codec        string        `json:"codec"`
 	Nemesis      string        `json:"nemesis"`
+	Shards       int           `json:"shards,omitempty"`
 	Seed         int64         `json:"seed"`
 	Delta        time.Duration `json:"-"`
 	Rate         float64       `json:"-"`
 	Phases       Phases        `json:"-"`
 	Inject       string        `json:"-"`
+	// ShardReplicas is the per-shard copy-set size (spec-level knob, not
+	// an axis).
+	ShardReplicas int `json:"-"`
 }
 
 // CodecID parses the cell's codec name (validated at expansion).
@@ -223,8 +244,26 @@ func (s Spec) Validate() error {
 			if !contains(a.Backend, BackendLive) {
 				return fmt.Errorf("campaign: nemesis=kill9 needs the live backend (the damage is a real journal's tail)")
 			}
+		case NemesisShard:
+			if !contains(a.Backend, BackendInproc) {
+				return fmt.Errorf("campaign: nemesis=shard-partition needs the inproc backend (the injector must inspect frames)")
+			}
+			sharded := false
+			for _, k := range a.Shards {
+				if k > 1 {
+					sharded = true
+				}
+			}
+			if !sharded {
+				return fmt.Errorf("campaign: nemesis=shard-partition needs a shards axis value > 1")
+			}
 		default:
 			return fmt.Errorf("campaign: unknown nemesis profile %q", nm)
+		}
+	}
+	for _, k := range a.Shards {
+		if k < 1 {
+			return fmt.Errorf("campaign: shards=%d must be >= 1", k)
 		}
 	}
 	for _, gc := range a.GroupCommit {
@@ -288,24 +327,38 @@ func (s Spec) Expand() ([]Cell, error) {
 									if nem == NemesisKill9 && backend != BackendLive {
 										continue
 									}
-									c := Cell{
-										Index:        len(cells),
-										Backend:      backend,
-										N:            n,
-										Objects:      objects,
-										Zipf:         zipf,
-										ReadFraction: rf,
-										GroupCommit:  gc,
-										Codec:        codec,
-										Nemesis:      nem,
-										Delta:        delta,
-										Rate:         rate,
-										Phases:       ph,
-										Inject:       s.Inject,
+									for _, shards := range a.Shards {
+										// Sharded clusters run shard.Routers, which
+										// only the inproc backend assembles; and the
+										// shard-partition fault is meaningless
+										// unsharded.
+										if shards > 1 && backend != BackendInproc {
+											continue
+										}
+										if nem == NemesisShard && shards <= 1 {
+											continue
+										}
+										c := Cell{
+											Index:         len(cells),
+											Backend:       backend,
+											N:             n,
+											Objects:       objects,
+											Zipf:          zipf,
+											ReadFraction:  rf,
+											GroupCommit:   gc,
+											Codec:         codec,
+											Nemesis:       nem,
+											Shards:        shards,
+											ShardReplicas: s.ShardReplicas,
+											Delta:         delta,
+											Rate:          rate,
+											Phases:        ph,
+											Inject:        s.Inject,
+										}
+										c.ID = cellID(c)
+										c.Seed = cellSeed(seed, c.ID)
+										cells = append(cells, c)
 									}
-									c.ID = cellID(c)
-									c.Seed = cellSeed(seed, c.ID)
-									cells = append(cells, c)
 								}
 							}
 						}
@@ -322,8 +375,14 @@ func cellID(c Cell) string {
 	if c.GroupCommit {
 		gc = "gc1"
 	}
-	return fmt.Sprintf("%s/n%d/o%d/z%.2f/rf%.2f/%s/%s/%s",
+	id := fmt.Sprintf("%s/n%d/o%d/z%.2f/rf%.2f/%s/%s/%s",
 		c.Backend, c.N, c.Objects, c.Zipf, c.ReadFraction, gc, c.Codec, c.Nemesis)
+	// The shard segment appears only on sharded cells so every
+	// pre-sharding cell id (and therefore its derived seed) is unchanged.
+	if c.Shards > 1 {
+		id += fmt.Sprintf("/sh%d", c.Shards)
+	}
+	return id
 }
 
 // cellSeed mixes the campaign seed with the cell identity, so every cell

@@ -111,6 +111,11 @@ func (s *vpStrategy) InTransition(rt net.Runtime) bool {
 	return n.cfg.WeakR4 && !n.assigned
 }
 
+// Strategy exposes the node's replica-control strategy so an embedding
+// router (internal/shard) can delegate per-shard access planning and
+// no-response handling to the shard's own virtual-partition state.
+func (n *Node) Strategy() node.Strategy { return (*vpStrategy)(n) }
+
 // OnNoResponse implements node.Strategy: the no-response exception of
 // Figures 10–11 triggers the creation of a new virtual partition.
 func (s *vpStrategy) OnNoResponse(rt net.Runtime, suspects []model.ProcID) {

@@ -44,9 +44,14 @@ type StagedWrite struct {
 }
 
 // DecideRec is a coordinator decision not yet acknowledged everywhere.
+// In a sharded deployment Shards parallels Pending — Pending[i] is the
+// participant processor and Shards[i] the shard it acts for — so a
+// restart resumes Decide retransmission to the right shard node. A nil
+// Shards means every participant is unsharded (shard zero).
 type DecideRec struct {
 	Commit  bool
 	Pending []model.ProcID
+	Shards  []model.ShardID
 }
 
 // State is the replayed durable state of one processor.
@@ -88,7 +93,9 @@ type Journal interface {
 	// obj drops every staged write of the transaction.
 	DropStage(txn model.TxnID, obj model.ObjectID)
 	// Decide records a coordinator decision awaiting acknowledgements.
-	Decide(txn model.TxnID, commit bool, pending []model.ProcID)
+	// shards, when non-nil, parallels pending with each participant's
+	// shard (see DecideRec); nil means unsharded.
+	Decide(txn model.TxnID, commit bool, pending []model.ProcID, shards []model.ShardID)
 	// DecideDone forgets a fully acknowledged decision.
 	DecideDone(txn model.TxnID)
 	// Sync makes every record passed so far durable (one group-commit
@@ -100,6 +107,12 @@ type Journal interface {
 // record is the on-disk envelope. Exactly one field is set.
 type record struct {
 	Snapshot *State
+	// SnapScoped marks a snapshot taken under partial replication:
+	// SnapUniverse is the hosted-object universe at snapshot time
+	// (possibly empty), and LogSince refuses to attest completeness for
+	// objects outside it. Unscoped snapshots keep the legacy encoding.
+	SnapScoped   bool
+	SnapUniverse []model.ObjectID
 
 	SetMaxID *model.VPID
 
@@ -117,6 +130,7 @@ type record struct {
 	DecideTxn     *model.TxnID
 	DecideCommit  bool
 	DecidePending []model.ProcID
+	DecideShards  []model.ShardID
 
 	DoneTxn *model.TxnID
 }
@@ -155,7 +169,7 @@ func (s *State) apply(r *record) {
 			}
 		}
 	case r.DecideTxn != nil:
-		s.Decides[*r.DecideTxn] = DecideRec{Commit: r.DecideCommit, Pending: r.DecidePending}
+		s.Decides[*r.DecideTxn] = DecideRec{Commit: r.DecideCommit, Pending: r.DecidePending, Shards: r.DecideShards}
 	case r.DoneTxn != nil:
 		delete(s.Decides, *r.DoneTxn)
 	}
@@ -197,8 +211,8 @@ func (m *MemJournal) DropStage(txn model.TxnID, obj model.ObjectID) {
 }
 
 // Decide implements Journal.
-func (m *MemJournal) Decide(txn model.TxnID, commit bool, pending []model.ProcID) {
-	m.apply(&record{DecideTxn: &txn, DecideCommit: commit, DecidePending: pending})
+func (m *MemJournal) Decide(txn model.TxnID, commit bool, pending []model.ProcID, shards []model.ShardID) {
+	m.apply(&record{DecideTxn: &txn, DecideCommit: commit, DecidePending: pending, DecideShards: shards})
 }
 
 // DecideDone implements Journal.

@@ -32,7 +32,7 @@ func TestFileJournalRoundTrip(t *testing.T) {
 	j.Apply("x", 43, ver(3, 2)) // later write wins
 	j.Apply("y", 7, ver(3, 3))
 	j.Stage(txn(9), "x", StagedWrite{Val: 44, Ver: ver(3, 4), MissedBy: []model.ProcID{3}})
-	j.Decide(txn(8), true, []model.ProcID{2, 3})
+	j.Decide(txn(8), true, []model.ProcID{2, 3}, nil)
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestDropAndDoneRecords(t *testing.T) {
 	j.Stage(txn(2), "x", StagedWrite{Val: 3, Ver: ver(1, 3)})
 	j.DropStage(txn(1), "y") // scoped
 	j.DropStage(txn(2), "")  // whole txn
-	j.Decide(txn(5), false, []model.ProcID{2})
+	j.Decide(txn(5), false, []model.ProcID{2}, nil)
 	j.DecideDone(txn(5))
 	j.Close()
 
@@ -274,7 +274,7 @@ func TestMemJournal(t *testing.T) {
 	m.MaxID(v(5, 1))
 	m.Apply("x", 9, ver(5, 1))
 	m.Stage(txn(1), "x", StagedWrite{Val: 10, Ver: ver(5, 2)})
-	m.Decide(txn(1), true, []model.ProcID{2})
+	m.Decide(txn(1), true, []model.ProcID{2}, nil)
 	if err := m.Sync(); err != nil {
 		t.Fatal(err)
 	}

@@ -39,6 +39,17 @@ const (
 	tagDrop     = byte(5)
 	tagDecide   = byte(6)
 	tagDone     = byte(7)
+	// tagDecideShards is tagDecide plus a parallel shard list (sharded
+	// coordinators). Unsharded decisions keep emitting tagDecide, so
+	// unsharded log bytes are unchanged.
+	tagDecideShards = byte(8)
+	// tagSnapshotScoped is a snapshot that records the hosted-object
+	// universe it was taken under (partial replication). Its sharded-
+	// decision section is mandatory (possibly zero-length) so the
+	// trailing universe list parses unambiguously. Journals without a
+	// scope keep emitting tagSnapshot, so unsharded snapshot bytes are
+	// unchanged.
+	tagSnapshotScoped = byte(9)
 )
 
 // appendFrame appends the framed encoding of r to dst.
@@ -55,8 +66,14 @@ func appendFrame(dst []byte, r *record) []byte {
 func appendRecord(dst []byte, r *record) []byte {
 	switch {
 	case r.Snapshot != nil:
-		dst = append(dst, tagSnapshot)
-		dst = appendState(dst, r.Snapshot)
+		if r.SnapScoped {
+			dst = append(dst, tagSnapshotScoped)
+			dst = appendStateBody(dst, r.Snapshot, true)
+			dst = appendObjs(dst, r.SnapUniverse)
+		} else {
+			dst = append(dst, tagSnapshot)
+			dst = appendState(dst, r.Snapshot)
+		}
 	case r.SetMaxID != nil:
 		dst = append(dst, tagMaxID)
 		dst = appendVPID(dst, *r.SetMaxID)
@@ -75,10 +92,18 @@ func appendRecord(dst []byte, r *record) []byte {
 		dst = appendTxnID(dst, *r.DropTxn)
 		dst = appendString(dst, string(r.DropObj))
 	case r.DecideTxn != nil:
-		dst = append(dst, tagDecide)
-		dst = appendTxnID(dst, *r.DecideTxn)
-		dst = appendBool(dst, r.DecideCommit)
-		dst = appendProcs(dst, r.DecidePending)
+		if len(r.DecideShards) > 0 {
+			dst = append(dst, tagDecideShards)
+			dst = appendTxnID(dst, *r.DecideTxn)
+			dst = appendBool(dst, r.DecideCommit)
+			dst = appendProcs(dst, r.DecidePending)
+			dst = appendShards(dst, r.DecideShards)
+		} else {
+			dst = append(dst, tagDecide)
+			dst = appendTxnID(dst, *r.DecideTxn)
+			dst = appendBool(dst, r.DecideCommit)
+			dst = appendProcs(dst, r.DecidePending)
+		}
 	case r.DoneTxn != nil:
 		dst = append(dst, tagDone)
 		dst = appendTxnID(dst, *r.DoneTxn)
@@ -90,6 +115,13 @@ func appendRecord(dst []byte, r *record) []byte {
 // state always encodes to the same bytes (snapshot files diff cleanly
 // and tests can compare them).
 func appendState(dst []byte, s *State) []byte {
+	return appendStateBody(dst, s, false)
+}
+
+// appendStateBody is appendState with the sharded-decision trailer
+// forced when forceTrailer is set (scoped snapshots append a universe
+// list after the state, so every section before it must be present).
+func appendStateBody(dst []byte, s *State, forceTrailer bool) []byte {
 	dst = appendVPID(dst, s.MaxID)
 
 	objs := make([]model.ObjectID, 0, len(s.Copies))
@@ -137,6 +169,28 @@ func appendState(dst []byte, s *State) []byte {
 		dst = appendTxnID(dst, t)
 		dst = appendBool(dst, d.Commit)
 		dst = appendProcs(dst, d.Pending)
+	}
+
+	// Sharded decisions append a trailing section keyed by transaction.
+	// It is only emitted when at least one decision carries shard tags,
+	// so unsharded snapshots keep their historical byte layout (and old
+	// snapshots parse: the reader treats the section as optional).
+	sharded := 0
+	for _, t := range dtxns {
+		if len(s.Decides[t].Shards) > 0 {
+			sharded++
+		}
+	}
+	if sharded > 0 || forceTrailer {
+		dst = appendUvarint(dst, uint64(sharded))
+		for _, t := range dtxns {
+			d := s.Decides[t]
+			if len(d.Shards) == 0 {
+				continue
+			}
+			dst = appendTxnID(dst, t)
+			dst = appendShards(dst, d.Shards)
+		}
 	}
 	return dst
 }
@@ -192,6 +246,27 @@ func appendProcs(dst []byte, ps []model.ProcID) []byte {
 	dst = appendUvarint(dst, uint64(len(ps)))
 	for _, p := range ps {
 		dst = appendUvarint(dst, uint64(p))
+	}
+	return dst
+}
+
+func appendShards(dst []byte, ss []model.ShardID) []byte {
+	dst = appendUvarint(dst, uint64(len(ss)))
+	for _, s := range ss {
+		dst = appendUvarint(dst, uint64(s))
+	}
+	return dst
+}
+
+// appendObjs encodes an object list sorted, so equal universes always
+// encode to the same bytes.
+func appendObjs(dst []byte, objs []model.ObjectID) []byte {
+	sorted := make([]model.ObjectID, len(objs))
+	copy(sorted, objs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	dst = appendUvarint(dst, uint64(len(sorted)))
+	for _, o := range sorted {
+		dst = appendString(dst, string(o))
 	}
 	return dst
 }
@@ -295,6 +370,77 @@ func (c *walCursor) procs() []model.ProcID {
 	return ps
 }
 
+func (c *walCursor) shards() []model.ShardID {
+	n := c.count(1)
+	if n == 0 {
+		return nil
+	}
+	ss := make([]model.ShardID, n)
+	for i := range ss {
+		ss[i] = model.ShardID(c.u())
+	}
+	return ss
+}
+
+// parseStateBody decodes a State off the cursor. The sharded-decision
+// trailer is optional for legacy tagSnapshot payloads (absent in
+// unsharded and pre-sharding snapshots) but mandatory when the caller
+// knows more sections follow (tagSnapshotScoped), since "bytes remain"
+// can no longer disambiguate it.
+func parseStateBody(c *walCursor, trailerMandatory bool) (*State, bool) {
+	st := NewState()
+	st.MaxID = c.vpid()
+	for i, n := 0, c.count(2); i < n; i++ {
+		obj := model.ObjectID(c.str())
+		val := model.Value(c.z())
+		ver := c.version()
+		if c.bad {
+			return nil, false
+		}
+		st.Copies[obj] = model.Copy{Val: val, Ver: ver}
+	}
+	for i, n := 0, c.count(2); i < n; i++ {
+		t := c.txn()
+		ws := make(map[model.ObjectID]StagedWrite)
+		for k, m := 0, c.count(2); k < m; k++ {
+			obj := model.ObjectID(c.str())
+			w := c.stagedWrite()
+			if c.bad {
+				return nil, false
+			}
+			ws[obj] = w
+		}
+		if c.bad {
+			return nil, false
+		}
+		st.Staged[t] = ws
+	}
+	for i, n := 0, c.count(2); i < n; i++ {
+		t := c.txn()
+		d := DecideRec{Commit: c.bool(), Pending: c.procs()}
+		if c.bad {
+			return nil, false
+		}
+		st.Decides[t] = d
+	}
+	if trailerMandatory || len(c.b) > 0 {
+		for i, n := 0, c.count(2); i < n; i++ {
+			t := c.txn()
+			ss := c.shards()
+			if c.bad {
+				return nil, false
+			}
+			d, ok := st.Decides[t]
+			if !ok {
+				return nil, false
+			}
+			d.Shards = ss
+			st.Decides[t] = d
+		}
+	}
+	return st, !c.bad
+}
+
 // parseRecord decodes one frame payload. It returns false for any
 // structural problem: unknown tag, short fields, or trailing bytes.
 func parseRecord(payload []byte, r *record) bool {
@@ -302,42 +448,27 @@ func parseRecord(payload []byte, r *record) bool {
 	c := walCursor{b: payload}
 	switch c.byte() {
 	case tagSnapshot:
-		st := NewState()
-		st.MaxID = c.vpid()
-		for i, n := 0, c.count(2); i < n; i++ {
-			obj := model.ObjectID(c.str())
-			val := model.Value(c.z())
-			ver := c.version()
-			if c.bad {
-				return false
-			}
-			st.Copies[obj] = model.Copy{Val: val, Ver: ver}
-		}
-		for i, n := 0, c.count(2); i < n; i++ {
-			t := c.txn()
-			ws := make(map[model.ObjectID]StagedWrite)
-			for k, m := 0, c.count(2); k < m; k++ {
-				obj := model.ObjectID(c.str())
-				w := c.stagedWrite()
-				if c.bad {
-					return false
-				}
-				ws[obj] = w
-			}
-			if c.bad {
-				return false
-			}
-			st.Staged[t] = ws
-		}
-		for i, n := 0, c.count(2); i < n; i++ {
-			t := c.txn()
-			d := DecideRec{Commit: c.bool(), Pending: c.procs()}
-			if c.bad {
-				return false
-			}
-			st.Decides[t] = d
+		st, ok := parseStateBody(&c, false)
+		if !ok {
+			return false
 		}
 		r.Snapshot = st
+	case tagSnapshotScoped:
+		st, ok := parseStateBody(&c, true)
+		if !ok {
+			return false
+		}
+		n := c.count(1)
+		objs := make([]model.ObjectID, 0, n)
+		for i := 0; i < n; i++ {
+			objs = append(objs, model.ObjectID(c.str()))
+		}
+		if c.bad {
+			return false
+		}
+		r.Snapshot = st
+		r.SnapScoped = true
+		r.SnapUniverse = objs
 	case tagMaxID:
 		v := c.vpid()
 		r.SetMaxID = &v
@@ -361,6 +492,15 @@ func parseRecord(payload []byte, r *record) bool {
 		r.DecideTxn = &t
 		r.DecideCommit = c.bool()
 		r.DecidePending = c.procs()
+	case tagDecideShards:
+		t := c.txn()
+		r.DecideTxn = &t
+		r.DecideCommit = c.bool()
+		r.DecidePending = c.procs()
+		r.DecideShards = c.shards()
+		if len(r.DecideShards) != len(r.DecidePending) {
+			return false
+		}
 	case tagDone:
 		t := c.txn()
 		r.DoneTxn = &t

@@ -62,6 +62,15 @@ type Options struct {
 	// group-commits the pending batch every interval. Zero leaves
 	// flushing to Sync callers (and Close).
 	FlushInterval time.Duration
+	// Scope, when non-nil, is the hosted-object universe of the owning
+	// processor (partial replication: the objects of its hosted shards).
+	// Snapshots record it, and LogSince only attests delta completeness
+	// for an object absent from the oldest retained snapshot if that
+	// snapshot's universe covered the object — a journal opened under a
+	// grown shard map cannot pass off "never saw it" as "no writes".
+	// Nil means the processor replicates everything (the unsharded
+	// default); snapshot bytes are then unchanged.
+	Scope []model.ObjectID
 }
 
 func (o Options) withDefaults() Options {
@@ -102,10 +111,13 @@ type LogRec struct {
 
 // snapInfo is one retained snapshot generation: the segment index its
 // state is current as of, and each object's version at that point (the
-// completeness floor for log catch-up).
+// completeness floor for log catch-up). universe, when non-nil, is the
+// hosted-object set the snapshot was taken under; objects outside it
+// have no provable history in this journal.
 type snapInfo struct {
-	base uint64
-	vers map[model.ObjectID]model.Version
+	base     uint64
+	vers     map[model.ObjectID]model.Version
+	universe map[model.ObjectID]bool
 }
 
 // FileJournal is a segmented, checksummed, group-committed write-ahead
@@ -120,14 +132,14 @@ type FileJournal struct {
 	segIndex  uint64
 	segSize   int64
 	sinceSnap int // segment rolls since the last snapshot
-	buf      []byte
-	pending  int
-	oldest   time.Time // append time of the oldest unsynced record
-	shadow   *State
-	ring     []snapInfo // retained snapshots, oldest first
-	stats    RecoveryStats
-	reg      *metrics.Registry
-	err      error
+	buf       []byte
+	pending   int
+	oldest    time.Time // append time of the oldest unsynced record
+	shadow    *State
+	ring      []snapInfo // retained snapshots, oldest first
+	stats     RecoveryStats
+	reg       *metrics.Registry
+	err       error
 
 	// SyncEveryWrite forces a write+fsync per record (safest, slowest).
 	SyncEveryWrite bool
@@ -193,7 +205,7 @@ func OpenOptions(dir string, o Options) (*State, *FileJournal, error) {
 		if err := j.writeSnapshot(st, 1); err != nil {
 			return nil, nil, err
 		}
-		j.ring = []snapInfo{{base: 1, vers: versionMap(st)}}
+		j.ring = []snapInfo{{base: 1, vers: versionMap(st), universe: j.scopeSet()}}
 		f, err := fs.Create(filepath.Join(dir, segName(1)))
 		if err != nil {
 			return nil, nil, fmt.Errorf("durable: %w", err)
@@ -212,7 +224,7 @@ func OpenOptions(dir string, o Options) (*State, *FileJournal, error) {
 		// Load the retained snapshot generations, newest last. The newest
 		// seeds replay; the olders' version maps set the catch-up floor.
 		for _, b := range snaps {
-			snap, err := j.readSnapshot(b)
+			snap, uni, err := j.readSnapshot(b)
 			if err != nil {
 				if b != base {
 					continue // an old generation may be half-pruned; skip it
@@ -222,7 +234,7 @@ func OpenOptions(dir string, o Options) (*State, *FileJournal, error) {
 			if b == base {
 				st = snap
 			}
-			j.ring = append(j.ring, snapInfo{base: b, vers: versionMap(snap)})
+			j.ring = append(j.ring, snapInfo{base: b, vers: versionMap(snap), universe: uni})
 		}
 		maxSeg := base
 		if len(segs) > 0 && segs[len(segs)-1] > maxSeg {
@@ -420,19 +432,25 @@ func (s *byteSource) Read(p []byte) (int, error) {
 }
 
 // readSnapshot loads and verifies one snapshot file. Snapshots are
-// written via tmp+rename, so any damage here is real, not a crash.
-func (j *FileJournal) readSnapshot(base uint64) (*State, error) {
+// written via tmp+rename, so any damage here is real, not a crash. The
+// returned universe is the hosted-object set the snapshot was scoped
+// to, or nil for an unscoped (fully-replicating) snapshot.
+func (j *FileJournal) readSnapshot(base uint64) (*State, map[model.ObjectID]bool, error) {
 	path := filepath.Join(j.dir, snapName(base))
 	data, err := j.opts.FS.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("durable: %w", err)
+		return nil, nil, fmt.Errorf("durable: %w", err)
 	}
 	st := NewState()
+	var universe map[model.ObjectID]bool
 	got := 0
 	_, torn, werr := walkFrames(data, func(payload []byte) error {
 		var r record
 		if !parseRecord(payload, &r) || r.Snapshot == nil {
 			return errors.New("malformed snapshot record")
+		}
+		if r.SnapScoped {
+			universe = objSet(r.SnapUniverse)
 		}
 		st.apply(&r)
 		got++
@@ -442,9 +460,19 @@ func (j *FileJournal) readSnapshot(base uint64) (*State, error) {
 		if werr == nil {
 			werr = errors.New("snapshot incomplete")
 		}
-		return nil, fmt.Errorf("durable: corrupt snapshot %s: %w", path, werr)
+		return nil, nil, fmt.Errorf("durable: corrupt snapshot %s: %w", path, werr)
 	}
-	return st, nil
+	return st, universe, nil
+}
+
+// objSet builds the membership set of an object list; never nil, so a
+// scoped-but-empty universe stays distinguishable from an unscoped one.
+func objSet(objs []model.ObjectID) map[model.ObjectID]bool {
+	m := make(map[model.ObjectID]bool, len(objs))
+	for _, o := range objs {
+		m[o] = true
+	}
+	return m
 }
 
 // writeSnapshot persists st as the state at the start of segment base,
@@ -456,7 +484,8 @@ func (j *FileJournal) writeSnapshot(st *State, base uint64) error {
 	if err != nil {
 		return fmt.Errorf("durable: %w", err)
 	}
-	frame := appendFrame(nil, &record{Snapshot: st})
+	frame := appendFrame(nil, &record{Snapshot: st,
+		SnapScoped: j.opts.Scope != nil, SnapUniverse: j.opts.Scope})
 	if _, err := f.Write(frame); err != nil {
 		f.Close()
 		return fmt.Errorf("durable: snapshot: %w", err)
@@ -475,6 +504,15 @@ func (j *FileJournal) writeSnapshot(st *State, base uint64) error {
 		j.reg.Inc(metrics.CJournalSnapshots, 1)
 	}
 	return nil
+}
+
+// scopeSet is the configured hosted-object universe as a set, nil when
+// the journal is unscoped.
+func (j *FileJournal) scopeSet() map[model.ObjectID]bool {
+	if j.opts.Scope == nil {
+		return nil
+	}
+	return objSet(j.opts.Scope)
 }
 
 func versionMap(s *State) map[model.ObjectID]model.Version {
@@ -592,7 +630,7 @@ func (j *FileJournal) rollLocked() {
 		return
 	}
 	j.sinceSnap = 0
-	j.ring = append(j.ring, snapInfo{base: j.segIndex, vers: versionMap(j.shadow)})
+	j.ring = append(j.ring, snapInfo{base: j.segIndex, vers: versionMap(j.shadow), universe: j.scopeSet()})
 	for len(j.ring) > j.opts.RetainSnapshots {
 		j.ring = j.ring[1:]
 	}
@@ -680,6 +718,13 @@ func (j *FileJournal) LogSince(obj model.ObjectID, since model.Version) ([]LogRe
 	if base, ok := j.ring[0].vers[obj]; ok && since.Less(base) {
 		j.mu.Unlock()
 		return nil, false // writes older than the retained tail are gone
+	} else if !ok && j.ring[0].universe != nil && !j.ring[0].universe[obj] {
+		// The oldest retained snapshot was scoped and did not cover obj:
+		// this processor did not host the object's shard then, so "no
+		// recorded version" means "no history", not "no writes". Nothing
+		// can be proven — the caller falls back to a full copy.
+		j.mu.Unlock()
+		return nil, false
 	}
 	j.flushLocked() // segments on disk must include the pending batch
 	if j.err != nil {
@@ -821,8 +866,8 @@ func (j *FileJournal) DropStage(txn model.TxnID, obj model.ObjectID) {
 }
 
 // Decide implements Journal.
-func (j *FileJournal) Decide(txn model.TxnID, commit bool, pending []model.ProcID) {
-	j.write(&record{DecideTxn: &txn, DecideCommit: commit, DecidePending: pending})
+func (j *FileJournal) Decide(txn model.TxnID, commit bool, pending []model.ProcID, shards []model.ShardID) {
+	j.write(&record{DecideTxn: &txn, DecideCommit: commit, DecidePending: pending, DecideShards: shards})
 }
 
 // DecideDone implements Journal.

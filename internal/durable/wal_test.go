@@ -86,7 +86,7 @@ func TestEveryOffsetTruncation(t *testing.T) {
 		step(func(q Journal) {
 			q.Stage(tx, "b", StagedWrite{Val: model.Value(-i), Ver: ver(1, uint64(2*i+2)), Delta: i%2 == 0})
 		})
-		step(func(q Journal) { q.Decide(tx, i%3 != 0, []model.ProcID{2, 3}) })
+		step(func(q Journal) { q.Decide(tx, i%3 != 0, []model.ProcID{2, 3}, nil) })
 		step(func(q Journal) { q.Apply("a", model.Value(i), ver(1, uint64(2*i+1))) })
 		step(func(q Journal) { q.Apply("b", model.Value(-i), ver(1, uint64(2*i+2))) })
 		step(func(q Journal) { q.DropStage(tx, "") })
@@ -166,7 +166,7 @@ func TestSnapshotTruncationRoundTrip(t *testing.T) {
 		}
 	}
 	j.Stage(txn(7), "x", StagedWrite{Val: 501, Ver: ver(1, 501)})
-	j.Decide(txn(7), true, []model.ProcID{2})
+	j.Decide(txn(7), true, []model.ProcID{2}, nil)
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -434,5 +434,101 @@ func TestUndecidedStageSurvivesRecovery(t *testing.T) {
 	}
 	if j2.Recovery().Resolved != 0 {
 		t.Fatalf("Resolved = %d, want 0", j2.Recovery().Resolved)
+	}
+}
+
+// TestScopedJournalCompletenessFence pins the partial-replication rule:
+// a journal scoped to its hosted objects stamps the universe into every
+// snapshot, and a restart under a grown shard map must not mistake
+// "never hosted" for "no writes". Unscoped journals keep the old
+// shortcut (absent from the oldest snapshot ⇒ provably zero history).
+func TestScopedJournalCompletenessFence(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{SegmentBytes: 1 << 10, RetainSnapshots: 2, SnapshotEvery: 1,
+		Scope: []model.ObjectID{"x"}}
+	_, j, err := OpenOptions(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 400; i++ {
+		j.Apply("x", model.Value(i), ver(1, uint64(i)))
+		if i%10 == 0 {
+			if err := j.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart after the shard map grew: this node now also hosts y's
+	// shard. y has cluster-wide history this journal never observed, so
+	// the retained tail proves nothing about it.
+	opts.Scope = []model.ObjectID{"x", "y"}
+	_, j2, err := OpenOptions(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if _, ok := j2.LogSince("y", model.Version{}); ok {
+		t.Fatal("newly hosted object claimed a complete (empty) delta from a journal that never saw it")
+	}
+	// Hosted-since-genesis objects are unaffected: a caught-up peer still
+	// gets a complete empty delta.
+	if recs, ok := j2.LogSince("x", ver(1, 400)); !ok || len(recs) != 0 {
+		t.Fatalf("caught-up peer on a hosted object: recs=%v ok=%v", recs, ok)
+	}
+	// Once y's writes are journaled and snapshots under the new scope
+	// rotate past retention, y's recent ranges become servable.
+	for i := 1; i <= 400; i++ {
+		j2.Apply("y", model.Value(i), ver(2, uint64(i)))
+		if i%10 == 0 {
+			if err := j2.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	recs, ok := j2.LogSince("y", ver(2, 395))
+	if !ok || len(recs) != 5 {
+		t.Fatalf("post-rotation recent range: recs=%d ok=%v", len(recs), ok)
+	}
+}
+
+// TestScopedSnapshotRecordRoundTrip pins the tagSnapshotScoped codec:
+// the universe survives the frame round trip, including when the state
+// carries sharded decisions (the trailer the universe parses after) and
+// when the universe is empty (a node hosting no shards).
+func TestScopedSnapshotRecordRoundTrip(t *testing.T) {
+	vv := model.Version{Date: v(3, 2), Ctr: 9, Writer: txn(5)}
+	st := NewState()
+	st.MaxID = v(9, 1)
+	st.Copies["x"] = model.Copy{Val: 4, Ver: vv}
+	st.Decides[txn(2)] = DecideRec{Commit: true, Pending: []model.ProcID{2, 3},
+		Shards: []model.ShardID{1, 2}}
+	for _, universe := range [][]model.ObjectID{{"a", "x"}, {}} {
+		frame := appendFrame(nil, &record{Snapshot: st, SnapScoped: true, SnapUniverse: universe})
+		var back record
+		_, torn, err := walkFrames(frame, func(payload []byte) error {
+			if !parseRecord(payload, &back) {
+				t.Fatal("scoped snapshot failed to parse")
+			}
+			return nil
+		})
+		if err != nil || torn {
+			t.Fatalf("walk err=%v torn=%v", err, torn)
+		}
+		if !back.SnapScoped || len(back.SnapUniverse) != len(universe) {
+			t.Fatalf("universe %v came back as scoped=%v %v", universe, back.SnapScoped, back.SnapUniverse)
+		}
+		a, b := NewState(), NewState()
+		a.apply(&record{Snapshot: st})
+		b.apply(&back)
+		if !stateEqual(a, b) {
+			t.Fatalf("scoped snapshot state diverged:\n%+v\n%+v", a, b)
+		}
+		if back.Snapshot.Decides[txn(2)].Shards == nil {
+			t.Fatal("sharded-decision trailer lost under the scoped tag")
+		}
 	}
 }

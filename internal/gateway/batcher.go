@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/virtualpartitions/vp/internal/metrics"
@@ -28,6 +29,13 @@ import (
 // Entries the open round refuses (conflicting blind writes, see
 // wire.Batch.Add) wait for the NEXT round, preserving the
 // serial-equivalence argument.
+//
+// Sharded deployments run one conveyor LANE per shard inside the same
+// goroutine: every round is single-shard (so the backend transaction
+// never needs cross-shard two-phase commit), each lane keeps its own
+// open round, in-flight count and window deadline, and one timer is
+// armed to the earliest lane deadline. The unsharded gateway degenerates
+// to a single model.NoShard lane with byte-identical behavior.
 type batcher struct {
 	window  time.Duration
 	maxSize int
@@ -49,6 +57,7 @@ type batchReq struct {
 	entry wire.BatchEntry
 	ctx   model.TraceCtx // trace context of the constituent (zero if unsampled)
 	node  model.ProcID   // session-preferred node of the FIRST constituent routes the round
+	shard model.ShardID  // conveyor lane (NoShard when unsharded)
 	reply chan batchReply
 }
 
@@ -82,9 +91,10 @@ func newBatcher(window time.Duration, maxSize int, backend submitter, tags *tagS
 
 // submit hands one batchable logical write to the batcher and waits for
 // its individual result out of the shared round, reporting which node
-// served it.
-func (b *batcher) submit(e wire.BatchEntry, ctx model.TraceCtx, node model.ProcID) (wire.ClientResult, model.ProcID, error) {
-	req := batchReq{entry: e, ctx: ctx, node: node, reply: make(chan batchReply, 1)}
+// served it. shard selects the conveyor lane the write coalesces in
+// (model.NoShard when the deployment is unsharded).
+func (b *batcher) submit(e wire.BatchEntry, ctx model.TraceCtx, node model.ProcID, shard model.ShardID) (wire.ClientResult, model.ProcID, error) {
+	req := batchReq{entry: e, ctx: ctx, node: node, shard: shard, reply: make(chan batchReply, 1)}
 	select {
 	case b.reqCh <- req:
 	case <-b.stopCh:
@@ -103,30 +113,65 @@ type round struct {
 	batch   *wire.Batch
 	replies []chan batchReply
 	node    model.ProcID
+	shard   model.ShardID
 	// ctx is the trace context of the first SAMPLED constituent; the
 	// round's shared backend transaction rides under it as a
 	// gw-batch-round child span.
 	ctx model.TraceCtx
 }
 
-// run is the batcher's single goroutine: accumulate into the open
-// round, flush conveyor-style (immediately while idle, on completion of
-// the in-flight round otherwise, on window expiry or size at the
-// latest); deferred (refused) entries seed the next round in arrival
-// order.
+// lane is one shard's conveyor state: its open round, what that round
+// refused, how many of its rounds are in flight, and when the open
+// round's coalescing window expires.
+type lane struct {
+	cur      *round
+	deferred []batchReq
+	inFlight int
+	deadline time.Time // meaningful only while cur != nil
+}
+
+// run is the batcher's single goroutine: accumulate into each lane's
+// open round, flush conveyor-style (immediately while the lane is idle,
+// on completion of the lane's in-flight round otherwise, on window
+// expiry or size at the latest); deferred (refused) entries seed the
+// lane's next round in arrival order. Lanes are independent: shard A's
+// in-flight round never delays shard B's flush.
 func (b *batcher) run() {
 	defer close(b.doneCh)
 	var (
-		cur       *round
-		deferred  []batchReq
-		inFlight  int
-		flushDone = make(chan struct{})
+		lanes     = make(map[model.ShardID]*lane)
+		flushDone = make(chan model.ShardID)
 		timer     = time.NewTimer(time.Hour)
 	)
 	timer.Stop()
 
+	laneOf := func(s model.ShardID) *lane {
+		ln := lanes[s]
+		if ln == nil {
+			ln = &lane{}
+			lanes[s] = ln
+		}
+		return ln
+	}
+	// rearm points the shared timer at the earliest open-round deadline
+	// across all lanes (a stale tick from a prior Reset only triggers a
+	// harmless deadline scan).
+	rearm := func() {
+		var earliest time.Time
+		for _, ln := range lanes {
+			if ln.cur != nil && (earliest.IsZero() || ln.deadline.Before(earliest)) {
+				earliest = ln.deadline
+			}
+		}
+		if earliest.IsZero() {
+			timer.Stop()
+		} else {
+			timer.Reset(time.Until(earliest))
+		}
+	}
+
 	start := func(req batchReq) *round {
-		r := &round{batch: wire.NewBatch(b.tags.next()), node: req.node, ctx: req.ctx}
+		r := &round{batch: wire.NewBatch(b.tags.next()), node: req.node, shard: req.shard, ctx: req.ctx}
 		if !r.batch.Add(req.entry) { // first entry always fits an empty round
 			panic("gateway: unbatchable entry reached the batcher")
 		}
@@ -143,29 +188,28 @@ func (b *batcher) run() {
 		r.replies = append(r.replies, req.reply)
 		return true
 	}
-	flush := func() {
-		r := cur
-		cur = nil
-		timer.Stop()
-		inFlight++
+	flush := func(s model.ShardID, ln *lane) {
+		r := ln.cur
+		ln.cur = nil
+		ln.inFlight++
 		go func() {
 			b.flush(r)
 			select {
-			case flushDone <- struct{}{}:
+			case flushDone <- s:
 			case <-b.stopCh:
 			}
 		}()
-		// Seed the next round with what the flushed one refused; entries
-		// it refuses in turn keep waiting (the new round's window timer
-		// guarantees another flush).
-		q := deferred
-		deferred = nil
+		// Seed the lane's next round with what the flushed one refused;
+		// entries it refuses in turn keep waiting (the new round's window
+		// deadline guarantees another flush).
+		q := ln.deferred
+		ln.deferred = nil
 		for _, req := range q {
-			if cur == nil {
-				cur = start(req)
-				timer.Reset(b.window)
-			} else if !add(cur, req) {
-				deferred = append(deferred, req)
+			if ln.cur == nil {
+				ln.cur = start(req)
+				ln.deadline = time.Now().Add(b.window)
+			} else if !add(ln.cur, req) {
+				ln.deferred = append(ln.deferred, req)
 			}
 		}
 	}
@@ -173,36 +217,46 @@ func (b *batcher) run() {
 	for {
 		select {
 		case <-b.stopCh:
-			if cur != nil {
-				go b.flush(cur)
+			for _, ln := range lanes {
+				if ln.cur != nil {
+					go b.flush(ln.cur)
+				}
 			}
 			return
-		case <-flushDone:
-			inFlight--
-			if cur != nil && inFlight == 0 {
-				flush() // conveyor: the next round rides out immediately
+		case s := <-flushDone:
+			ln := laneOf(s)
+			ln.inFlight--
+			if ln.cur != nil && ln.inFlight == 0 {
+				flush(s, ln) // conveyor: the lane's next round rides out immediately
 			}
+			rearm()
 		case <-timer.C:
-			if cur != nil {
-				flush()
-			}
-		case req := <-b.reqCh:
-			switch {
-			case cur == nil:
-				cur = start(req)
-				if inFlight == 0 {
-					flush() // idle: no batching delay
-				} else {
-					timer.Reset(b.window)
+			now := time.Now()
+			for s, ln := range lanes {
+				if ln.cur != nil && !ln.deadline.After(now) {
+					flush(s, ln)
 				}
-			case add(cur, req):
-				if cur.batch.Len() >= b.maxSize {
-					flush()
+			}
+			rearm()
+		case req := <-b.reqCh:
+			ln := laneOf(req.shard)
+			switch {
+			case ln.cur == nil:
+				ln.cur = start(req)
+				if ln.inFlight == 0 {
+					flush(req.shard, ln) // idle lane: no batching delay
+				} else {
+					ln.deadline = time.Now().Add(b.window)
+				}
+			case add(ln.cur, req):
+				if ln.cur.batch.Len() >= b.maxSize {
+					flush(req.shard, ln)
 				}
 			default:
-				// Conflicts with the open round; ride the next one.
-				deferred = append(deferred, req)
+				// Conflicts with the lane's open round; ride the next one.
+				ln.deferred = append(ln.deferred, req)
 			}
+			rearm()
 		}
 	}
 }
@@ -215,6 +269,12 @@ func (b *batcher) flush(r *round) {
 	b.reg.Inc(metrics.CGwBatchedWrites, int64(n))
 	b.reg.Inc(metrics.CGwWriteTxns, 1) // the round is ONE backend 2PC pass
 	b.reg.Observe(metrics.SGwBatchSize, float64(n))
+	if r.shard != model.NoShard {
+		// Per-lane accounting lets the load generator report per-shard
+		// round counts straight off /gw/stats.
+		b.reg.Inc(metrics.CGwBatchRounds+fmt.Sprintf(".s%d", r.shard), 1)
+		b.reg.Inc(metrics.CGwBatchedWrites+fmt.Sprintf(".s%d", r.shard), int64(n))
+	}
 	if b.tr.Enabled() {
 		b.tr.Record(trace.Event{At: b.clock(), Kind: trace.EvGwBatch, Aux: int64(n)})
 	}

@@ -12,6 +12,7 @@ import (
 	"github.com/virtualpartitions/vp/internal/debughttp"
 	"github.com/virtualpartitions/vp/internal/metrics"
 	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/shard"
 	"github.com/virtualpartitions/vp/internal/trace"
 	"github.com/virtualpartitions/vp/internal/wire"
 )
@@ -49,6 +50,17 @@ type Config struct {
 
 	// SessionMarks bounds per-session version marks (default 32).
 	SessionMarks int
+
+	// Shards, when > 1, enables shard-aware routing: submissions prefer
+	// a node that hosts the target object's shard, and batchable writes
+	// coalesce in per-shard conveyor lanes so every group-commit round
+	// is single-shard (no cross-shard 2PC on the batched path).
+	// ShardSeed and ShardReplicas must match the cluster's own -shards
+	// configuration — the placement map is a pure function of them plus
+	// the node set, so the gateway derives it locally.
+	Shards        int
+	ShardSeed     int64
+	ShardReplicas int
 
 	// Codec selects the wire encoding the pool's node connections use
 	// (default wire.CodecBinary; nodes auto-detect per frame either way).
@@ -120,10 +132,40 @@ type Gateway struct {
 	tags    *tagSource
 	spans   *spanSource
 	trCtr   atomic.Uint64 // request counter for 1-in-N trace sampling
+	smap    *shard.Map    // nil when unsharded
+	shardRR atomic.Uint64 // rotation cursor over a shard's members
 	reg     *metrics.Registry
 	tr      *trace.Recorder
 	start   time.Time
 	mux     *http.ServeMux
+}
+
+// shardOf maps an object to its shard under the gateway's copy of the
+// placement map; NoShard when the deployment is unsharded.
+func (g *Gateway) shardOf(obj model.ObjectID) model.ShardID {
+	if g.smap == nil {
+		return model.NoShard
+	}
+	return g.smap.ShardOf(obj)
+}
+
+// routeShard picks a submission's preferred node: the session's own
+// node when it hosts the shard (affinity preserved), otherwise one of
+// the shard's members by rotation. Routing to a member avoids a
+// guaranteed first-attempt denial from a node that holds no copy of
+// the shard.
+func (g *Gateway) routeShard(s model.ShardID, sess model.ProcID) model.ProcID {
+	if g.smap == nil || s == model.NoShard {
+		return sess
+	}
+	if g.smap.Hosts(sess, s) {
+		return sess
+	}
+	mem := g.smap.MemberList(s)
+	if len(mem) == 0 {
+		return sess
+	}
+	return mem[int(g.shardRR.Add(1))%len(mem)]
 }
 
 // mintRoot returns a fresh root trace context when this request is
@@ -166,6 +208,19 @@ func newWithBackend(cfg Config, backend submitter) *Gateway {
 		start:   time.Now(),
 	}
 	g.adm = newAdmission(cfg.MaxInflight, cfg.MaxQueue, g.reg, g.tr, g.clock)
+	if cfg.Shards > 1 && len(cfg.Cluster) > 0 {
+		procs := make([]model.ProcID, 0, len(cfg.Cluster))
+		for id := range cfg.Cluster {
+			procs = append(procs, id)
+		}
+		m, err := shard.NewMap(shard.Config{
+			Shards: cfg.Shards, Replicas: cfg.ShardReplicas, Seed: cfg.ShardSeed, Procs: procs,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("gateway: shard map: %v", err)) // unreachable: inputs validated above
+		}
+		g.smap = m
+	}
 	if backend != nil {
 		g.batch = newBatcher(cfg.BatchWindow, cfg.BatchMax, backend, g.tags, g.spans,
 			cfg.Deadline, g.reg, g.tr, g.clock)
@@ -341,14 +396,16 @@ func (g *Gateway) handleTxn(w http.ResponseWriter, r *http.Request) {
 	}
 	rctx := g.mintRoot()
 	beganClk := g.clock()
+	sh := g.shardOf(ops[0].Obj)
+	preferred := g.routeShard(sh, sess.Node)
 	if g.cfg.Batching && g.batch != nil && wire.Batchable(ops) {
-		res, servedBy, err = g.batch.submit(wire.BatchEntry{Tag: g.tags.next(), Ops: ops}, rctx, sess.Node)
+		res, servedBy, err = g.batch.submit(wire.BatchEntry{Tag: g.tags.next(), Ops: ops}, rctx, preferred, sh)
 	} else {
 		txn := wire.ClientTxn{Tag: g.tags.next(), Ops: ops}
 		if hasWrite {
 			g.reg.Inc(metrics.CGwWriteTxns, 1)
 		}
-		res, servedBy, err = g.backend.Submit(txn, rctx, sess.Node, began.Add(g.cfg.Deadline))
+		res, servedBy, err = g.backend.Submit(txn, rctx, preferred, began.Add(g.cfg.Deadline))
 	}
 	if !rctx.IsZero() {
 		// The gw-request root span covers admission to backend result,
@@ -399,7 +456,7 @@ func (g *Gateway) handleRead(w http.ResponseWriter, r *http.Request) {
 	}
 
 	deadline := began.Add(g.cfg.Deadline)
-	preferred := sess.Node
+	preferred := g.routeShard(g.shardOf(obj), sess.Node)
 	var res wire.ClientResult
 	var servedBy model.ProcID
 	rctx := g.mintRoot()
@@ -478,6 +535,7 @@ type Stats struct {
 	Latency  metrics.Summary  `json:"latency_ms"`
 	Batch    metrics.Summary  `json:"batch_size"`
 	Inflight int              `json:"inflight"`
+	Shards   int              `json:"shards,omitempty"`
 	Pool     []poolStatus     `json:"pool,omitempty"`
 	UptimeMS int64            `json:"uptime_ms"`
 }
@@ -489,6 +547,9 @@ func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Batch:    g.reg.Samples(metrics.SGwBatchSize),
 		Inflight: g.adm.inflight(),
 		UptimeMS: time.Since(g.start).Milliseconds(),
+	}
+	if g.smap != nil {
+		st.Shards = g.smap.NumShards()
 	}
 	if g.pool != nil {
 		st.Pool = g.pool.status()

@@ -212,6 +212,76 @@ func TestBatchingCoalescesConcurrentIncrements(t *testing.T) {
 	}
 }
 
+// TestShardLanesFlushIndependently pins the per-shard conveyor
+// property: with one shard's round stuck in flight at the backend, a
+// write to a DIFFERENT shard flushes immediately (idle lane), instead
+// of waiting out the stuck round or the coalescing window.
+func TestShardLanesFlushIndependently(t *testing.T) {
+	const window = 500 * time.Millisecond
+	blockA := make(chan struct{})
+	var objA, objB model.ObjectID
+
+	backend := &fakeBackend{fn: func(txn wire.ClientTxn, _ model.ProcID) (wire.ClientResult, model.ProcID, error) {
+		var obj model.ObjectID
+		var val model.Value
+		for _, op := range txn.Ops {
+			if op.Kind == wire.OpWrite {
+				obj, val = op.Obj, model.Value(op.Const)
+				break
+			}
+		}
+		if obj == objA {
+			<-blockA
+		}
+		return wire.ClientResult{Tag: txn.Tag, Committed: true,
+			Writes: []wire.ObjVal{{Obj: obj, Val: val, Ver: ver(1, 1, 1)}}}, 1, nil
+	}}
+	g := newWithBackend(Config{
+		Cluster:  map[model.ProcID]string{1: "", 2: "", 3: ""},
+		Batching: true, BatchWindow: window, Deadline: 10 * time.Second,
+		Shards: 4, ShardSeed: 7,
+	}, backend)
+	defer g.Close()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	// Two objects on different shards under the gateway's own map.
+	objA = "k0"
+	for i := 1; ; i++ {
+		o := model.ObjectID(fmt.Sprintf("k%d", i))
+		if g.shardOf(o) != g.shardOf(objA) {
+			objB = o
+			break
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // shard A's round flushes immediately (idle) and blocks in the backend
+		defer wg.Done()
+		resp, tr := doJSON(t, srv.Client(), "POST", srv.URL+"/txn", "",
+			TxnRequest{Ops: []TxnOp{{Kind: "write", Obj: string(objA), Value: 1}}})
+		if resp.StatusCode != http.StatusOK || !tr.Committed {
+			t.Errorf("objA write: status %d %+v", resp.StatusCode, tr)
+		}
+	}()
+	time.Sleep(50 * time.Millisecond) // let A's round reach the backend
+
+	startB := time.Now()
+	resp, tr := doJSON(t, srv.Client(), "POST", srv.URL+"/txn", "",
+		TxnRequest{Ops: []TxnOp{{Kind: "write", Obj: string(objB), Value: 7}}})
+	tookB := time.Since(startB)
+	if resp.StatusCode != http.StatusOK || !tr.Committed {
+		t.Fatalf("objB write: status %d %+v", resp.StatusCode, tr)
+	}
+	if tookB >= window/2 {
+		t.Errorf("objB write took %v with objA's round in flight — lane not independent (window %v)", tookB, window)
+	}
+
+	close(blockA)
+	wg.Wait()
+}
+
 // --- live cluster tests ---
 
 func freePorts(t *testing.T, n int) []string {

@@ -54,6 +54,23 @@ func (v VPID) String() string { return fmt.Sprintf("vp(%d,%s)", v.N, v.P) }
 // ObjectID names a logical data object (an element of the set L in §3).
 type ObjectID string
 
+// ShardID identifies one shard of a sharded namespace (see
+// internal/shard). Shards are numbered 1..K; 0 is reserved for the
+// unsharded deployment, where a single virtual partition governs the
+// whole cluster. Keeping 0 as "no shard" lets every shard-tagged
+// structure degenerate byte-identically to its unsharded form.
+type ShardID int
+
+// NoShard is the zero ShardID, used in unsharded deployments.
+const NoShard ShardID = 0
+
+func (s ShardID) String() string {
+	if s == NoShard {
+		return "-"
+	}
+	return fmt.Sprintf("S%d", int(s))
+}
+
 // TxnID identifies a transaction. IDs are totally ordered by (Start, P,
 // Seq); the order doubles as the age order used by the wait-die deadlock
 // avoidance scheme (an id that is Less is "older").

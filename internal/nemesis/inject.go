@@ -7,6 +7,7 @@ import (
 
 	"github.com/virtualpartitions/vp/internal/model"
 	"github.com/virtualpartitions/vp/internal/net"
+	"github.com/virtualpartitions/vp/internal/wire"
 )
 
 // Injector applies a schedule's network steps to live engines: it
@@ -22,6 +23,9 @@ type Injector struct {
 	// group maps each processor to its partition group; empty = no
 	// partition. Cross-group (or unmapped) pairs cannot communicate.
 	group map[model.ProcID]int
+	// shardGroup holds per-shard partitions: for each faulted shard, the
+	// processor → group map that applies to that shard's frames only.
+	shardGroup map[model.ShardID]map[model.ProcID]int
 	// isolated, when not NoProc, cuts exactly that processor off from
 	// everyone else (isolate-one).
 	isolated model.ProcID
@@ -35,18 +39,53 @@ type Injector struct {
 // (drop-prob, duplicate) draw from the given seed.
 func NewInjector(seed int64) *Injector {
 	return &Injector{
-		group:    make(map[model.ProcID]int),
-		isolated: model.NoProc,
-		rng:      rand.New(rand.NewSource(seed)),
+		group:      make(map[model.ProcID]int),
+		shardGroup: make(map[model.ShardID]map[model.ProcID]int),
+		isolated:   model.NoProc,
+		rng:        rand.New(rand.NewSource(seed)),
 	}
 }
 
-var _ net.Interceptor = (*Injector)(nil)
+var _ net.MsgInterceptor = (*Injector)(nil)
 
 // Outbound implements net.Interceptor.
 func (in *Injector) Outbound(from, to model.ProcID, kind string) net.Verdict {
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	return in.verdictLocked(from, to)
+}
+
+// OutboundMsg implements net.MsgInterceptor: shard-scoped partitions
+// need the frame itself — a wire.ShardMsg's kind string does not name
+// the shard. Epoch-cache probes (ShardEpochReq/Resp) name their shard
+// too and are subject to the same cut: a partitioned shard's epoch is
+// as unreachable as its data.
+func (in *Injector) OutboundMsg(from, to model.ProcID, m wire.Message) net.Verdict {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(in.shardGroup) > 0 {
+		s := model.NoShard
+		switch msg := m.(type) {
+		case wire.ShardMsg:
+			s = msg.Shard
+		case wire.ShardEpochReq:
+			s = msg.Shard
+		case wire.ShardEpochResp:
+			s = msg.Shard
+		}
+		if g := in.shardGroup[s]; g != nil {
+			ga, oka := g[from]
+			gb, okb := g[to]
+			if !oka || !okb || ga != gb {
+				return net.Verdict{Drop: true}
+			}
+		}
+	}
+	return in.verdictLocked(from, to)
+}
+
+// verdictLocked applies the shard-agnostic fault state; in.mu held.
+func (in *Injector) verdictLocked(from, to model.ProcID) net.Verdict {
 	if in.isolated != model.NoProc && (from == in.isolated) != (to == in.isolated) {
 		return net.Verdict{Drop: true}
 	}
@@ -83,10 +122,19 @@ func (in *Injector) Apply(s Step) bool {
 				in.group[p] = gi + 1
 			}
 		}
+	case StepShardPartition:
+		g := make(map[model.ProcID]int)
+		for gi, grp := range s.Groups {
+			for _, p := range grp {
+				g[p] = gi + 1
+			}
+		}
+		in.shardGroup[s.Shard] = g
 	case StepIsolateOne:
 		in.isolated = s.Victim
 	case StepHeal:
 		in.group = make(map[model.ProcID]int)
+		in.shardGroup = make(map[model.ShardID]map[model.ProcID]int)
 		in.isolated = model.NoProc
 		in.dropProb, in.delay, in.dupProb = 0, 0, 0
 	case StepDropProb:

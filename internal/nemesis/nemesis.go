@@ -60,6 +60,14 @@ const (
 	// StepIsolateOne partitions Step.Victim away from everyone else
 	// while the rest stay connected (the paper's Example 2 shape).
 	StepIsolateOne StepKind = "isolate-one"
+	// StepShardPartition splits only Step.Shard's traffic into
+	// Step.Groups: cross-group messages carrying that shard's frames are
+	// lost while every other shard's traffic flows normally. This is the
+	// sharded deployment's signature fault — one shard's weighted
+	// majority splits, the rest of the cluster must not notice. Only the
+	// Injector realizes it (it needs to inspect frames); ApplyToSim
+	// ignores it.
+	StepShardPartition StepKind = "shard-partition"
 )
 
 // Step is one scheduled fault action.
@@ -78,10 +86,22 @@ type Step struct {
 	Prob float64
 	// Delay is the added message delay for StepDelay.
 	Delay time.Duration
+	// Shard scopes StepShardPartition to one shard's traffic.
+	Shard model.ShardID
 }
 
 func (s Step) String() string {
 	switch s.Kind {
+	case StepShardPartition:
+		parts := make([]string, len(s.Groups))
+		for i, g := range s.Groups {
+			ids := make([]string, len(g))
+			for j, p := range g {
+				ids[j] = fmt.Sprint(p)
+			}
+			parts[i] = "{" + strings.Join(ids, ",") + "}"
+		}
+		return fmt.Sprintf("%8s %-12s shard %v %s", s.At.Round(time.Millisecond), s.Kind, s.Shard, strings.Join(parts, " "))
 	case StepPartition:
 		parts := make([]string, len(s.Groups))
 		for i, g := range s.Groups {
@@ -256,6 +276,26 @@ func Generate(seed int64, opts Options) Schedule {
 
 	sort.SliceStable(steps, func(i, j int) bool { return steps[i].At < steps[j].At })
 	return Schedule{Steps: steps, End: at}
+}
+
+// GenerateShard builds the deterministic single-shard fault schedule of
+// the shard campaign cell: within [start, start+window], partition the
+// given shard's traffic into groups at start + window/4 and heal at
+// start + 3·window/4. The cluster-wide network stays healthy throughout,
+// so any stall observed on other shards is a protocol bug, not a fault.
+func GenerateShard(shard model.ShardID, groups [][]model.ProcID, start, window time.Duration) Schedule {
+	gs := make([][]model.ProcID, len(groups))
+	for i, g := range groups {
+		gs[i] = sortedCopy(g)
+	}
+	end := start + 3*window/4
+	return Schedule{
+		Steps: []Step{
+			{At: start + window/4, Kind: StepShardPartition, Shard: shard, Groups: gs},
+			{At: end, Kind: StepHeal},
+		},
+		End: end,
+	}
 }
 
 // splitGroups splits procs into two or three non-empty groups, shuffled.

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/virtualpartitions/vp/internal/model"
+	"github.com/virtualpartitions/vp/internal/wire"
 )
 
 // Verdict is an Interceptor's decision about one outbound message. The
@@ -33,4 +34,25 @@ type Verdict struct {
 // Outbound from multiple goroutines.
 type Interceptor interface {
 	Outbound(from, to model.ProcID, kind string) Verdict
+}
+
+// MsgInterceptor is an optional Interceptor extension consulted with the
+// decoded message instead of only its kind string. Shard-selective
+// faults need it: a sharded deployment's traffic is wire.ShardMsg frames
+// whose kind string ("shard:probe") does not say WHICH shard, so a
+// nemesis that partitions one shard's majority while leaving the others
+// untouched must look at the frame itself. Engines prefer OutboundMsg
+// when the installed interceptor implements it; the same concurrency
+// contract applies.
+type MsgInterceptor interface {
+	Interceptor
+	OutboundMsg(from, to model.ProcID, m wire.Message) Verdict
+}
+
+// intercept consults ic through the richest interface it implements.
+func intercept(ic Interceptor, from, to model.ProcID, m wire.Message, kind string) Verdict {
+	if mi, ok := ic.(MsgInterceptor); ok {
+		return mi.OutboundMsg(from, to, m)
+	}
+	return ic.Outbound(from, to, kind)
 }

@@ -215,7 +215,7 @@ func (n *realNode) SendCtx(to model.ProcID, m wire.Message, ctx model.TraceCtx) 
 	}
 	lat := c.Topo.Latency(n.id, to)
 	if ic := c.Icpt; ic != nil {
-		v := ic.Outbound(n.id, to, kind)
+		v := intercept(ic, n.id, to, m, kind)
 		if v.Drop {
 			n.drop(to, kind)
 			return

@@ -622,7 +622,7 @@ func (n *TCPNode) SendCtx(to model.ProcID, m wire.Message, ctx model.TraceCtx) {
 	}
 	env := wire.Envelope{From: n.id, To: to, Msg: m, Ctx: ctx}
 	if ic := n.icpt; ic != nil {
-		v := ic.Outbound(n.id, to, kind)
+		v := intercept(ic, n.id, to, m, kind)
 		if v.Drop {
 			n.drop(to, kind)
 			return

@@ -20,8 +20,11 @@ type Base struct {
 	Cfg   Config
 	Cat   *model.Catalog
 	Strat Strategy
-	Store *store.Store
-	Locks *locks.Manager
+	// sharded is Strat when it implements ShardedStrategy (the
+	// multi-shard coordinator of internal/shard); nil otherwise.
+	sharded ShardedStrategy
+	Store   *store.Store
+	Locks   *locks.Manager
 	// Hist, when non-nil, receives a record per finished transaction for
 	// the one-copy serializability checker.
 	Hist *onecopy.History
@@ -104,7 +107,7 @@ type leaseSweep struct{}
 // NewBase constructs the shared node machinery for processor id.
 func NewBase(id model.ProcID, cfg Config, cat *model.Catalog, strat Strategy, hist *onecopy.History) *Base {
 	cfg = cfg.WithDefaults()
-	return &Base{
+	b := &Base{
 		ID:       id,
 		Cfg:      cfg,
 		Cat:      cat,
@@ -117,6 +120,8 @@ func NewBase(id model.ProcID, cfg Config, cat *model.Catalog, strat Strategy, hi
 		activity: make(map[model.TxnID]int64),
 		active:   make(map[model.TxnID]*txn),
 	}
+	b.sharded, _ = strat.(ShardedStrategy)
+	return b
 }
 
 // InitBase arms the lock-lease sweeper and resumes any journaled commit
@@ -129,11 +134,18 @@ func (b *Base) InitBase(rt net.Runtime) {
 			id:          id,
 			phase:       phaseDeciding,
 			commit:      rec.Commit,
-			pendingAcks: model.NewProcSet(rec.Pending...),
+			pendingAcks: newPartSet(),
+		}
+		for i, p := range rec.Pending {
+			k := partKey{P: p}
+			if i < len(rec.Shards) {
+				k.S = rec.Shards[i]
+			}
+			t.pendingAcks.Add(k)
 		}
 		b.active[id] = t
-		for _, p := range t.pendingAcks.Sorted() {
-			rt.Send(p, wire.Decide{Txn: id, Commit: rec.Commit})
+		for _, k := range t.pendingAcks.Sorted() {
+			b.sendPartPlain(rt, k, wire.Decide{Txn: id, Commit: rec.Commit})
 		}
 		t.retryTimer = rt.SetTimer(b.Cfg.DecideRetry, decideRetry{txn: id})
 	}
@@ -183,17 +195,17 @@ func (b *Base) HandleMessage(rt net.Runtime, from model.ProcID, m wire.Message) 
 	case wire.LockReq:
 		b.handleLockReq(rt, from, msg)
 	case wire.LockResp:
-		b.handleLockResp(rt, from, msg)
+		b.handleLockResp(rt, from, model.NoShard, msg)
 	case wire.Prepare:
 		b.handlePrepare(rt, from, msg)
 	case wire.Vote:
-		b.handleVote(rt, from, msg)
+		b.handleVote(rt, from, model.NoShard, msg)
 	case wire.Decide:
 		b.handleDecide(rt, from, msg)
 	case wire.DecideAck:
-		b.handleDecideAck(rt, from, msg)
+		b.handleDecideAck(rt, from, model.NoShard, msg)
 	case wire.DecideQuery:
-		b.handleDecideQuery(rt, from, msg)
+		b.handleDecideQuery(rt, from, model.NoShard, msg)
 	case wire.Release:
 		b.handleRelease(rt, from, msg)
 	default:

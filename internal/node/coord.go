@@ -30,9 +30,15 @@ type txn struct {
 	id    model.TxnID
 	tag   uint64
 	epoch Epoch
-	ops   []wire.Op
-	opIdx int
-	phase txnPhase
+	// epochs, in a sharded deployment, holds the epoch pinned per
+	// touched shard (rule R4 applied shard by shard) and shards lists
+	// them in ascending order for deterministic iteration. Both are nil
+	// when unsharded; epoch alone governs the transaction then.
+	epochs map[model.ShardID]Epoch
+	shards []model.ShardID
+	ops    []wire.Op
+	opIdx  int
+	phase  txnPhase
 
 	regs      map[model.ObjectID]model.Value   // register file: last read value
 	readVers  map[model.ObjectID]model.Version // version observed per read
@@ -40,29 +46,32 @@ type txn struct {
 	writeVers map[model.ObjectID]model.Version // version assigned per write
 	maxSeen   map[model.ObjectID]model.Version // max version among locked copies
 
-	// current operation state
+	// current operation state. An access plan targets one object, and an
+	// object lives in exactly one shard, so got stays processor-keyed;
+	// planShard names the shard the plan runs against (zero unsharded).
 	plan      Plan
 	planObj   model.ObjectID
+	planShard model.ShardID
 	planMode  model.LockMode
 	got       map[model.ProcID]wire.LockResp
 	opTimer   net.TimerID
 	escalated bool
 
-	// participants
-	sParts     model.ProcSet                     // procs granted any shared lock
+	// participants, keyed (processor, shard); see shard.go
+	sParts     partSet                           // participants granted any shared lock
 	writeParts map[model.ObjectID][]model.ProcID // granted write targets per object
 	missedBy   map[model.ObjectID][]model.ProcID // write targets that never granted
 
 	// two-phase commit
-	voteFrom    model.ProcSet
-	votesNeeded model.ProcSet
+	voteFrom    partSet
+	votesNeeded partSet
 	voteTimer   net.TimerID
 	commit      bool
-	pendingAcks model.ProcSet
+	pendingAcks partSet
 	retryTimer  net.TimerID
 	// prepare payload per participant, retained so a weak-R4 migration
 	// can re-issue it under the new epoch
-	prepares map[model.ProcID][]wire.ObjWrite
+	prepares map[partKey][]wire.ObjWrite
 
 	// tracing: ctx is the transaction's root span (zero when untraced);
 	// the phase contexts parent outbound fan-outs so participant spans
@@ -94,18 +103,44 @@ func (b *Base) startTxn(rt net.Runtime, ct wire.ClientTxn) {
 		deny(err.Error())
 		return
 	}
+	var (
+		epochs   map[model.ShardID]Epoch
+		shardIDs []model.ShardID
+	)
+	if b.sharded != nil {
+		// Pin one epoch per touched shard up-front (rule R4 per shard):
+		// a transaction whose footprint includes an inaccessible shard is
+		// denied before it takes any locks anywhere.
+		epochs = make(map[model.ShardID]Epoch)
+		for _, op := range ct.Ops {
+			s := b.sharded.ShardOf(op.Obj)
+			if _, ok := epochs[s]; ok {
+				continue
+			}
+			e, serr := b.sharded.ShardEpoch(rt, s)
+			if serr != nil {
+				deny(fmt.Sprintf("shard %v inaccessible: %v", s, serr))
+				return
+			}
+			epochs[s] = e
+			shardIDs = append(shardIDs, s)
+		}
+		sortShardIDs(shardIDs)
+	}
 	b.seq++
 	t := &txn{
 		id:         model.TxnID{Start: int64(rt.Now()), P: b.ID, Seq: b.seq},
 		tag:        ct.Tag,
 		epoch:      epoch,
+		epochs:     epochs,
+		shards:     shardIDs,
 		ops:        ct.Ops,
 		regs:       make(map[model.ObjectID]model.Value),
 		readVers:   make(map[model.ObjectID]model.Version),
 		writes:     make(map[model.ObjectID]model.Value),
 		writeVers:  make(map[model.ObjectID]model.Version),
 		maxSeen:    make(map[model.ObjectID]model.Version),
-		sParts:     model.NewProcSet(),
+		sParts:     newPartSet(),
 		writeParts: make(map[model.ObjectID][]model.ProcID),
 		missedBy:   make(map[model.ObjectID][]model.ProcID),
 	}
@@ -188,33 +223,35 @@ func (b *Base) step(rt net.Runtime, t *txn) {
 	}
 	t.plan = plan
 	t.planObj = op.Obj
+	t.planShard = b.shardOf(op.Obj)
 	t.planMode = mode
 	t.got = make(map[model.ProcID]wire.LockResp)
 	t.escalated = false
 	if !t.ctx.IsZero() {
 		t.opCtx, t.opStart = t.ctx.Child(b.NextSpan()), rt.Now()
 	}
+	ep := t.epochFor(t.planShard)
 	for _, p := range plan.Targets {
-		rt.SendCtx(p, wire.LockReq{
+		b.sendPart(rt, partKey{P: p, S: t.planShard}, wire.LockReq{
 			Txn: t.id, Obj: op.Obj, Mode: mode,
-			Epoch: t.epoch.VP, HasEpoch: t.epoch.Has,
+			Epoch: ep.VP, HasEpoch: ep.Has,
 		}, t.opCtx)
 	}
 	t.opTimer = rt.SetTimer(b.Cfg.LockTimeout, opTimeout{txn: t.id, op: t.opIdx})
 }
 
-func (b *Base) handleLockResp(rt net.Runtime, from model.ProcID, resp wire.LockResp) {
+func (b *Base) handleLockResp(rt net.Runtime, from model.ProcID, s model.ShardID, resp wire.LockResp) {
 	t, ok := b.active[resp.Txn]
-	if !ok || t.phase != phaseRunning || resp.Obj != t.planObj {
+	if !ok || t.phase != phaseRunning || resp.Obj != t.planObj || s != t.planShard {
 		// Straggler grant for a finished, aborted or already-completed
 		// operation: free it fast rather than waiting for the lease
 		// sweep. Scope the release to the object when the transaction is
 		// still alive (it may legitimately hold other locks there).
 		if resp.Status == wire.LockGranted {
 			if ok {
-				rt.Send(from, wire.Release{Txn: resp.Txn, Obj: resp.Obj})
+				b.sendPartPlain(rt, partKey{P: from, S: s}, wire.Release{Txn: resp.Txn, Obj: resp.Obj})
 			} else {
-				rt.Send(from, wire.Release{Txn: resp.Txn})
+				b.sendPartPlain(rt, partKey{P: from, S: s}, wire.Release{Txn: resp.Txn})
 			}
 		}
 		return
@@ -224,7 +261,8 @@ func (b *Base) handleLockResp(rt net.Runtime, from model.ProcID, resp wire.LockR
 	}
 	// A response addressed to an epoch the transaction no longer runs in
 	// is stale (weak-R4 migration re-issued the request): ignore it.
-	stale := resp.HasEpoch != t.epoch.Has || (resp.HasEpoch && resp.Epoch != t.epoch.VP)
+	ep := t.epochFor(s)
+	stale := resp.HasEpoch != ep.Has || (resp.HasEpoch && resp.Epoch != ep.VP)
 	switch resp.Status {
 	case wire.LockDenied:
 		b.abortTxn(rt, t, "lock denied (wait-die)")
@@ -297,7 +335,11 @@ func (b *Base) handleOpTimeout(rt net.Runtime, k opTimeout) {
 		// this to route later writes around them. (For all-of plans any
 		// suspect implies granted < MinWeight, so the VP strategy only
 		// ever sees this on its abort path, as in Figures 10–11.)
-		b.Strat.OnNoResponse(rt, suspects)
+		if b.sharded != nil {
+			b.sharded.ShardNoResponse(rt, t.planShard, suspects)
+		} else {
+			b.Strat.OnNoResponse(rt, suspects)
+		}
 	}
 	if granted >= t.plan.MinWeight && granted > 0 {
 		b.completeOp(rt, t)
@@ -329,6 +371,7 @@ func (b *Base) completeOp(rt net.Runtime, t *txn) {
 	if cur, ok := t.maxSeen[op.Obj]; !ok || cur.Less(maxResp.Ver) {
 		t.maxSeen[op.Obj] = maxResp.Ver
 	}
+	ep := t.epochFor(t.planShard)
 	switch op.Kind {
 	case wire.OpRead:
 		if !t.escalated {
@@ -349,9 +392,9 @@ func (b *Base) completeOp(rt net.Runtime, t *txn) {
 					t.plan.Targets = append(t.plan.Targets, p)
 					pl := b.Cat.Placement(op.Obj)
 					t.plan.MinWeight += pl.Weight(p)
-					rt.SendCtx(p, wire.LockReq{
+					b.sendPart(rt, partKey{P: p, S: t.planShard}, wire.LockReq{
 						Txn: t.id, Obj: op.Obj, Mode: model.LockShared,
-						Epoch: t.epoch.VP, HasEpoch: t.epoch.Has,
+						Epoch: ep.VP, HasEpoch: ep.Has,
 					}, t.opCtx)
 					added++
 				}
@@ -362,17 +405,17 @@ func (b *Base) completeOp(rt net.Runtime, t *txn) {
 			}
 		}
 		for _, p := range grantedProcs {
-			t.sParts.Add(p)
+			t.sParts.Add(partKey{P: p, S: t.planShard})
 		}
 		for _, p := range t.plan.Targets {
 			if _, ok := t.got[p]; !ok {
-				rt.Send(p, wire.Release{Txn: t.id, Obj: op.Obj})
+				b.sendPartPlain(rt, partKey{P: p, S: t.planShard}, wire.Release{Txn: t.id, Obj: op.Obj})
 			}
 		}
 		t.regs[op.Obj] = maxResp.Val
 		t.readVers[op.Obj] = maxResp.Ver
 		if tr := rt.Tracer(); tr.Enabled() {
-			tr.Record(trace.Event{At: rt.Now(), Proc: b.ID, Kind: trace.EvTxnRead, VP: t.epoch.VP, Txn: t.id, Obj: op.Obj,
+			tr.Record(trace.Event{At: rt.Now(), Proc: b.ID, Kind: trace.EvTxnRead, VP: ep.VP, Shard: t.planShard, Txn: t.id, Obj: op.Obj,
 				Procs: append([]model.ProcID(nil), grantedProcs...)})
 		}
 	case wire.OpWrite:
@@ -387,12 +430,12 @@ func (b *Base) completeOp(rt net.Runtime, t *txn) {
 			if _, ok := t.got[p]; !ok {
 				missed = append(missed, p)
 				// Free whatever that target may grant later.
-				rt.Send(p, wire.Release{Txn: t.id, Obj: op.Obj})
+				b.sendPartPlain(rt, partKey{P: p, S: t.planShard}, wire.Release{Txn: t.id, Obj: op.Obj})
 			}
 		}
 		t.missedBy[op.Obj] = missed
 		if tr := rt.Tracer(); tr.Enabled() {
-			tr.Record(trace.Event{At: rt.Now(), Proc: b.ID, Kind: trace.EvTxnWrite, VP: t.epoch.VP, Txn: t.id, Obj: op.Obj,
+			tr.Record(trace.Event{At: rt.Now(), Proc: b.ID, Kind: trace.EvTxnWrite, VP: ep.VP, Shard: t.planShard, Txn: t.id, Obj: op.Obj,
 				Procs: append([]model.ProcID(nil), grantedProcs...)})
 		}
 	}
@@ -411,13 +454,13 @@ func (b *Base) beginCommit(rt net.Runtime, t *txn) {
 		// Read-only: release shared locks and report. No 2PC needed —
 		// strict 2PL already placed the reads correctly.
 		t.phase = phaseDone
-		for _, p := range t.sParts.Sorted() {
-			rt.Send(p, wire.Release{Txn: t.id})
+		for _, k := range t.sParts.Sorted() {
+			b.sendPartPlain(rt, k, wire.Release{Txn: t.id})
 		}
 		b.finish(rt, t, true, "")
 		return
 	}
-	if !b.Strat.StillValid(rt, t.epoch) {
+	if !b.stillValid(rt, t) {
 		b.abortTxn(rt, t, "partition changed before commit")
 		return
 	}
@@ -426,14 +469,15 @@ func (b *Base) beginCommit(rt net.Runtime, t *txn) {
 	if dw, ok := b.Strat.(DeltaWriter); ok && dw.UseDeltaWrites() {
 		deltaMode = true
 	}
-	perProc := make(map[model.ProcID][]wire.ObjWrite)
+	perPart := make(map[partKey][]wire.ObjWrite)
 	objs := model.NewObjSet()
 	for o := range t.writes {
 		objs.Add(o)
 	}
 	for _, o := range objs.Sorted() {
+		s := b.shardOf(o)
 		ver := model.Version{
-			Date:   t.epoch.VP, // zero for partition-free protocols
+			Date:   t.epochFor(s).VP, // zero for partition-free protocols
 			Ctr:    t.maxSeen[o].Ctr + 1,
 			Writer: t.id,
 		}
@@ -450,36 +494,40 @@ func (b *Base) beginCommit(rt net.Runtime, t *txn) {
 			val -= base
 		}
 		for _, p := range t.writeParts[o] {
-			perProc[p] = append(perProc[p], wire.ObjWrite{
+			k := partKey{P: p, S: s}
+			perPart[k] = append(perPart[k], wire.ObjWrite{
 				Obj: o, Val: val, Ver: ver, Delta: deltaMode, MissedBy: t.missedBy[o],
 			})
 		}
 	}
 	t.phase = phaseVoting
-	t.voteFrom = model.NewProcSet()
-	t.votesNeeded = model.NewProcSet()
-	t.prepares = perProc
-	for p := range perProc {
-		t.votesNeeded.Add(p)
+	t.voteFrom = newPartSet()
+	t.votesNeeded = newPartSet()
+	t.prepares = perPart
+	for k := range perPart {
+		t.votesNeeded.Add(k)
 	}
 	if !t.ctx.IsZero() && t.votesNeeded.Len() > 0 {
 		t.prepCtx, t.prepStart = t.ctx.Child(b.NextSpan()), rt.Now()
 	}
-	for _, p := range t.votesNeeded.Sorted() {
-		rt.SendCtx(p, wire.Prepare{
-			Txn: t.id, Epoch: t.epoch.VP, HasEpoch: t.epoch.Has,
-			Writes: perProc[p],
+	for _, k := range t.votesNeeded.Sorted() {
+		ep := t.epochFor(k.S)
+		b.sendPart(rt, k, wire.Prepare{
+			Txn: t.id, Epoch: ep.VP, HasEpoch: ep.Has,
+			Writes: perPart[k],
 		}, t.prepCtx)
 	}
 	t.voteTimer = rt.SetTimer(b.Cfg.VoteTimeout, voteTimeout{txn: t.id})
 }
 
-func (b *Base) handleVote(rt net.Runtime, from model.ProcID, v wire.Vote) {
+func (b *Base) handleVote(rt net.Runtime, from model.ProcID, s model.ShardID, v wire.Vote) {
 	t, ok := b.active[v.Txn]
-	if !ok || t.phase != phaseVoting || !t.votesNeeded.Has(from) {
+	k := partKey{P: from, S: s}
+	if !ok || t.phase != phaseVoting || !t.votesNeeded.Has(k) {
 		return
 	}
-	if v.HasEpoch != t.epoch.Has || (v.HasEpoch && v.Epoch != t.epoch.VP) {
+	ep := t.epochFor(s)
+	if v.HasEpoch != ep.Has || (v.HasEpoch && v.Epoch != ep.VP) {
 		return // stale vote for a pre-migration prepare
 	}
 	if !v.OK {
@@ -489,9 +537,9 @@ func (b *Base) handleVote(rt net.Runtime, from model.ProcID, v wire.Vote) {
 		b.decide(rt, t, false, "participant voted no")
 		return
 	}
-	t.voteFrom.Add(from)
+	t.voteFrom.Add(k)
 	if t.voteFrom.Equal(t.votesNeeded) {
-		if !b.Strat.StillValid(rt, t.epoch) {
+		if !b.stillValid(rt, t) {
 			b.decide(rt, t, false, "partition changed during commit")
 			return
 		}
@@ -522,7 +570,8 @@ func (b *Base) decide(rt net.Runtime, t *txn, commit bool, reason string) {
 	t.pendingAcks = t.votesNeeded.Clone()
 	if b.Journal != nil {
 		jStart := rt.Now()
-		b.Journal.Decide(t.id, commit, t.pendingAcks.Sorted())
+		procs, shards := splitParts(t.pendingAcks.Sorted())
+		b.Journal.Decide(t.id, commit, procs, shards)
 		// Sync barrier: the decision must be durable before any participant
 		// can learn it, or a coordinator crash between the sends below and
 		// the next group commit would restart with an undecided journal
@@ -551,16 +600,16 @@ func (b *Base) decide(rt net.Runtime, t *txn, commit bool, reason string) {
 		}
 	}
 	// Read-only participants are released outright.
-	for _, p := range t.sParts.Sorted() {
-		if !t.votesNeeded.Has(p) {
-			rt.Send(p, wire.Release{Txn: t.id})
+	for _, k := range t.sParts.Sorted() {
+		if !t.votesNeeded.Has(k) {
+			b.sendPartPlain(rt, k, wire.Release{Txn: t.id})
 		}
 	}
 	if !t.ctx.IsZero() && t.pendingAcks.Len() > 0 {
 		t.decCtx, t.decStart = t.ctx.Child(b.NextSpan()), rt.Now()
 	}
-	for _, p := range t.pendingAcks.Sorted() {
-		rt.SendCtx(p, wire.Decide{Txn: t.id, Commit: commit}, t.decCtx)
+	for _, k := range t.pendingAcks.Sorted() {
+		b.sendPart(rt, k, wire.Decide{Txn: t.id, Commit: commit}, t.decCtx)
 	}
 	if t.pendingAcks.Len() > 0 {
 		t.retryTimer = rt.SetTimer(b.Cfg.DecideRetry, decideRetry{txn: t.id})
@@ -568,12 +617,12 @@ func (b *Base) decide(rt net.Runtime, t *txn, commit bool, reason string) {
 	b.finish(rt, t, commit, reason)
 }
 
-func (b *Base) handleDecideAck(rt net.Runtime, from model.ProcID, a wire.DecideAck) {
+func (b *Base) handleDecideAck(rt net.Runtime, from model.ProcID, s model.ShardID, a wire.DecideAck) {
 	t, ok := b.active[a.Txn]
 	if !ok || t.phase != phaseDeciding {
 		return
 	}
-	t.pendingAcks.Remove(from)
+	t.pendingAcks.Remove(partKey{P: from, S: s})
 	if t.pendingAcks.Len() == 0 {
 		rt.CancelTimer(t.retryTimer)
 		if !t.decCtx.IsZero() {
@@ -599,19 +648,19 @@ func (b *Base) handleDecideAck(rt net.Runtime, from model.ProcID, a wire.DecideA
 // forgot (fully acknowledged, DecideDone) can never be the subject of a
 // legitimate query — a stale one gets an abort answer that the
 // no-longer-prepared participant treats as a no-op.
-func (b *Base) handleDecideQuery(rt net.Runtime, from model.ProcID, q wire.DecideQuery) {
+func (b *Base) handleDecideQuery(rt net.Runtime, from model.ProcID, s model.ShardID, q wire.DecideQuery) {
 	if q.Txn.P != b.ID {
 		return // misrouted: only the transaction's coordinator may answer
 	}
 	if t, ok := b.active[q.Txn]; ok {
 		if t.phase == phaseDeciding {
-			rt.SendCtx(from, wire.Decide{Txn: t.id, Commit: t.commit}, t.decCtx)
+			b.sendPart(rt, partKey{P: from, S: s}, wire.Decide{Txn: t.id, Commit: t.commit}, t.decCtx)
 		}
 		// Running or voting: the decision is still being made and will be
 		// delivered by the normal protocol; stay silent.
 		return
 	}
-	rt.Send(from, wire.Decide{Txn: q.Txn, Commit: false})
+	b.sendPartPlain(rt, partKey{P: from, S: s}, wire.Decide{Txn: q.Txn, Commit: false})
 }
 
 func (b *Base) handleDecideRetry(rt net.Runtime, k decideRetry) {
@@ -619,8 +668,8 @@ func (b *Base) handleDecideRetry(rt net.Runtime, k decideRetry) {
 	if !ok || t.phase != phaseDeciding {
 		return
 	}
-	for _, p := range t.pendingAcks.Sorted() {
-		rt.SendCtx(p, wire.Decide{Txn: t.id, Commit: t.commit}, t.decCtx)
+	for _, k := range t.pendingAcks.Sorted() {
+		b.sendPart(rt, k, wire.Decide{Txn: t.id, Commit: t.commit}, t.decCtx)
 	}
 	t.retryTimer = rt.SetTimer(b.Cfg.DecideRetry, decideRetry{txn: t.id})
 }
@@ -642,16 +691,17 @@ func (b *Base) abortTxn(rt net.Runtime, t *txn, reason string) {
 	// sweep covers lost Release messages).
 	t.phase = phaseDone
 	touched := t.sParts.Clone()
-	for _, procs := range t.writeParts {
+	for o, procs := range t.writeParts {
+		s := b.shardOf(o)
 		for _, p := range procs {
-			touched.Add(p)
+			touched.Add(partKey{P: p, S: s})
 		}
 	}
 	for _, p := range t.plan.Targets {
-		touched.Add(p)
+		touched.Add(partKey{P: p, S: t.planShard})
 	}
-	for _, p := range touched.Sorted() {
-		rt.Send(p, wire.Release{Txn: t.id})
+	for _, k := range touched.Sorted() {
+		b.sendPartPlain(rt, k, wire.Release{Txn: t.id})
 	}
 	b.finish(rt, t, false, reason)
 }

@@ -23,9 +23,9 @@ func (f *failingJournal) MaxID(model.VPID)                                 {}
 func (f *failingJournal) Apply(model.ObjectID, model.Value, model.Version) {}
 func (f *failingJournal) Stage(model.TxnID, model.ObjectID, durable.StagedWrite) {
 }
-func (f *failingJournal) DropStage(model.TxnID, model.ObjectID)  {}
-func (f *failingJournal) Decide(model.TxnID, bool, []model.ProcID) {}
-func (f *failingJournal) DecideDone(model.TxnID)                 {}
+func (f *failingJournal) DropStage(model.TxnID, model.ObjectID)                     {}
+func (f *failingJournal) Decide(model.TxnID, bool, []model.ProcID, []model.ShardID) {}
+func (f *failingJournal) DecideDone(model.TxnID)                                    {}
 func (f *failingJournal) Sync() error {
 	f.syncs++
 	if f.syncs > f.okSyncs {

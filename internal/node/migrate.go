@@ -47,7 +47,7 @@ func (b *Base) MigrateActive(rt net.Runtime, newEpoch Epoch,
 			if t.got != nil && len(t.got) < len(t.plan.Targets) {
 				for _, p := range t.plan.Targets {
 					if _, ok := t.got[p]; !ok {
-						rt.Send(p, wire.LockReq{
+						b.sendPartPlain(rt, partKey{P: p, S: t.planShard}, wire.LockReq{
 							Txn: t.id, Obj: t.planObj, Mode: t.planMode,
 							Epoch: newEpoch.VP, HasEpoch: newEpoch.Has,
 						})
@@ -59,11 +59,11 @@ func (b *Base) MigrateActive(rt net.Runtime, newEpoch Epoch,
 			// already-collected votes stay valid only if they carry the
 			// new epoch, so reset the tally and re-prepare everyone
 			// (duplicate prepares are votes "yes" at prepared servers).
-			t.voteFrom = model.NewProcSet()
-			for _, p := range t.votesNeeded.Sorted() {
-				rt.Send(p, wire.Prepare{
+			t.voteFrom = newPartSet()
+			for _, k := range t.votesNeeded.Sorted() {
+				b.sendPartPlain(rt, k, wire.Prepare{
 					Txn: t.id, Epoch: newEpoch.VP, HasEpoch: newEpoch.Has,
-					Writes: t.prepares[p],
+					Writes: t.prepares[k],
 				})
 			}
 			rt.CancelTimer(t.voteTimer)
@@ -82,7 +82,10 @@ func (t *txn) footprint() ([]model.ObjectID, model.ProcSet) {
 			objs.Add(op.Src)
 		}
 	}
-	procs := t.sParts.Clone()
+	procs := model.NewProcSet()
+	for k := range t.sParts {
+		procs.Add(k.P)
+	}
 	for _, ps := range t.writeParts {
 		for _, p := range ps {
 			procs.Add(p)
@@ -93,8 +96,8 @@ func (t *txn) footprint() ([]model.ObjectID, model.ProcSet) {
 			procs.Add(p)
 		}
 	}
-	for p := range t.votesNeeded {
-		procs.Add(p)
+	for k := range t.votesNeeded {
+		procs.Add(k.P)
 	}
 	return objs.Sorted(), procs
 }

@@ -120,6 +120,31 @@ type TransitionAware interface {
 	InTransition(rt net.Runtime) bool
 }
 
+// ShardedStrategy is the coordinator strategy of a sharded deployment
+// (internal/shard): every object belongs to exactly one shard and each
+// shard runs its own independent virtual-partition lifecycle. The
+// coordinator pins one epoch per shard its transaction touches (rule R4
+// applied shard by shard), re-validates each before deciding commit,
+// and routes Begin/StillValid through the per-shard methods instead of
+// the single-epoch ones — Begin should return a zero Epoch and
+// StillValid is never consulted for sharded transactions.
+type ShardedStrategy interface {
+	Strategy
+	// ShardOf maps an object to the shard that owns it.
+	ShardOf(obj model.ObjectID) model.ShardID
+	// ShardEpoch returns the coordinator's current epoch for shard s, or
+	// an error when the shard is inaccessible from here (rule R1 denial
+	// at transaction start).
+	ShardEpoch(rt net.Runtime, s model.ShardID) (Epoch, error)
+	// ShardStillValid reports whether e is still the current epoch of
+	// shard s (rule R4 re-check at commit).
+	ShardStillValid(rt net.Runtime, s model.ShardID, e Epoch) bool
+	// ShardNoResponse reports processors that failed to answer a
+	// physical access against shard s, so the shard's view management
+	// can react (mirrors Strategy.OnNoResponse, scoped to the shard).
+	ShardNoResponse(rt net.Runtime, s model.ShardID, suspects []model.ProcID)
+}
+
 // Config carries the node's timing and storage parameters.
 type Config struct {
 	// Delta is δ: the assumed upper bound on message delay.

@@ -1,0 +1,66 @@
+package shard
+
+import (
+	"github.com/virtualpartitions/vp/internal/durable"
+	"github.com/virtualpartitions/vp/internal/model"
+)
+
+// shardJournal scopes one shard node's view of the processor's shared
+// journal. All record types pass through untouched except the
+// whole-transaction DropStage(txn, ""): a cross-shard transaction can
+// have staged writes from two co-hosted shard nodes in the same
+// journal, and the first shard to process its Decide must not drop the
+// other shard's staged promises. The wrapper tracks which objects this
+// shard staged per transaction and rewrites the unscoped drop into
+// per-object drops of exactly those.
+//
+// (MaxID needs no such scoping: State.apply merges it monotonically, so
+// interleaved bumps from co-hosted shards cannot regress each other.)
+type shardJournal struct {
+	durable.Journal
+	staged map[model.TxnID]model.ObjSet
+}
+
+func newShardJournal(j durable.Journal) *shardJournal {
+	return &shardJournal{Journal: j, staged: make(map[model.TxnID]model.ObjSet)}
+}
+
+// seed registers staged writes restored from a crash, so the eventual
+// (retransmitted) Decide still drops them from the shared journal.
+func (j *shardJournal) seed(staged map[model.TxnID]map[model.ObjectID]durable.StagedWrite) {
+	for txn, objs := range staged {
+		set := model.NewObjSet()
+		for o := range objs {
+			set.Add(o)
+		}
+		j.staged[txn] = set
+	}
+}
+
+func (j *shardJournal) Stage(txn model.TxnID, obj model.ObjectID, w durable.StagedWrite) {
+	set := j.staged[txn]
+	if set == nil {
+		set = model.NewObjSet()
+		j.staged[txn] = set
+	}
+	set.Add(obj)
+	j.Journal.Stage(txn, obj, w)
+}
+
+func (j *shardJournal) DropStage(txn model.TxnID, obj model.ObjectID) {
+	if obj != "" {
+		if set := j.staged[txn]; set != nil {
+			set.Remove(obj)
+			if set.Len() == 0 {
+				delete(j.staged, txn)
+			}
+		}
+		j.Journal.DropStage(txn, obj)
+		return
+	}
+	set := j.staged[txn]
+	delete(j.staged, txn)
+	for _, o := range set.Sorted() {
+		j.Journal.DropStage(txn, o)
+	}
+}

@@ -107,10 +107,22 @@ func Check(events []Event) *Report {
 		Skipped: map[string]int{"R2": 0, "R3": 0},
 	}
 
+	// Views and assignment orders are keyed per shard: in a sharded
+	// deployment every shard runs its own VP lifecycle, so S1–S3 hold
+	// within a shard, not across shards. Unsharded traces put everything
+	// under shard 0, reproducing the original behavior exactly.
+	type shardVP struct {
+		shard model.ShardID
+		vp    model.VPID
+	}
+	type procShard struct {
+		proc  model.ProcID
+		shard model.ShardID
+	}
 	placement := map[model.ObjectID][]model.ProcID{} // sorted holders
-	views := map[model.VPID][]model.ProcID{}         // first sorted view seen per VP
-	lastJoined := map[model.ProcID]model.VPID{}      // per-proc last assignment
-	hasJoined := map[model.ProcID]bool{}
+	views := map[shardVP][]model.ProcID{}            // first sorted view seen per (shard, VP)
+	lastJoined := map[procShard]model.VPID{}         // per-(proc, shard) last assignment
+	hasJoined := map[procShard]bool{}
 	txns := map[model.TxnID]*txnFacts{}
 	var txnOrder []model.TxnID
 
@@ -128,20 +140,23 @@ func Check(events []Event) *Report {
 			}
 			// S1: all views of one partition identical.
 			rep.Checked["S1"]++
-			if prev, ok := views[e.VP]; ok {
+			vpKey := shardVP{e.Shard, e.VP}
+			if prev, ok := views[vpKey]; ok {
 				if !sameProcs(prev, view) {
 					rep.violate("S1", e.Seq, e.Proc, "view %v of %v differs from previously seen view %v", view, e.VP, prev)
 				}
 			} else {
-				views[e.VP] = view
+				views[vpKey] = view
 			}
-			// S3: strictly increasing assignment order per processor.
+			// S3: strictly increasing assignment order per processor (per
+			// shard: independent lifecycles have independent ≺ chains).
 			rep.Checked["S3"]++
-			if hasJoined[e.Proc] && !lastJoined[e.Proc].Less(e.VP) {
-				rep.violate("S3", e.Seq, e.Proc, "joined %v after %v, breaking the ≺ creation order", e.VP, lastJoined[e.Proc])
+			psKey := procShard{e.Proc, e.Shard}
+			if hasJoined[psKey] && !lastJoined[psKey].Less(e.VP) {
+				rep.violate("S3", e.Seq, e.Proc, "joined %v after %v, breaking the ≺ creation order", e.VP, lastJoined[psKey])
 			}
-			lastJoined[e.Proc] = e.VP
-			hasJoined[e.Proc] = true
+			lastJoined[psKey] = e.VP
+			hasJoined[psKey] = true
 
 		case EvTxnBegin:
 			if _, ok := txns[e.Txn]; !ok {
@@ -165,7 +180,19 @@ func Check(events []Event) *Report {
 		}
 	}
 
-	// R2/R3 over committed transactions that ran inside a partition.
+	// R2/R3 over committed transactions that ran inside a partition. The
+	// governing epoch resolves per access: a sharded transaction begins
+	// with no global epoch and each access event carries the epoch (and
+	// shard) it ran under; an unsharded access echoes the transaction's
+	// epoch, so both resolve identically on legacy traces. An access with
+	// no epoch from either source belongs to a partition-free protocol
+	// and is skipped.
+	accessEpoch := func(t *txnFacts, e *Event) (model.VPID, bool) {
+		if e.HasEpoch() {
+			return e.VP, true
+		}
+		return t.epoch, t.hasEpoch
+	}
 	for _, id := range txnOrder {
 		t := txns[id]
 		if !t.committed {
@@ -173,34 +200,33 @@ func Check(events []Event) *Report {
 			rep.Skipped["R3"] += len(t.writes)
 			continue
 		}
-		if !t.hasEpoch {
-			// Partition-free protocol (quorum, ROWA): rules do not apply.
-			rep.Skipped["R2"] += len(t.reads)
-			rep.Skipped["R3"] += len(t.writes)
-			continue
-		}
-		view, haveView := views[t.epoch]
-		for _, e := range t.reads {
+		for i := range t.reads {
+			e := &t.reads[i]
+			epoch, hasEpoch := accessEpoch(t, e)
 			holders, havePl := placement[e.Obj]
-			if !haveView || !havePl {
+			view, haveView := views[shardVP{e.Shard, epoch}]
+			if !hasEpoch || !haveView || !havePl {
 				rep.Skipped["R2"]++
 				continue
 			}
 			rep.Checked["R2"]++
 			if len(e.Procs) != 1 {
-				rep.violate("R2", e.Seq, e.Proc, "logical read of %s in %v used %d physical copies, want 1", e.Obj, t.epoch, len(e.Procs))
+				rep.violate("R2", e.Seq, e.Proc, "logical read of %s in %v used %d physical copies, want 1", e.Obj, epoch, len(e.Procs))
 				continue
 			}
 			target := e.Procs[0]
 			if !containsProc(view, target) {
-				rep.violate("R2", e.Seq, e.Proc, "read of %s targeted %v outside view %v of %v", e.Obj, target, view, t.epoch)
+				rep.violate("R2", e.Seq, e.Proc, "read of %s targeted %v outside view %v of %v", e.Obj, target, view, epoch)
 			} else if !containsProc(holders, target) {
 				rep.violate("R2", e.Seq, e.Proc, "read of %s targeted %v which holds no copy (holders %v)", e.Obj, target, holders)
 			}
 		}
-		for _, e := range t.writes {
+		for i := range t.writes {
+			e := &t.writes[i]
+			epoch, hasEpoch := accessEpoch(t, e)
 			holders, havePl := placement[e.Obj]
-			if !haveView || !havePl {
+			view, haveView := views[shardVP{e.Shard, epoch}]
+			if !hasEpoch || !haveView || !havePl {
 				rep.Skipped["R3"]++
 				continue
 			}
@@ -208,7 +234,7 @@ func Check(events []Event) *Report {
 			want := intersectProcs(holders, view)
 			got := sortedProcs(e.Procs)
 			if !sameProcs(got, want) {
-				rep.violate("R3", e.Seq, e.Proc, "write of %s in %v targeted %v, want copies∩view = %v", e.Obj, t.epoch, got, want)
+				rep.violate("R3", e.Seq, e.Proc, "write of %s in %v targeted %v, want copies∩view = %v", e.Obj, epoch, got, want)
 			}
 		}
 	}

@@ -36,6 +36,10 @@ type jsonEvent struct {
 	Trace  uint64 `json:"trace,omitempty"`
 	Span   uint32 `json:"span,omitempty"`
 	Parent uint32 `json:"parent,omitempty"`
+	// Shard scopes the event in sharded deployments; appended after the
+	// earlier fields and omitted when zero, so unsharded captures stay
+	// byte-identical.
+	Shard int `json:"shard,omitempty"`
 }
 
 func toJSON(e Event) jsonEvent {
@@ -57,6 +61,7 @@ func toJSON(e Event) jsonEvent {
 		Trace:  e.Ctx.Trace,
 		Span:   e.Ctx.Span,
 		Parent: e.Ctx.Parent,
+		Shard:  int(e.Shard),
 	}
 	if len(e.Procs) > 0 {
 		je.Procs = make([]int, len(e.Procs))
@@ -73,17 +78,18 @@ func fromJSON(je jsonEvent) (Event, error) {
 		return Event{}, fmt.Errorf("trace: unknown event kind %q", je.Kind)
 	}
 	e := Event{
-		Seq:  je.Seq,
-		At:   time.Duration(je.AtNs),
-		Proc: model.ProcID(je.Proc),
-		Kind: kind,
-		VP:   model.VPID{N: je.VPN, P: model.ProcID(je.VPP)},
-		Txn:  model.TxnID{Start: je.TxnS, P: model.ProcID(je.TxnP), Seq: je.TxnQ},
-		Obj:  model.ObjectID(je.Obj),
-		Peer: model.ProcID(je.Peer),
-		Msg:  je.Msg,
-		Aux:  je.Aux,
-		Ctx:  model.TraceCtx{Trace: je.Trace, Span: je.Span, Parent: je.Parent},
+		Seq:   je.Seq,
+		At:    time.Duration(je.AtNs),
+		Proc:  model.ProcID(je.Proc),
+		Kind:  kind,
+		VP:    model.VPID{N: je.VPN, P: model.ProcID(je.VPP)},
+		Txn:   model.TxnID{Start: je.TxnS, P: model.ProcID(je.TxnP), Seq: je.TxnQ},
+		Obj:   model.ObjectID(je.Obj),
+		Peer:  model.ProcID(je.Peer),
+		Msg:   je.Msg,
+		Aux:   je.Aux,
+		Ctx:   model.TraceCtx{Trace: je.Trace, Span: je.Span, Parent: je.Parent},
+		Shard: model.ShardID(je.Shard),
 	}
 	if len(je.Procs) > 0 {
 		e.Procs = make([]model.ProcID, len(je.Procs))

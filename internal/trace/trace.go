@@ -166,6 +166,10 @@ type Event struct {
 	// logical accesses, holders for placements). The one field whose use
 	// costs an allocation; events that need it are off the hottest paths.
 	Procs []model.ProcID
+	// Shard scopes the event to one shard of a sharded deployment (see
+	// internal/shard). Zero in unsharded runs, where a single partition
+	// governs the cluster.
+	Shard model.ShardID
 }
 
 // HasEpoch reports whether the event carries a virtual partition epoch
@@ -189,6 +193,32 @@ type Recorder struct {
 	filled  int    // entries currently held (≤ cap)
 	seq     uint64 // total events ever recorded
 	dropped uint64 // events overwritten by ring wrap
+
+	// shard and parent implement WithShard: a derived handle stamps each
+	// event's Shard and delegates storage to its root recorder. Only the
+	// root owns ring state; every accessor resolves through root().
+	shard  model.ShardID
+	parent *Recorder
+}
+
+// root resolves a derived (WithShard) handle to the recorder that owns
+// the ring. Safe on nil.
+func (r *Recorder) root() *Recorder {
+	if r != nil && r.parent != nil {
+		return r.parent
+	}
+	return r
+}
+
+// WithShard returns a recording handle that stamps every event with
+// shard s before storing it in r's ring (events already carrying a
+// shard keep theirs). The handle shares r's enable state and storage.
+// Safe on nil; s == NoShard returns r unchanged.
+func (r *Recorder) WithShard(s model.ShardID) *Recorder {
+	if r == nil || s == model.NoShard {
+		return r
+	}
+	return &Recorder{shard: s, parent: r.root()}
 }
 
 // New returns a recorder with the given ring capacity (DefaultCap when
@@ -202,12 +232,12 @@ func New(capacity int) *Recorder {
 }
 
 // Enabled reports whether events are being recorded. Safe on nil.
-func (r *Recorder) Enabled() bool { return r != nil && r.on.Load() }
+func (r *Recorder) Enabled() bool { return r != nil && r.root().on.Load() }
 
 // SetEnabled switches recording on or off. Enabling allocates the ring
 // storage on first use. No-op on nil.
 func (r *Recorder) SetEnabled(on bool) {
-	if r == nil {
+	if r = r.root(); r == nil {
 		return
 	}
 	if on {
@@ -224,7 +254,16 @@ func (r *Recorder) SetEnabled(on bool) {
 // return immediately; enabled ones copy the event into the preallocated
 // ring (zero allocations) and overwrite the oldest entry when full.
 func (r *Recorder) Record(ev Event) {
-	if r == nil || !r.on.Load() {
+	if r == nil {
+		return
+	}
+	if r.parent != nil {
+		if ev.Shard == model.NoShard {
+			ev.Shard = r.shard
+		}
+		r = r.parent
+	}
+	if !r.on.Load() {
 		return
 	}
 	r.mu.Lock()
@@ -248,7 +287,7 @@ func (r *Recorder) Record(ev Event) {
 
 // Len returns the number of events currently retained.
 func (r *Recorder) Len() int {
-	if r == nil {
+	if r = r.root(); r == nil {
 		return 0
 	}
 	r.mu.Lock()
@@ -258,7 +297,7 @@ func (r *Recorder) Len() int {
 
 // Total returns the number of events ever recorded (retained + dropped).
 func (r *Recorder) Total() uint64 {
-	if r == nil {
+	if r = r.root(); r == nil {
 		return 0
 	}
 	r.mu.Lock()
@@ -268,7 +307,7 @@ func (r *Recorder) Total() uint64 {
 
 // Dropped returns how many events the ring has overwritten.
 func (r *Recorder) Dropped() uint64 {
-	if r == nil {
+	if r = r.root(); r == nil {
 		return 0
 	}
 	r.mu.Lock()
@@ -278,7 +317,7 @@ func (r *Recorder) Dropped() uint64 {
 
 // Events returns the retained events, oldest first.
 func (r *Recorder) Events() []Event {
-	if r == nil {
+	if r = r.root(); r == nil {
 		return nil
 	}
 	r.mu.Lock()
@@ -296,7 +335,7 @@ func (r *Recorder) Events() []Event {
 
 // Reset discards all retained events and restarts the sequence counter.
 func (r *Recorder) Reset() {
-	if r == nil {
+	if r = r.root(); r == nil {
 		return
 	}
 	r.mu.Lock()
@@ -310,7 +349,7 @@ func (r *Recorder) Reset() {
 // recorders return before touching the arguments, so call sites need no
 // guard and pay no allocation.
 func (r *Recorder) Span(proc model.ProcID, ctx model.TraceCtx, phase string, start, end time.Duration, txn model.TxnID) {
-	if r == nil || !r.on.Load() || ctx.IsZero() {
+	if !r.Enabled() || ctx.IsZero() {
 		return
 	}
 	r.Record(Event{At: end, Proc: proc, Kind: EvSpan, Txn: txn, Msg: phase, Aux: int64(end - start), Ctx: ctx})

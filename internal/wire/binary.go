@@ -289,7 +289,36 @@ func appendEnvelope(b []byte, env *Envelope) ([]byte, error) {
 	if traced {
 		b = appendCtx(b, env.Ctx)
 	}
-	switch m := env.Msg.(type) {
+	return appendMsgBody(b, k, env.Msg)
+}
+
+// appendMsgBody writes one message's body in the fixed per-kind field
+// order. ShardMsg nests its inner message's body under an explicit bare
+// kind byte, reusing every per-kind encoding unchanged.
+func appendMsgBody(b []byte, k kindID, msg Message) ([]byte, error) {
+	switch m := msg.(type) {
+	case ShardMsg:
+		ik := kindOf(m.Msg)
+		if ik == kindInvalid {
+			return nil, fmt.Errorf("wire: encode: unregistered message type %T in ShardMsg", m.Msg)
+		}
+		if ik == kindShardMsg {
+			return nil, fmt.Errorf("wire: encode: nested ShardMsg")
+		}
+		b = appendUvarint(b, uint64(m.Shard))
+		b = append(b, byte(ik))
+		return appendMsgBody(b, ik, m.Msg)
+	case ShardEpochReq:
+		b = appendUvarint(b, uint64(m.Shard))
+		return b, nil
+	case ShardEpochResp:
+		b = appendUvarint(b, uint64(m.Shard))
+		b = appendVPID(b, m.VP)
+		b = appendBool(b, m.Has)
+		b = appendProcs(b, m.View)
+		return b, nil
+	}
+	switch m := msg.(type) {
 	case NewVP:
 		b = appendVPID(b, m.ID)
 	case AcceptVP:
@@ -647,7 +676,51 @@ func (d *BinaryDecoder) decode(frame []byte, env *Envelope, borrowed bool) error
 	if frame[0]&ctxKindFlag != 0 {
 		ctx = model.TraceCtx{Trace: c.u(), Span: uint32(c.u()), Parent: uint32(c.u())}
 	}
+	msg, err := d.decodeBody(&c, k, borrowed)
+	if err != nil {
+		return err
+	}
+	if c.bad || len(c.b) != 0 {
+		return errDecode
+	}
+	env.From, env.To, env.Msg, env.Ctx = from, to, msg, ctx
+	return nil
+}
+
+// decodeBody decodes one message body of kind k at the cursor. ShardMsg
+// recurses exactly once for its inner body (nesting is rejected) and
+// always decodes the inner message owned: routers re-dispatch it across
+// handler boundaries, where a borrowed backing would be unsafe.
+func (d *BinaryDecoder) decodeBody(c *cursor, k kindID, borrowed bool) (Message, error) {
 	var msg Message
+	switch k {
+	case kindShardMsg:
+		shard := model.ShardID(c.u())
+		ik := kindID(c.byte())
+		if c.bad {
+			return nil, errDecode
+		}
+		if ik == kindShardMsg {
+			return nil, errDecode
+		}
+		inner, err := d.decodeBody(c, ik, false)
+		if err != nil {
+			return nil, err
+		}
+		return ShardMsg{Shard: shard, Msg: inner}, nil
+	case kindShardEpochReq:
+		return ShardEpochReq{Shard: model.ShardID(c.u())}, nil
+	case kindShardEpochResp:
+		m := ShardEpochResp{Shard: model.ShardID(c.u()), VP: c.vpid(), Has: c.bool()}
+		n := c.count(1)
+		if n > 0 && !c.bad {
+			m.View = make([]model.ProcID, n)
+			for i := 0; i < n && !c.bad; i++ {
+				m.View[i] = c.proc()
+			}
+		}
+		return m, nil
+	}
 	switch k {
 	case kindNewVP:
 		msg = NewVP{ID: c.vpid()}
@@ -674,9 +747,9 @@ func (d *BinaryDecoder) decode(frame []byte, env *Envelope, borrowed bool) error
 	case kindProbeAck:
 		msg = ProbeAck{From: c.proc(), Seq: c.u()}
 	case kindRecoverRead:
-		msg = RecoverRead{Obj: d.obj(&c), VP: c.vpid(), Seq: c.u()}
+		msg = RecoverRead{Obj: d.obj(c), VP: c.vpid(), Seq: c.u()}
 	case kindRecoverReadResp:
-		m := RecoverReadResp{Obj: d.obj(&c), Seq: c.u(), OK: c.bool(), Busy: c.bool(),
+		m := RecoverReadResp{Obj: d.obj(c), Seq: c.u(), OK: c.bool(), Busy: c.bool(),
 			Val: model.Value(c.z()), Ver: c.version()}
 		n := c.count(6)
 		m.Comps = borrow(&d.scr.comps, n, borrowed)
@@ -685,9 +758,9 @@ func (d *BinaryDecoder) decode(frame []byte, env *Envelope, borrowed bool) error
 		}
 		msg = m
 	case kindRecoverLog:
-		msg = RecoverLog{Obj: d.obj(&c), Since: c.version(), VP: c.vpid(), Seq: c.u()}
+		msg = RecoverLog{Obj: d.obj(c), Since: c.version(), VP: c.vpid(), Seq: c.u()}
 	case kindRecoverLogResp:
-		m := RecoverLogResp{Obj: d.obj(&c), Seq: c.u(), OK: c.bool(), Busy: c.bool(),
+		m := RecoverLogResp{Obj: d.obj(c), Seq: c.u(), OK: c.bool(), Busy: c.bool(),
 			Complete: c.bool()}
 		n := c.count(6)
 		m.Entries = borrow(&d.scr.entries, n, borrowed)
@@ -700,7 +773,7 @@ func (d *BinaryDecoder) decode(frame []byte, env *Envelope, borrowed bool) error
 		n := c.count(8)
 		m.Objs = borrow(&d.scr.sinces, n, borrowed)
 		for i := 0; i < n && !c.bad; i++ {
-			m.Objs[i] = ObjSince{Obj: d.obj(&c), Since: c.version(), Seq: c.u()}
+			m.Objs[i] = ObjSince{Obj: d.obj(c), Since: c.version(), Seq: c.u()}
 		}
 		msg = m
 	case kindCatchupResp:
@@ -709,7 +782,7 @@ func (d *BinaryDecoder) decode(frame []byte, env *Envelope, borrowed bool) error
 		m.Objs = borrow(&d.scr.deltas, n, borrowed)
 		for i := 0; i < n && !c.bad; i++ {
 			o := &m.Objs[i]
-			o.Obj = d.obj(&c)
+			o.Obj = d.obj(c)
 			o.Seq = c.u()
 			o.Busy = c.bool()
 			o.Complete = c.bool()
@@ -729,10 +802,10 @@ func (d *BinaryDecoder) decode(frame []byte, env *Envelope, borrowed bool) error
 		}
 		msg = m
 	case kindLockReq:
-		msg = LockReq{Txn: c.txn(), Obj: d.obj(&c), Mode: model.LockMode(c.byte()),
+		msg = LockReq{Txn: c.txn(), Obj: d.obj(c), Mode: model.LockMode(c.byte()),
 			Epoch: c.vpid(), HasEpoch: c.bool()}
 	case kindLockResp:
-		msg = LockResp{Txn: c.txn(), Obj: d.obj(&c), Status: LockStatus(c.byte()),
+		msg = LockResp{Txn: c.txn(), Obj: d.obj(c), Status: LockStatus(c.byte()),
 			Val: model.Value(c.z()), Ver: c.version(), Epoch: c.vpid(),
 			HasEpoch: c.bool(), HasMissing: c.bool()}
 	case kindPrepare:
@@ -741,7 +814,7 @@ func (d *BinaryDecoder) decode(frame []byte, env *Envelope, borrowed bool) error
 		m.Writes = borrow(&d.scr.writes, n, borrowed)
 		for i := 0; i < n && !c.bad; i++ {
 			w := &m.Writes[i]
-			w.Obj = d.obj(&c)
+			w.Obj = d.obj(c)
 			w.Val = model.Value(c.z())
 			w.Ver = c.version()
 			w.Delta = c.bool()
@@ -768,7 +841,7 @@ func (d *BinaryDecoder) decode(frame []byte, env *Envelope, borrowed bool) error
 	case kindDecideQuery:
 		msg = DecideQuery{Txn: c.txn(), From: c.proc()}
 	case kindRelease:
-		msg = Release{Txn: c.txn(), Obj: d.obj(&c)}
+		msg = Release{Txn: c.txn(), Obj: d.obj(c)}
 	case kindClientTxn:
 		m := ClientTxn{Tag: c.u()}
 		n := c.count(5)
@@ -776,34 +849,30 @@ func (d *BinaryDecoder) decode(frame []byte, env *Envelope, borrowed bool) error
 		for i := 0; i < n && !c.bad; i++ {
 			op := &m.Ops[i]
 			op.Kind = OpKind(c.byte())
-			op.Obj = d.obj(&c)
-			op.Src = model.ObjectID(d.str(&c))
+			op.Obj = d.obj(c)
+			op.Src = model.ObjectID(d.str(c))
 			op.Const = c.z()
 			op.UseSrc = c.bool()
 		}
 		msg = m
 	case kindClientResult:
 		m := ClientResult{Tag: c.u(), Txn: c.txn(), Committed: c.bool(), Denied: c.bool(),
-			Reason: d.str(&c)}
+			Reason: d.str(c)}
 		rn := c.count(4)
 		m.Reads = borrow(&d.scr.reads, rn, borrowed)
 		for i := 0; i < rn && !c.bad; i++ {
-			m.Reads[i] = ObjVal{Obj: d.obj(&c), Val: model.Value(c.z()), Ver: c.version()}
+			m.Reads[i] = ObjVal{Obj: d.obj(c), Val: model.Value(c.z()), Ver: c.version()}
 		}
 		wn := c.count(4)
 		m.Writes = borrow(&d.scr.wvals, wn, borrowed)
 		for i := 0; i < wn && !c.bad; i++ {
-			m.Writes[i] = ObjVal{Obj: d.obj(&c), Val: model.Value(c.z()), Ver: c.version()}
+			m.Writes[i] = ObjVal{Obj: d.obj(c), Val: model.Value(c.z()), Ver: c.version()}
 		}
 		msg = m
 	default:
-		return fmt.Errorf("wire: decode: unknown binary message kind %d", k)
+		return nil, fmt.Errorf("wire: decode: unknown binary message kind %d", k)
 	}
-	if c.bad || len(c.b) != 0 {
-		return errDecode
-	}
-	env.From, env.To, env.Msg, env.Ctx = from, to, msg, ctx
-	return nil
+	return msg, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -55,6 +55,16 @@ func binaryEnvelopes() []Envelope {
 			{Obj: "x", Seq: 1, Complete: true,
 				Entries: []LogEntry{{Val: 3, Ver: ver}, {Val: -7, Ver: model.Version{Date: big}}}},
 			{Obj: "account/7", Seq: 1 << 33, Busy: true}}}},
+		{From: 1, To: 2, Msg: ShardMsg{Shard: 3,
+			Msg: LockReq{Txn: txn, Obj: "x", Mode: model.LockShared, Epoch: vp, HasEpoch: true}}},
+		{From: 2, To: 1, Msg: ShardMsg{Shard: 1 << 20,
+			Msg: Prepare{Txn: txn, Epoch: vp, HasEpoch: true,
+				Writes: []ObjWrite{{Obj: "x", Val: 6, Ver: ver, MissedBy: []model.ProcID{3}}}}}},
+		{From: 3, To: 2, Msg: ShardMsg{Shard: 2, Msg: CommitVP{ID: vp, View: []model.ProcID{1, 2, 3},
+			Prevs: map[model.ProcID]model.VPID{1: {N: 6, P: 1}}}}},
+		{From: 1, To: 2, Msg: ShardEpochReq{Shard: 4}},
+		{From: 2, To: 1, Msg: ShardEpochResp{Shard: 4, VP: big, Has: true,
+			View: []model.ProcID{2, 4, 5}}},
 	}
 }
 
@@ -243,10 +253,10 @@ func TestBinaryDecodeGarbage(t *testing.T) {
 	bad := [][]byte{
 		nil,
 		{},
-		{0x80},                        // kindInvalid
-		{0x80 | 21},                   // kind out of range
-		{0x01},                        // binary bit missing
-		{0x80 | byte(kindPrepare)},    // truncated header
+		{0x80},                     // kindInvalid
+		{0x80 | 21},                // kind out of range
+		{0x01},                     // binary bit missing
+		{0x80 | byte(kindPrepare)}, // truncated header
 		{0x80 | byte(kindClientTxn), 1, 2, 0xff, 0xff, 0xff, 0xff, 0xff}, // huge count
 		bytes.Repeat([]byte{0xff}, 64),
 	}

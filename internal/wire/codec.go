@@ -34,6 +34,9 @@ func init() {
 	gob.Register(Release{})
 	gob.Register(ClientTxn{})
 	gob.Register(ClientResult{})
+	gob.Register(ShardMsg{})
+	gob.Register(ShardEpochReq{})
+	gob.Register(ShardEpochResp{})
 	gob.Register(model.VPID{})
 }
 
@@ -76,6 +79,9 @@ const (
 	kindCatchupReq
 	kindCatchupResp
 	kindDecideQuery
+	kindShardMsg
+	kindShardEpochReq
+	kindShardEpochResp
 )
 
 func kindOf(m Message) kindID {
@@ -122,6 +128,12 @@ func kindOf(m Message) kindID {
 		return kindClientTxn
 	case ClientResult:
 		return kindClientResult
+	case ShardMsg:
+		return kindShardMsg
+	case ShardEpochReq:
+		return kindShardEpochReq
+	case ShardEpochResp:
+		return kindShardEpochResp
 	default:
 		return kindInvalid
 	}
@@ -154,6 +166,9 @@ type msgScratch struct {
 	release         Release
 	clientTxn       ClientTxn
 	clientResult    ClientResult
+	shardMsg        ShardMsg
+	shardEpochReq   ShardEpochReq
+	shardEpochResp  ShardEpochResp
 }
 
 // StreamEncoder encodes envelopes onto one logical connection. It wraps a
@@ -306,6 +321,18 @@ func (e *StreamEncoder) encodeMsg(k kindID, m Message) error {
 	case ClientResult:
 		s.clientResult = v
 		return e.enc.Encode(&s.clientResult)
+	case ShardMsg:
+		// Msg is an interface field: gob ships the inner type's name per
+		// message. Acceptable for the fallback codec; the binary codec
+		// nests the inner body under an explicit kind byte instead.
+		s.shardMsg = v
+		return e.enc.Encode(&s.shardMsg)
+	case ShardEpochReq:
+		s.shardEpochReq = v
+		return e.enc.Encode(&s.shardEpochReq)
+	case ShardEpochResp:
+		s.shardEpochResp = v
+		return e.enc.Encode(&s.shardEpochResp)
 	default:
 		return fmt.Errorf("unhandled kind %d", k)
 	}
@@ -477,6 +504,26 @@ func (d *StreamDecoder) decodeMsg(k kindID) (Message, error) {
 		s.clientResult = ClientResult{}
 		err := d.dec.Decode(&s.clientResult)
 		return s.clientResult, err
+	case kindShardMsg:
+		s.shardMsg = ShardMsg{}
+		err := d.dec.Decode(&s.shardMsg)
+		if err == nil {
+			if s.shardMsg.Msg == nil {
+				return nil, fmt.Errorf("shard frame with no inner message")
+			}
+			if _, nested := s.shardMsg.Msg.(ShardMsg); nested {
+				return nil, fmt.Errorf("nested shard frame")
+			}
+		}
+		return s.shardMsg, err
+	case kindShardEpochReq:
+		s.shardEpochReq = ShardEpochReq{}
+		err := d.dec.Decode(&s.shardEpochReq)
+		return s.shardEpochReq, err
+	case kindShardEpochResp:
+		s.shardEpochResp = ShardEpochResp{}
+		err := d.dec.Decode(&s.shardEpochResp)
+		return s.shardEpochResp, err
 	default:
 		return nil, fmt.Errorf("unknown message kind")
 	}

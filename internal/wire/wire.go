@@ -9,6 +9,7 @@ package wire
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/virtualpartitions/vp/internal/model"
 )
@@ -175,6 +176,38 @@ type ObjDelta struct {
 type CatchupResp struct {
 	OK   bool
 	Objs []ObjDelta
+}
+
+// ---------------------------------------------------------------------------
+// Sharding (internal/shard)
+// ---------------------------------------------------------------------------
+
+// ShardMsg wraps any protocol message with the shard it belongs to. In a
+// sharded deployment every per-shard protocol exchange — VP management,
+// locks, 2PC, R5 catch-up — travels inside a ShardMsg so the receiving
+// router can demultiplex it to the right shard node. Unsharded
+// deployments never produce ShardMsg frames, so the existing wire format
+// is untouched.
+type ShardMsg struct {
+	Shard model.ShardID
+	Msg   Message
+}
+
+// ShardEpochReq asks a member of shard Shard for that shard's current
+// epoch (its committed virtual partition id and view). Coordinators use
+// it to warm their epoch cache for shards they do not host. It is sent
+// unwrapped: the shard is named in the message itself.
+type ShardEpochReq struct {
+	Shard model.ShardID
+}
+
+// ShardEpochResp answers a ShardEpochReq. Has is false while the
+// responder has no committed partition for the shard (still forming).
+type ShardEpochResp struct {
+	Shard model.ShardID
+	VP    model.VPID
+	Has   bool
+	View  []model.ProcID
 }
 
 // ---------------------------------------------------------------------------
@@ -394,8 +427,27 @@ type ClientResult struct {
 	Writes []ObjVal
 }
 
+// shardKinds caches the "shard:"-prefixed kind string per inner kind so
+// the hot path stays allocation-free after the first message of each
+// inner type.
+var shardKinds sync.Map // string -> string
+
 // Kind returns a short stable name for a message's type, for metrics.
 func Kind(m Message) string {
+	switch msg := m.(type) {
+	case ShardMsg:
+		inner := Kind(msg.Msg)
+		if k, ok := shardKinds.Load(inner); ok {
+			return k.(string)
+		}
+		k := "shard:" + inner
+		shardKinds.Store(inner, k)
+		return k
+	case ShardEpochReq:
+		return "shardepochreq"
+	case ShardEpochResp:
+		return "shardepochresp"
+	}
 	switch m.(type) {
 	case NewVP:
 		return "newvp"
